@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Bench_common Bip_measure Bipartite Bitset Gen List Printf Rng Solver Stats Sys Table Wx_constructions Wx_radio Wx_spokesmen

@@ -1,0 +1,1 @@
+bench/bench_common.ml: List Printf String Wireless_expanders Wx_expansion Wx_graph Wx_spokesmen Wx_util

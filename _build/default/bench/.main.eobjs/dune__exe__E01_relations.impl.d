@@ -1,0 +1,1 @@
+bench/e01_relations.ml: Bench_common Graph Instances List Measure Table Traversal

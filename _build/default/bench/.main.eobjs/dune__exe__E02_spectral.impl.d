@@ -1,0 +1,1 @@
+bench/e02_spectral.ml: Bench_common Bounds Graph Instances List Measure Table Traversal Wx_spectral

@@ -1,0 +1,1 @@
+bench/e03_unique_tightness.ml: Bench_common Bitset Bounds Float Graph Instances List Measure Nbhd Table Traversal Wx_constructions

@@ -1,0 +1,1 @@
+bench/e04_gbad_wireless.ml: Bench_common Bip_measure Bitset Float Instances List Nbhd Printf Table Wx_constructions

@@ -1,0 +1,1 @@
+bench/e05_core_graph.ml: Array Bench_common Bipartite Float Floatx Instances List Table Theorems Wx_constructions

@@ -1,0 +1,1 @@
+bench/e06_gen_core.ml: Bench_common Bipartite Float Floatx List Printf Table Theorems Wx_constructions

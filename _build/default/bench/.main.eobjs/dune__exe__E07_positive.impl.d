@@ -1,0 +1,1 @@
+bench/e07_positive.ml: Bench_common Bipartite Bounds Instances List Solver Table Wx_spokesmen

@@ -1,0 +1,1 @@
+bench/e08_worst_case.ml: Bench_common Gen Graph List Measure Printf Table Wx_constructions Wx_graph Wx_spectral

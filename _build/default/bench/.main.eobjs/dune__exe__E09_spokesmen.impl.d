@@ -1,0 +1,1 @@
+bench/e09_spokesmen.ml: Bench_common Bipartite Bounds Instances List Solver Table Wx_spokesmen

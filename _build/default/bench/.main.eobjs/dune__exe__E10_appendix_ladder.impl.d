@@ -1,0 +1,1 @@
+bench/e10_appendix_ladder.ml: Bench_common Bipartite Bounds Float Instances List Solver Table Wx_spokesmen

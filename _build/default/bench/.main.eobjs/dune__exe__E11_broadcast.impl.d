@@ -1,0 +1,1 @@
+bench/e11_broadcast.ml: Array Bench_common Bipartite Bitset Bounds Float Floatx Graph List Rng Stats Table Wx_constructions Wx_radio

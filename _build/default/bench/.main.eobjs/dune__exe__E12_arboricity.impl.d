@@ -1,0 +1,1 @@
+bench/e12_arboricity.ml: Arboricity Bench_common Bounds Float Graph List Measure Table Traversal Wx_constructions Wx_graph

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Staged Test Time Toolkit Wx_constructions Wx_expansion Wx_graph Wx_radio Wx_spectral Wx_spokesmen Wx_util

@@ -1,0 +1,52 @@
+(* Shared infrastructure for the experiment harness. *)
+
+module Rng = Wx_util.Rng
+module Bitset = Wx_util.Bitset
+module Table = Wx_util.Table
+module Stats = Wx_util.Stats
+module Floatx = Wx_util.Floatx
+module Graph = Wx_graph.Graph
+module Bipartite = Wx_graph.Bipartite
+module Gen = Wx_graph.Gen
+module Traversal = Wx_graph.Traversal
+module Arboricity = Wx_graph.Arboricity
+module Measure = Wx_expansion.Measure
+module Bip_measure = Wx_expansion.Bip_measure
+module Bounds = Wx_expansion.Bounds
+module Nbhd = Wx_expansion.Nbhd
+module Solver = Wx_spokesmen.Solver
+module Instances = Wireless_expanders.Instances
+module Theorems = Wireless_expanders.Theorems
+
+type experiment = {
+  id : string;  (** "e1" ... "e12", "ablation" *)
+  title : string;
+  claim : string;  (** which part of the paper it reproduces *)
+  run : quick:bool -> unit;
+}
+
+let section e =
+  Printf.printf "\n=== %s: %s ===\n    [%s]\n\n" (String.uppercase_ascii e.id) e.title e.claim
+
+let seed = Instances.seed
+let rng off = Rng.create (seed + off)
+
+let checks_table (checks : Theorems.check list) =
+  let t = Table.create [ "claim"; "instance"; "predicted"; "measured"; "holds" ] in
+  List.iter
+    (fun (c : Theorems.check) ->
+      Table.add_row t
+        [
+          c.Theorems.claim;
+          c.Theorems.instance;
+          Table.ff ~dec:4 c.Theorems.predicted;
+          Table.ff ~dec:4 c.Theorems.measured;
+          Table.fb c.Theorems.holds;
+        ])
+    checks;
+  Table.print t
+
+let verdict ok_count total =
+  Printf.printf "\n  verdict: %d/%d claims hold\n" ok_count total
+
+let count_holds checks = List.length (List.filter (fun c -> c.Theorems.holds) checks)

@@ -1,0 +1,42 @@
+(* E1 — Observation 2.1: β ≥ βw ≥ βu, exactly, on the small-graph zoo. *)
+
+open Bench_common
+
+let run ~quick =
+  let zoo =
+    List.filter
+      (fun (_, g) -> Traversal.is_connected g)
+      (Instances.small_graphs ())
+  in
+  let zoo = if quick then List.filteri (fun i _ -> i < 4) zoo else zoo in
+  let t = Table.create [ "graph"; "n"; "Δ"; "β"; "βw"; "βu"; "β≥βw≥βu" ] in
+  let ok = ref 0 and total = ref 0 in
+  List.iter
+    (fun (name, g) ->
+      let b = (Measure.beta_exact g).Measure.value in
+      let bw = (Measure.beta_w_exact g).Measure.value in
+      let bu = (Measure.beta_u_exact g).Measure.value in
+      let holds = b >= bw -. 1e-9 && bw >= bu -. 1e-9 in
+      incr total;
+      if holds then incr ok;
+      Table.add_row t
+        [
+          name;
+          Table.fi (Graph.n g);
+          Table.fi (Graph.max_degree g);
+          Table.ff b;
+          Table.ff bw;
+          Table.ff bu;
+          Table.fb holds;
+        ])
+    zoo;
+  Table.print t;
+  verdict !ok !total
+
+let experiment =
+  {
+    id = "e1";
+    title = "ordering of the three expansion notions (exact)";
+    claim = "Observation 2.1";
+    run;
+  }

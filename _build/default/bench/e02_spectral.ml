@@ -1,0 +1,46 @@
+(* E2 — Lemma 3.1: a d-regular (αu, βu)-unique expander is an ordinary
+   expander with β ≥ (1 − 1/d)·βu + (d − λ₂)(1 − αu)/d. Exact βu and β,
+   power-iteration λ₂ (cross-validated against the dense Jacobi solver in
+   the test suite). *)
+
+open Bench_common
+
+let run ~quick =
+  let zoo = Instances.regular_graphs () in
+  let zoo = if quick then List.filteri (fun i _ -> i < 3) zoo else zoo in
+  let t = Table.create [ "graph"; "n"; "d"; "λ₂"; "βu"; "predicted β≥"; "measured β"; "holds" ] in
+  let ok = ref 0 and total = ref 0 in
+  List.iter
+    (fun (name, g) ->
+      if Traversal.is_connected g then begin
+        let d = match Graph.is_regular g with Some d -> d | None -> assert false in
+        let lambda2 = Wx_spectral.Spectral_gap.lambda2_regular g (rng 201) in
+        let bu = (Measure.beta_u_exact g).Measure.value in
+        let beta = (Measure.beta_exact g).Measure.value in
+        let predicted = Bounds.lemma_3_1 ~d ~lambda2 ~alpha_u:0.5 ~beta_u:bu in
+        let holds = beta >= predicted -. 1e-9 in
+        incr total;
+        if holds then incr ok;
+        Table.add_row t
+          [
+            name;
+            Table.fi (Graph.n g);
+            Table.fi d;
+            Table.ff lambda2;
+            Table.ff bu;
+            Table.ff predicted;
+            Table.ff beta;
+            Table.fb holds;
+          ]
+      end)
+    zoo;
+  Table.print t;
+  verdict !ok !total
+
+let experiment =
+  {
+    id = "e2";
+    title = "spectral bound relating unique and ordinary expansion";
+    claim = "Lemma 3.1";
+    run;
+  }

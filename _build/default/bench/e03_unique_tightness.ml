@@ -1,0 +1,65 @@
+(* E3 — Lemma 3.2 (βu ≥ 2β − ∆ on any graph, exact) and Lemma 3.3 (the
+   bound is tight: Gbad has βu exactly 2β − ∆). *)
+
+open Bench_common
+
+let run ~quick =
+  (* Part A: Lemma 3.2 on the exact zoo. *)
+  print_endline "-- Lemma 3.2: βu >= 2β − ∆ (exact, zoo) --";
+  let zoo =
+    List.filter (fun (_, g) -> Traversal.is_connected g) (Instances.small_graphs ())
+  in
+  let zoo = if quick then List.filteri (fun i _ -> i < 4) zoo else zoo in
+  let t = Table.create [ "graph"; "β"; "Δ"; "2β−Δ"; "βu"; "holds" ] in
+  let ok = ref 0 and total = ref 0 in
+  List.iter
+    (fun (name, g) ->
+      let beta = (Measure.beta_exact g).Measure.value in
+      let bu = (Measure.beta_u_exact g).Measure.value in
+      let delta = Graph.max_degree g in
+      let predicted = Bounds.lemma_3_2 ~beta ~delta in
+      let holds = bu >= predicted -. 1e-9 in
+      incr total;
+      if holds then incr ok;
+      Table.add_row t
+        [
+          name; Table.ff beta; Table.fi delta; Table.ff predicted; Table.ff bu; Table.fb holds;
+        ])
+    zoo;
+  Table.print t;
+
+  (* Part B: Lemma 3.3 — tightness on Gbad across the (s, ∆, β) sweep. *)
+  print_endline "\n-- Lemma 3.3: on Gbad the unique expansion is exactly 2β − ∆ --";
+  let t2 = Table.create [ "s"; "Δ"; "β"; "predicted βu"; "measured βu"; "exact?" ] in
+  List.iter
+    (fun gb ->
+      let inst = Wx_constructions.Gbad.bip gb in
+      let s = Wx_constructions.Gbad.s gb in
+      let uniq =
+        Nbhd.Bip.unique_count inst (Bitset.full s)
+      in
+      let measured = float_of_int uniq /. float_of_int s in
+      let predicted = float_of_int (Wx_constructions.Gbad.predicted_beta_u gb) in
+      let exact = Float.abs (measured -. predicted) < 1e-9 in
+      incr total;
+      if exact then incr ok;
+      Table.add_row t2
+        [
+          Table.fi s;
+          Table.fi (Wx_constructions.Gbad.delta gb);
+          Table.fi (Wx_constructions.Gbad.beta gb);
+          Table.ff predicted;
+          Table.ff measured;
+          Table.fb exact;
+        ])
+    (Instances.gbad_grid ());
+  Table.print t2;
+  verdict !ok !total
+
+let experiment =
+  {
+    id = "e3";
+    title = "βu ≥ 2β − Δ, and its tightness on Gbad";
+    claim = "Lemmas 3.2 and 3.3";
+    run;
+  }

@@ -1,0 +1,71 @@
+(* E4 — the remark after Lemma 3.3: Gbad's wireless expansion is at least
+   max{2β − ∆, ∆/2} even where its unique expansion collapses, via the
+   every-second-vertex schedule; the f(l)/g(l) trade-off is tabulated. *)
+
+open Bench_common
+module Gbad = Wx_constructions.Gbad
+
+let run ~quick =
+  let t =
+    Table.create [ "s"; "Δ"; "β"; "βu=2β−Δ"; "lb max{2β−Δ,Δ/2}"; "measured βw"; "method"; "holds" ]
+  in
+  let ok = ref 0 and total = ref 0 in
+  List.iter
+    (fun gb ->
+      let inst = Gbad.bip gb in
+      let s = Gbad.s gb in
+      let predicted = Gbad.predicted_wireless_lb gb in
+      let measured, how =
+        if s <= 16 then begin
+          let m, _ = Bip_measure.exact_max_unique inst in
+          (float_of_int m /. float_of_int s, "exact")
+        end
+        else begin
+          let w1 = Nbhd.Bip.unique_count inst (Gbad.every_second gb) in
+          let w2 = Nbhd.Bip.unique_count inst (Bitset.full s) in
+          (float_of_int (max w1 w2) /. float_of_int s, "witness")
+        end
+      in
+      let slack =
+        if s mod 2 = 0 then 1e-9 else float_of_int (Gbad.delta gb) /. float_of_int s
+      in
+      let holds = measured >= predicted -. slack in
+      incr total;
+      if holds then incr ok;
+      Table.add_row t
+        [
+          Table.fi s;
+          Table.fi (Gbad.delta gb);
+          Table.fi (Gbad.beta gb);
+          Table.fi (Gbad.predicted_beta_u gb);
+          Table.ff predicted;
+          Table.ff measured;
+          how;
+          Table.fb holds;
+        ])
+    (Instances.gbad_grid ());
+  Table.print t;
+
+  if not quick then begin
+    print_endline "\n-- the remark's f(l) (all transmit) vs g(l) (every second) trade-off --";
+    let gb = Gbad.create ~s:40 ~delta:10 ~beta:7 in
+    let t2 = Table.create [ "run length l"; "f(l)"; "g(l)"; "max" ] in
+    List.iter
+      (fun l ->
+        let f = Gbad.remark_f gb l and g = Gbad.remark_g gb l in
+        Table.add_row t2 [ Table.fi l; Table.ff f; Table.ff g; Table.ff (Float.max f g) ])
+      [ 1; 2; 3; 4; 6; 10; 20; 40 ];
+    Table.print t2;
+    Printf.printf "  limits: f(∞) = 2β−Δ = %d, g(∞) = Δ/2 = %.1f → βw ≥ max of the two.\n"
+      (Gbad.predicted_beta_u gb)
+      (float_of_int (Gbad.delta gb) /. 2.0)
+  end;
+  verdict !ok !total
+
+let experiment =
+  {
+    id = "e4";
+    title = "wireless expansion of Gbad stays ≥ max{2β−Δ, Δ/2}";
+    claim = "Remark after Lemma 3.3";
+    run;
+  }

@@ -1,0 +1,81 @@
+(* E10 — Appendix A's ladder of deterministic guarantees, each procedure
+   against its own bound:
+
+     naive        ≥ γ/∆S            (Lemma A.1)
+     capped       ≥ γ/(8δ)          (Lemma A.3)
+     buckets      ≥ γ/(2(1+c)·⌈log_c ∆⌉)   (Corollaries A.6/A.7)
+     recursive    ≥ γ/(9·log 2δ)    (Lemma A.13)
+     best-of-all  ≥ γ·MG(δ)         (Corollary A.16)
+*)
+
+open Bench_common
+
+let run ~quick =
+  let insts = Instances.bipartite_instances () @ Instances.bipartite_small () in
+  let insts = if quick then List.filteri (fun i _ -> i < 5) insts else insts in
+  let t =
+    Table.create
+      [
+        "instance"; "δN"; "naive"; "≥γ/ΔS"; "capped"; "≥γ/8δ"; "bucket"; "≥A.6"; "recur";
+        "≥γ/9log2δ"; "MG·γ"; "all hold";
+      ]
+  in
+  let ok = ref 0 and total = ref 0 in
+  List.iter
+    (fun (name, inst) ->
+      if not (Bipartite.has_isolated inst) then begin
+        let gamma = float_of_int (Bipartite.n_count inst) in
+        let delta_n = Bipartite.delta_n inst in
+        let naive = Wx_spokesmen.Naive.solve inst in
+        let capped = Wx_spokesmen.Partition.solve_degree_capped inst in
+        let buckets = Wx_spokesmen.Buckets.solve_all_classes inst in
+        let recur = Wx_spokesmen.Partition.solve_recursive inst in
+        let b_naive = gamma /. float_of_int (max 1 (Bipartite.max_deg_s inst)) in
+        let b_capped = gamma *. Bounds.partition_fraction ~delta_n in
+        let b_bucket =
+          let c = Bounds.c_star in
+          let classes =
+            Float.ceil (log (float_of_int (max 2 (Bipartite.max_deg_n inst))) /. log c)
+          in
+          gamma /. (2.0 *. (1.0 +. c) *. Float.max 1.0 classes)
+        in
+        let b_recur = gamma *. Bounds.near_optimal_fraction ~delta_n in
+        let b_mg = gamma *. Bounds.mg delta_n in
+        let f r = float_of_int r.Solver.covered in
+        let best = List.fold_left Float.max 0.0 [ f naive; f capped; f buckets; f recur ] in
+        let holds =
+          f naive >= b_naive -. 1e-9
+          && f capped >= b_capped -. 1e-9
+          && f buckets >= b_bucket -. 1e-9
+          && f recur >= b_recur -. 1e-9
+          && best >= b_mg -. 1e-9
+        in
+        incr total;
+        if holds then incr ok;
+        Table.add_row t
+          [
+            name;
+            Table.ff ~dec:1 delta_n;
+            Table.fi naive.Solver.covered;
+            Table.ff ~dec:1 b_naive;
+            Table.fi capped.Solver.covered;
+            Table.ff ~dec:1 b_capped;
+            Table.fi buckets.Solver.covered;
+            Table.ff ~dec:1 b_bucket;
+            Table.fi recur.Solver.covered;
+            Table.ff ~dec:1 b_recur;
+            Table.ff ~dec:1 b_mg;
+            Table.fb holds;
+          ]
+      end)
+    insts;
+  Table.print t;
+  verdict !ok !total
+
+let experiment =
+  {
+    id = "e10";
+    title = "Appendix A: the deterministic guarantee ladder";
+    claim = "Lemmas A.1, A.3, A.13; Corollaries A.6-A.7, A.16";
+    run;
+  }

@@ -1,0 +1,83 @@
+(* Experiment harness for the Wireless Expanders reproduction.
+
+   dune exec bench/main.exe                 # all experiments + ablations + micro
+   dune exec bench/main.exe -- -e e5        # one experiment
+   dune exec bench/main.exe -- --quick      # shrunken parameter grids
+   dune exec bench/main.exe -- --list       # what exists
+
+   Every experiment prints one or more predicted-vs-measured tables; the
+   mapping from experiment id to paper claim is in DESIGN.md §5, and the
+   recorded outcomes live in EXPERIMENTS.md. *)
+
+open Bench_common
+
+let experiments : experiment list =
+  [
+    E01_relations.experiment;
+    E02_spectral.experiment;
+    E03_unique_tightness.experiment;
+    E04_gbad_wireless.experiment;
+    E05_core_graph.experiment;
+    E06_gen_core.experiment;
+    E07_positive.experiment;
+    E08_worst_case.experiment;
+    E09_spokesmen.experiment;
+    E10_appendix_ladder.experiment;
+    E11_broadcast.experiment;
+    E12_arboricity.experiment;
+    Ablations.experiment;
+  ]
+
+let run_one ~quick e =
+  section e;
+  let t0 = Sys.time () in
+  e.run ~quick;
+  Printf.printf "  [%s finished in %.1fs]\n" e.id (Sys.time () -. t0)
+
+let list_experiments () =
+  List.iter (fun e -> Printf.printf "%-9s %-55s %s\n" e.id e.title e.claim) experiments
+
+let main experiment_id quick listing skip_micro =
+  Printf.printf "wireless-expanders experiment harness (seed %d)\n" seed;
+  if listing then (list_experiments (); 0)
+  else begin
+    match experiment_id with
+    | Some id -> begin
+        match List.find_opt (fun e -> e.id = id) experiments with
+        | Some e ->
+            run_one ~quick e;
+            0
+        | None ->
+            Printf.eprintf "unknown experiment %S; try --list\n" id;
+            1
+      end
+    | None ->
+        List.iter (run_one ~quick) experiments;
+        if not skip_micro then Micro.run ();
+        0
+  end
+
+open Cmdliner
+
+let experiment_arg =
+  let doc = "Run a single experiment (e1..e12 or 'ablation'); default: all." in
+  Arg.(value & opt (some string) None & info [ "e"; "experiment" ] ~docv:"ID" ~doc)
+
+let quick_arg =
+  let doc = "Shrink parameter grids for a fast smoke run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let list_arg =
+  let doc = "List experiments and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let skip_micro_arg =
+  let doc = "Skip the bechamel micro-benchmark section." in
+  Arg.(value & flag & info [ "skip-micro" ] ~doc)
+
+let cmd =
+  let doc = "Reproduce every quantitative claim of 'Wireless Expanders' (SPAA 2018)" in
+  let info = Cmd.info "wireless-expanders-bench" ~doc in
+  Cmd.v info Term.(const main $ experiment_arg $ quick_arg $ list_arg $ skip_micro_arg)
+
+let () = exit (Cmd.eval' cmd)

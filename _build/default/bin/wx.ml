@@ -1,0 +1,304 @@
+(* wx — command-line front end to the wireless-expanders library.
+
+   Subcommands:
+     wx info      <family> <size>              graph statistics
+     wx expansion <family> <size> [--alpha a]  β / βw / βu (exact or witness)
+     wx spokesmen <family> <size> [--solver s] spokesmen election on a frontier
+     wx broadcast <family> <size> [--protocol p] [--seeds k]
+     wx core      <s>                          core-graph property report
+     wx arboricity <family> <size>             exact (flow) vs bounds
+
+   Families are the names from Constructions.Families (cycle, grid, torus,
+   hypercube, random-4-regular, margulis, ...), plus "cplus" and "chain". *)
+
+open Wireless_expanders.Api
+module T = Util.Table
+
+let base_seed = Wireless_expanders.Instances.seed
+
+let make_graph family size seed =
+  match family with
+  | "cplus" -> Constructions.Cplus.create (max 3 size)
+  | "chain" ->
+      let ch =
+        Constructions.Broadcast_chain.create (Util.Rng.create seed) ~copies:(max 1 (size / 64))
+          ~s:16
+      in
+      ch.Constructions.Broadcast_chain.graph
+  | name ->
+      let f = Constructions.Families.find name in
+      f.Constructions.Families.make (Util.Rng.create seed) size
+
+let family_conv =
+  let parse s =
+    match make_graph s 8 0 with
+    | _ -> Ok s
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown family %S; available: %s, cplus, chain" s
+               (String.concat ", "
+                  (List.map
+                     (fun f -> f.Constructions.Families.name)
+                     Constructions.Families.all))))
+    | exception Invalid_argument _ -> Ok s
+  in
+  Cmdliner.Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt s)
+
+(* ---- info ---- *)
+
+let cmd_info family size seed =
+  let g = make_graph family size seed in
+  Printf.printf "family: %s (requested size %d, seed %d)\n" family size seed;
+  Printf.printf "n = %d, m = %d\n" (Graph.n g) (Graph.m g);
+  Printf.printf "degrees: min %d, max %d, avg %.2f%s\n" (Graph.min_degree g)
+    (Graph.max_degree g) (Graph.avg_degree g)
+    (match Graph.is_regular g with Some d -> Printf.sprintf " (regular, d = %d)" d | None -> "");
+  Printf.printf "connected: %b; bipartite: %b\n" (Traversal.is_connected g)
+    (Traversal.is_bipartite g);
+  if Graph.n g <= 400 && Traversal.is_connected g then
+    Printf.printf "diameter: %d\n" (Traversal.diameter g);
+  Printf.printf "degeneracy: %d; arboricity (exact, flow): %d\n" (Arboricity.degeneracy g)
+    (Densest.arboricity_exact g);
+  0
+
+(* ---- expansion ---- *)
+
+let cmd_expansion family size seed alpha =
+  let g = make_graph family size seed in
+  Printf.printf "%s (n = %d, α = %.2f)\n" family (Graph.n g) alpha;
+  let exact_possible = Graph.n g <= 14 in
+  if exact_possible then begin
+    let b = Expansion.Measure.beta_exact ~alpha g in
+    let bw = Expansion.Measure.beta_w_exact ~alpha g in
+    let bu = Expansion.Measure.beta_u_exact ~alpha g in
+    Printf.printf "β  = %.4f (exact)  witness %s\n" b.Expansion.Measure.value
+      (Util.Bitset.to_string b.Expansion.Measure.witness);
+    Printf.printf "βw = %.4f (exact)\n" bw.Expansion.Measure.value;
+    Printf.printf "βu = %.4f (exact)  witness %s\n" bu.Expansion.Measure.value
+      (Util.Bitset.to_string bu.Expansion.Measure.witness)
+  end
+  else begin
+    let r = Util.Rng.create (seed + 1) in
+    let b = Expansion.Measure.beta_sampled ~alpha r ~samples:2000 g in
+    let bu = Expansion.Measure.beta_u_sampled ~alpha r ~samples:2000 g in
+    Printf.printf "β  <= %.4f (witness certificate, 2000 samples)\n" b.Expansion.Measure.value;
+    Printf.printf "βu <= %.4f (witness certificate)\n" bu.Expansion.Measure.value;
+    match Expansion.Measure.beta_w_sampled ~alpha r ~samples:300 g with
+    | bw -> Printf.printf "βw <= %.4f (witness certificate)\n" bw.Expansion.Measure.value
+    | exception _ -> print_endline "βw: sets too large for the inner exact maximization"
+  end;
+  0
+
+(* ---- spokesmen ---- *)
+
+let cmd_spokesmen family size seed solver =
+  let g = make_graph family size seed in
+  let r = Util.Rng.create (seed + 2) in
+  let k = max 1 (Graph.n g / 4) in
+  let s = Util.Bitset.random_of_universe r (Graph.n g) k in
+  let inst, _, _ = Bipartite.of_set_neighborhood g s in
+  Format.printf "frontier instance from %s: %a@." family Bipartite.pp inst;
+  let results =
+    match solver with
+    | "all" -> Spokesmen.Portfolio.solve_each ~reps:48 r inst
+    | name -> (
+        match List.assoc_opt name Spokesmen.Portfolio.solvers with
+        | Some f -> [ (name, f r inst) ]
+        | None ->
+            Printf.eprintf "unknown solver %S; use --solver all to list results of all\n" name;
+            exit 1)
+  in
+  let t = T.create [ "solver"; "covered"; "of |N|" ] in
+  List.iter
+    (fun (name, res) ->
+      T.add_row t
+        [
+          name;
+          T.fi res.Spokesmen.Solver.covered;
+          Printf.sprintf "%.1f%%"
+            (100.0
+            *. float_of_int res.Spokesmen.Solver.covered
+            /. float_of_int (max 1 (Bipartite.n_count inst)));
+        ])
+    results;
+  T.print t;
+  (match Spokesmen.Bb.solve ~node_limit:2_000_000 inst with
+  | r, Spokesmen.Bb.Proved_optimal ->
+      Printf.printf "optimum (branch-and-bound): %d\n" r.Spokesmen.Solver.covered
+  | r, Spokesmen.Bb.Budget_exhausted ->
+      Printf.printf "best proven-so-far (budget hit): %d\n" r.Spokesmen.Solver.covered);
+  0
+
+(* ---- broadcast ---- *)
+
+let protocol_of_name = function
+  | "flood" -> Radio.Flood.protocol
+  | "decay" -> Radio.Decay_protocol.protocol
+  | "spokesmen" -> Radio.Spokesmen_cast.protocol
+  | s when String.length s > 8 && String.sub s 0 8 = "uniform-" ->
+      Radio.Uniform.protocol (float_of_string (String.sub s 8 (String.length s - 8)))
+  | s ->
+      Printf.eprintf "unknown protocol %S (flood | decay | spokesmen | uniform-<p>)\n" s;
+      exit 1
+
+let cmd_broadcast family size seed protocol seeds =
+  let g = make_graph family size seed in
+  let p = protocol_of_name protocol in
+  Printf.printf "broadcast on %s (n = %d) with %s, %d seeds\n" family (Graph.n g)
+    p.Radio.Protocol.name seeds;
+  let seed_list = List.init seeds (fun i -> seed + 100 + i) in
+  let _, outs = Radio.Sim.monte_carlo ~max_rounds:100_000 g ~source:0 p ~seeds:seed_list in
+  let rounds = Util.Stats.of_ints (Array.of_list (List.map (fun o -> o.Radio.Sim.rounds) outs)) in
+  let completed = List.length (List.filter (fun o -> o.Radio.Sim.completed) outs) in
+  Printf.printf "completed: %d/%d\n" completed seeds;
+  if completed > 0 then
+    Format.printf "rounds: %a@." Util.Stats.pp_summary (Util.Stats.summarize rounds);
+  0
+
+(* ---- core ---- *)
+
+let cmd_core s =
+  if not (Util.Floatx.is_pow2 s) then begin
+    Printf.eprintf "s must be a power of two\n";
+    1
+  end
+  else begin
+    let cg = Constructions.Core_graph.create s in
+    let inst = Constructions.Core_graph.bip cg in
+    Format.printf "core graph: %a@." Bipartite.pp inst;
+    let log2s = Util.Floatx.log2 (2.0 *. float_of_int s) in
+    let mins = Constructions.Core_graph.dp_min_coverage cg in
+    let worst = ref infinity in
+    for k = 1 to s do
+      worst := Float.min !worst (float_of_int mins.(k) /. float_of_int k)
+    done;
+    Printf.printf "ordinary expansion (exact): %.3f  [Lemma 4.4 promises >= %.3f]\n" !worst log2s;
+    let cap = Constructions.Core_graph.dp_max_unique cg in
+    Printf.printf "max unique coverage (exact): %d  [Lemma 4.4 caps at %d]\n" cap (2 * s);
+    Printf.printf "wireless/ordinary ratio: %.3f  [paper: 2/log 2s = %.3f]\n"
+      (float_of_int cap /. float_of_int s /. !worst)
+      (2.0 /. log2s);
+    0
+  end
+
+(* ---- schedule ---- *)
+
+let cmd_schedule family size seed =
+  let g = make_graph family size seed in
+  let r = Util.Rng.create (seed + 3) in
+  Printf.printf "synthesizing offline broadcast schedule on %s (n = %d)...\n" family (Graph.n g);
+  (match Radio.Schedule.synthesize r g ~source:0 with
+  | sch ->
+      let ok, informed = Radio.Schedule.replay g sch in
+      Printf.printf "rounds: %d (BFS lower bound %d)\n" (Radio.Schedule.length sch)
+        (Radio.Schedule.lower_bound_rounds g ~source:0);
+      Printf.printf "replay: %s (%d/%d informed)\n"
+        (if ok then "complete" else "INCOMPLETE")
+        informed (Graph.n g);
+      Array.iteri
+        (fun i tx ->
+          if i < 10 then
+            Printf.printf "  round %2d: %d transmitters\n" (i + 1) (Util.Bitset.cardinal tx))
+        sch.Radio.Schedule.rounds;
+      if Radio.Schedule.length sch > 10 then print_endline "  ..."
+  | exception Failure msg -> Printf.printf "failed: %s\n" msg);
+  0
+
+(* ---- arboricity ---- *)
+
+let cmd_arboricity family size seed =
+  let g = make_graph family size seed in
+  Printf.printf "%s: n = %d, m = %d\n" family (Graph.n g) (Graph.m g);
+  let num, den, u = Densest.max_density g in
+  Printf.printf "max density |E(U)|/(|U|−1) = %d/%d = %.3f at |U| = %d\n" num den
+    (float_of_int num /. float_of_int den)
+    (Util.Bitset.cardinal u);
+  Printf.printf "exact arboricity: %d\n" (Densest.arboricity_exact g);
+  Printf.printf "peeling lower bound: %d, degeneracy upper-ish bound: %d\n"
+    (Arboricity.lower_bound_peeling g) (Arboricity.degeneracy g);
+  0
+
+(* ---- dot ---- *)
+
+let cmd_dot family size seed =
+  let g = make_graph family size seed in
+  print_string (Graph_io.to_dot g);
+  0
+
+(* ---- verify-paper ---- *)
+
+let cmd_verify_paper quick seed =
+  let rng = Util.Rng.create seed in
+  Printf.printf "verifying every claim of the paper on the curated instances (seed %d%s)...\n"
+    seed (if quick then ", quick" else "");
+  let checks = Wireless_expanders.Theorems.run_all ~quick rng in
+  let failures =
+    List.filter (fun c -> not c.Wireless_expanders.Theorems.holds) checks
+  in
+  List.iter
+    (fun c -> Format.printf "  %a@." Wireless_expanders.Theorems.pp_check c)
+    failures;
+  Printf.printf "%d/%d claims hold\n" (List.length checks - List.length failures)
+    (List.length checks);
+  if failures = [] then 0 else 1
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let family_arg = Arg.(required & pos 0 (some family_conv) None & info [] ~docv:"FAMILY")
+let size_arg = Arg.(value & pos 1 int 64 & info [] ~docv:"SIZE")
+let seed_arg = Arg.(value & opt int base_seed & info [ "seed" ] ~docv:"SEED")
+let alpha_arg = Arg.(value & opt float 0.5 & info [ "alpha" ] ~docv:"ALPHA")
+let solver_arg = Arg.(value & opt string "all" & info [ "solver" ] ~docv:"SOLVER")
+let protocol_arg = Arg.(value & opt string "decay" & info [ "protocol" ] ~docv:"PROTOCOL")
+let seeds_arg = Arg.(value & opt int 10 & info [ "seeds" ] ~docv:"K")
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"Graph statistics for a generated instance")
+    Term.(const cmd_info $ family_arg $ size_arg $ seed_arg)
+
+let expansion_cmd =
+  Cmd.v (Cmd.info "expansion" ~doc:"Compute β, βw, βu (exact or witness certificates)")
+    Term.(const cmd_expansion $ family_arg $ size_arg $ seed_arg $ alpha_arg)
+
+let spokesmen_cmd =
+  Cmd.v (Cmd.info "spokesmen" ~doc:"Run spokesmen-election solvers on a random frontier")
+    Term.(const cmd_spokesmen $ family_arg $ size_arg $ seed_arg $ solver_arg)
+
+let broadcast_cmd =
+  Cmd.v (Cmd.info "broadcast" ~doc:"Simulate radio broadcast (Monte-Carlo)")
+    Term.(const cmd_broadcast $ family_arg $ size_arg $ seed_arg $ protocol_arg $ seeds_arg)
+
+let core_cmd =
+  Cmd.v (Cmd.info "core" ~doc:"Core-graph property report (Lemma 4.4)")
+    Term.(const cmd_core $ Arg.(value & pos 0 int 64 & info [] ~docv:"S"))
+
+let dot_cmd =
+  Cmd.v (Cmd.info "dot" ~doc:"Emit the generated graph as Graphviz DOT on stdout")
+    Term.(const cmd_dot $ family_arg $ size_arg $ seed_arg)
+
+let verify_paper_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ]) in
+  Cmd.v
+    (Cmd.info "verify-paper" ~doc:"Re-check every quantitative claim of the paper; exit 1 on any violation")
+    Term.(const cmd_verify_paper $ quick $ seed_arg)
+
+let schedule_cmd =
+  Cmd.v (Cmd.info "schedule" ~doc:"Synthesize and certify an offline broadcast schedule")
+    Term.(const cmd_schedule $ family_arg $ size_arg $ seed_arg)
+
+let arboricity_cmd =
+  Cmd.v (Cmd.info "arboricity" ~doc:"Exact arboricity via parametric flow")
+    Term.(const cmd_arboricity $ family_arg $ size_arg $ seed_arg)
+
+let () =
+  let doc = "wireless-expanders command-line tool" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "wx" ~doc)
+          [
+            info_cmd; expansion_cmd; spokesmen_cmd; broadcast_cmd; core_cmd; arboricity_cmd;
+            schedule_cmd; verify_paper_cmd; dot_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/low_arboricity.ml: Arboricity Expansion Gen Graph List Util Wireless_expanders

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bipartite Constructions Expansion Float Format Graph Spokesmen Util Wireless_expanders

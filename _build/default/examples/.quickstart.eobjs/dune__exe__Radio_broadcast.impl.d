@@ -1,0 +1,1 @@
+examples/radio_broadcast.ml: Array Constructions Format Gen Graph List Printf Radio Util Wireless_expanders

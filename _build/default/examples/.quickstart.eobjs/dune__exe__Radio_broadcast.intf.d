@@ -1,0 +1,1 @@
+examples/radio_broadcast.mli:

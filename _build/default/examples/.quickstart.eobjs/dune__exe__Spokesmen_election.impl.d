@@ -1,0 +1,1 @@
+examples/spokesmen_election.ml: Bipartite Constructions Expansion Format Gen List Spokesmen Util Wireless_expanders

@@ -1,0 +1,1 @@
+examples/spokesmen_election.mli:

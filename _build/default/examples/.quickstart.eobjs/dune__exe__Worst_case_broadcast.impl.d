@@ -1,0 +1,1 @@
+examples/worst_case_broadcast.ml: Array Constructions Expansion Format Gen Graph List Radio Util Wireless_expanders

@@ -1,0 +1,55 @@
+(* The low-arboricity corollary (§1.2): on graphs of bounded arboricity —
+   planar graphs, grids, trees — the wireless expansion matches the
+   ordinary expansion up to a constant, because the Theorem 1.1 deviation
+   factor log(2·min{∆/β, ∆·β}) is bounded by the (constant) arboricity.
+
+   This example measures, for each family, exact β and βw on instances
+   small enough for exact computation, and prints the ratio β/βw next to
+   the arboricity. Low-arboricity families show O(1) ratios; the clique
+   control shows the ratio growing.
+
+   Run with:  dune exec examples/low_arboricity.exe *)
+
+open Wireless_expanders.Api
+
+let () =
+  print_endline "=== Low-arboricity graphs: βw ≈ β ===\n";
+  let t =
+    Util.Table.create
+      [ "graph"; "n"; "arboricity"; "β"; "βw"; "β/βw"; "thm 1.1 factor" ]
+  in
+  let instances =
+    [
+      ("path-12", Gen.path 12);
+      ("cycle-12", Gen.cycle 12);
+      ("grid-3x4", Gen.grid 3 4);
+      ("tree-depth3", Gen.binary_tree 3);
+      ("torus-3x4", Gen.torus 3 4);
+      ("clique-12 (control)", Gen.complete 12);
+      ("K6,6 (control)", Gen.complete_bipartite 6 6);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let beta = (Expansion.Measure.beta_exact g).Expansion.Measure.value in
+      let beta_w = (Expansion.Measure.beta_w_exact g).Expansion.Measure.value in
+      let arb = Arboricity.exact g in
+      let delta = Graph.max_degree g in
+      let factor = Expansion.Bounds.theorem_1_1_denominator ~beta ~delta in
+      Util.Table.add_row t
+        [
+          name;
+          Util.Table.fi (Graph.n g);
+          Util.Table.fi arb;
+          Util.Table.ff beta;
+          Util.Table.ff beta_w;
+          Util.Table.fr beta beta_w;
+          Util.Table.ff ~dec:2 factor;
+        ])
+    instances;
+  Util.Table.print t;
+  print_newline ();
+  print_endline
+    "Reading: on the low-arboricity families the theorem's deviation factor —\n\
+     log(2·min{∆/β, ∆·β}), bounded by the arboricity — stays O(1), so βw tracks β.\n\
+     On the dense controls the factor (and the β/βw gap it permits) grows."

@@ -1,0 +1,1 @@
+lib/constructions/broadcast_chain.ml: Array Core_graph Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/constructions/broadcast_chain.mli: Wx_graph Wx_util

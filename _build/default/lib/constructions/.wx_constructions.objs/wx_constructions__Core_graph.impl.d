@@ -1,0 +1,1 @@
+lib/constructions/core_graph.ml: Array List Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/constructions/core_graph.mli: Wx_graph Wx_util

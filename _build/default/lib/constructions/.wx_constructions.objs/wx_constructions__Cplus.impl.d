@@ -1,0 +1,1 @@
+lib/constructions/cplus.ml: Wx_graph Wx_util

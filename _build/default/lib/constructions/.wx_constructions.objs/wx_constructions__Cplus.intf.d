@@ -1,0 +1,1 @@
+lib/constructions/cplus.mli: Wx_graph Wx_util

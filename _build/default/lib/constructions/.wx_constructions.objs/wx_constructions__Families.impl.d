@@ -1,0 +1,1 @@
+lib/constructions/families.ml: Float List Wx_graph Wx_util

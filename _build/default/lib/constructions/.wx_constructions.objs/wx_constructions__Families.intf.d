@@ -1,0 +1,1 @@
+lib/constructions/families.mli: Wx_graph Wx_util

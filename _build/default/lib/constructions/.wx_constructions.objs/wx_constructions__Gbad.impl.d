@@ -1,0 +1,1 @@
+lib/constructions/gbad.ml: Float Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/constructions/gbad.mli: Wx_graph Wx_util

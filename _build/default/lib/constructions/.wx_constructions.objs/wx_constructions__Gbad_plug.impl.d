@@ -1,0 +1,1 @@
+lib/constructions/gbad_plug.ml: Array Gbad Wx_expansion Wx_graph Wx_util

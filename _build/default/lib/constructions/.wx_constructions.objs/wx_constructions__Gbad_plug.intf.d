@@ -1,0 +1,1 @@
+lib/constructions/gbad_plug.mli: Gbad Wx_graph Wx_util

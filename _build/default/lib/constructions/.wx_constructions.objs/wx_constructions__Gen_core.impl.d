@@ -1,0 +1,1 @@
+lib/constructions/gen_core.ml: Core_graph Float Wx_graph Wx_util

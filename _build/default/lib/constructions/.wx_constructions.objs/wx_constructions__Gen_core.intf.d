@@ -1,0 +1,1 @@
+lib/constructions/gen_core.mli: Core_graph Wx_graph

@@ -1,0 +1,1 @@
+lib/constructions/worst_case.ml: Array Float Gen_core Wx_graph Wx_util

@@ -1,0 +1,39 @@
+(** The Section-5 lower-bound instance: D/2 chained core graphs.
+
+    Copy [i] of the core graph contributes sides [Sⁱ] and [Nⁱ]; the root
+    [rt₀] is adjacent to all of [S¹], and a uniformly sampled relay
+    [rtᵢ ∈ Nⁱ] is adjacent to all of [Sⁱ⁺¹]. Any broadcast must traverse
+    the relays in order (Observation 5.2), and by Corollary 5.1 each hop
+    costs Ω(log 2s) rounds in expectation — hence Ω(D·log(n/D)) overall. *)
+
+type t = {
+  graph : Wx_graph.Graph.t;
+  root : int;  (** rt₀ *)
+  relays : int array;  (** rt₁ … rt_{D/2}, as graph vertices *)
+  copies : int;  (** D/2 *)
+  s : int;  (** core parameter *)
+  s_vertices : int array array;  (** per copy, the Sⁱ vertices *)
+  n_vertices : int array array;  (** per copy, the Nⁱ vertices *)
+}
+
+val create : Wx_util.Rng.t -> copies:int -> s:int -> t
+(** [s] must be a power of two; [copies ≥ 1]. The relay of the last copy is
+    still sampled (it is the broadcast target). *)
+
+val diameter_estimate : t -> int
+(** The designed diameter: each copy adds 2 hops (root→S is one, S→relay
+    another), so ≈ 2·copies + 1. The true diameter is computable with
+    {!Wx_graph.Traversal.diameter}; tests compare the two. *)
+
+val total_vertices : t -> int
+
+val paper_round_lb : t -> float
+(** The per-instance form of the Ω(D log(n/D)) bound with explicit
+    constants from Corollary 5.1: [copies · log₂(2s)/4]. *)
+
+val create_random : Wx_util.Rng.t -> copies:int -> s:int -> t
+(** Control instance for the "deterministic counterpart of Alon et al."
+    comparison: identical layout (same side sizes, same S-degrees
+    [2s − 1]) but each copy is a {e random} bipartite layer instead of the
+    explicit core graph. E11's ablation compares broadcast hardness of
+    the explicit vs the random construction. *)

@@ -1,0 +1,65 @@
+(** Lemma 4.4's core graph — the paper's technical highlight.
+
+    For [s] a power of two, build a perfect binary tree [T_S] with [s]
+    leaves. Each tree node [v] at depth [i] owns a block [N_v] of [s/2^i]
+    fresh N-vertices; leaf [z] (an S-vertex) is adjacent to every vertex of
+    every block on its root path. The resulting bipartite graph
+    [G_S = (S, N, E_S)] satisfies (Lemma 4.4):
+
+    + [|S| = s], [|N| = s·log₂(2s)];
+    + every S-degree is [2s − 1];
+    + [∆_N = s] and [δ_N ≤ 2s/log₂(2s)];
+    + ordinary expansion ≥ [log₂(2s)]: [|Γ(S′)| ≥ log₂(2s)·|S′|] ∀ S′;
+    + wireless cap: [|Γ¹_S(S′)| ≤ 2s] ∀ S′.
+
+    Because coverage decomposes over tree blocks, both extremal quantities
+    are computable {e exactly} in polynomial time by tree DP — so the
+    lemma's properties (4) and (5) are verified exactly even for [s] in the
+    hundreds, where subset enumeration is hopeless:
+
+    - {!dp_max_unique} maximizes [|Γ¹_S(S′)|] over all [2^s] subsets;
+    - {!dp_min_coverage} minimizes [|Γ(S′)|] for each [|S′| = k]. *)
+
+type t
+
+val create : int -> t
+(** [create s]; [s] must be a power of two, [1 ≤ s ≤ 4096]. *)
+
+val s : t -> int
+val n_size : t -> int
+(** [s·log₂(2s)]. *)
+
+val bip : t -> Wx_graph.Bipartite.t
+
+val levels : t -> int
+(** [log₂ s] — depth of the leaf level. *)
+
+val node_count : t -> int
+(** [2s − 1] tree nodes, heap-indexed [1..2s−1] (root 1). *)
+
+val block_offset : t -> int -> int
+(** N-index where node [v]'s block starts. *)
+
+val block_size : t -> int -> int
+(** [s / 2^depth(v)]. *)
+
+val node_of_leaf : t -> int -> int
+(** Tree node of S-vertex [j] (leaf [s + j]). *)
+
+val ancestors : t -> int -> int list
+(** Root path of an S-vertex's leaf node, leaf first. *)
+
+val dp_max_unique : t -> int
+(** Exact [max_{S′ ⊆ S} |Γ¹_S(S′)|], by count-class DP over the tree. *)
+
+val dp_max_unique_witness : t -> Wx_util.Bitset.t
+(** A maximizing subset (reconstructed from the DP). *)
+
+val dp_min_coverage : t -> int array
+(** Entry [k] is the exact minimum of [|Γ(S′)|] over [|S′| = k], for [k = 0..s]
+    (knapsack-style tree DP). Lemma 4.4(4) asserts entry [k] ≥
+    [log₂(2s)·k]. *)
+
+val unique_coverage_of : t -> Wx_util.Bitset.t -> int
+(** [|Γ¹_S(S′)|] for a concrete S-subset, via the tree decomposition
+    (cross-checked in tests against the generic bitset computation). *)

@@ -1,0 +1,19 @@
+module Graph = Wx_graph.Graph
+module Bitset = Wx_util.Bitset
+
+let create c =
+  if c < 3 then invalid_arg "Cplus.create: clique size must be >= 3";
+  let es = ref [] in
+  for u = 0 to c - 1 do
+    for v = u + 1 to c - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  es := (c, 0) :: (c, 1) :: !es;
+  Graph.of_edges (c + 1) !es
+
+let source g = Graph.n g - 1
+
+let bad_set g =
+  let s0 = source g in
+  Bitset.of_list (Graph.n g) [ 0; 1; s0 ]

@@ -1,0 +1,19 @@
+(** The motivating example C⁺ (Section 1.1): a complete graph [C] on [c]
+    vertices plus a source [s0] adjacent to two of them.
+
+    C⁺ is a good ordinary expander but a terrible unique expander: after
+    the first broadcast round, if all three informed vertices transmit,
+    every vertex of C hears a collision. Its wireless expansion is fine —
+    the singleton {s0} or {x} uniquely covers plenty — which is the whole
+    point of the relaxed definition. *)
+
+val create : int -> Wx_graph.Graph.t
+(** [create c] with [c ≥ 3]: vertices [0..c-1] form the clique; the source
+    is vertex [c], adjacent to vertices 0 and 1. *)
+
+val source : Wx_graph.Graph.t -> int
+(** Index of s0 (always [n − 1]). *)
+
+val bad_set : Wx_graph.Graph.t -> Wx_util.Bitset.t
+(** The set {x, y, s0} from the paper's discussion — the witness that
+    unique-neighbor expansion is poor. *)

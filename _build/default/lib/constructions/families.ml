@@ -1,0 +1,97 @@
+module Gen = Wx_graph.Gen
+module Floatx = Wx_util.Floatx
+
+type family = {
+  name : string;
+  low_arboricity : bool;
+  make : Wx_util.Rng.t -> int -> Wx_graph.Graph.t;
+}
+
+let isqrt n =
+  let r = int_of_float (Float.sqrt (float_of_int n)) in
+  let r = if (r + 1) * (r + 1) <= n then r + 1 else r in
+  max 1 r
+
+let even_at_least k n = max k (if n mod 2 = 0 then n else n + 1)
+
+let all =
+  [
+    { name = "cycle"; low_arboricity = true; make = (fun _ n -> Gen.cycle (max 3 n)) };
+    { name = "path"; low_arboricity = true; make = (fun _ n -> Gen.path (max 2 n)) };
+    {
+      name = "grid";
+      low_arboricity = true;
+      make =
+        (fun _ n ->
+          let w = isqrt n in
+          Gen.grid (max 2 w) (max 2 (n / max 1 w)));
+    };
+    {
+      name = "torus";
+      low_arboricity = true;
+      make =
+        (fun _ n ->
+          let w = max 3 (isqrt n) in
+          Gen.torus w (max 3 (n / w)));
+    };
+    {
+      name = "binary-tree";
+      low_arboricity = true;
+      make = (fun _ n -> Gen.binary_tree (max 1 (Floatx.log2i_floor (max 2 (n / 2)))));
+    };
+    {
+      name = "hypercube";
+      low_arboricity = false;
+      make = (fun _ n -> Gen.hypercube (max 2 (Floatx.log2i_floor (max 4 n))));
+    };
+    {
+      name = "complete-bipartite";
+      low_arboricity = false;
+      make = (fun _ n -> Gen.complete_bipartite (max 2 (n / 2)) (max 2 (n / 2)));
+    };
+    {
+      name = "random-3-regular";
+      low_arboricity = false;
+      make = (fun rng n -> Gen.random_regular rng (even_at_least 4 n) 3);
+    };
+    {
+      name = "random-4-regular";
+      low_arboricity = false;
+      make = (fun rng n -> Gen.random_regular rng (max 5 n) 4);
+    };
+    {
+      name = "random-6-regular";
+      low_arboricity = false;
+      make = (fun rng n -> Gen.random_regular rng (max 7 n) 6);
+    };
+    {
+      name = "margulis";
+      low_arboricity = false;
+      make = (fun _ n -> Gen.margulis (max 2 (isqrt n)));
+    };
+    {
+      (* Low arboricity (≤ m+1 by construction) with a heavy-tailed degree
+         distribution — the regime where the paper's average-degree bounds
+         beat max-degree bounds most visibly. *)
+      name = "barabasi-albert";
+      low_arboricity = true;
+      make = (fun rng n -> Gen.barabasi_albert rng (max 4 n) 2);
+    };
+    {
+      name = "gnp";
+      low_arboricity = false;
+      make =
+        (fun rng n ->
+          let n = max 8 n in
+          (* Expected degree ~ 6: comfortably connected at our sizes. *)
+          Gen.gnp rng n (6.0 /. float_of_int n));
+    };
+  ]
+
+let low_arboricity = List.filter (fun f -> f.low_arboricity) all
+let expanders = List.filter (fun f -> not f.low_arboricity) all
+
+let find name =
+  match List.find_opt (fun f -> f.name = name) all with
+  | Some f -> f
+  | None -> raise Not_found

@@ -1,0 +1,28 @@
+(** Named graph families used across experiments.
+
+    Each family couples a generator with descriptive metadata, so every
+    experiment that sweeps "all families" agrees on the catalog. Low-
+    arboricity families (grid, torus, tree, cycle) are the E12 subjects;
+    random-regular, hypercube and Margulis graphs are the expander hosts. *)
+
+type family = {
+  name : string;
+  low_arboricity : bool;  (** expected Θ(1) arboricity *)
+  make : Wx_util.Rng.t -> int -> Wx_graph.Graph.t;
+      (** [make rng size_hint]: builds an instance with ≈ size_hint
+          vertices (exact size depends on the family's shape constraints). *)
+}
+
+val all : family list
+(** cycle, path, grid, torus, binary-tree, hypercube, complete-bipartite,
+    random-3-regular, random-4-regular, random-6-regular, margulis, gnp. *)
+
+val low_arboricity : family list
+val expanders : family list
+(** The non-low-arboricity sublist. *)
+
+val find : string -> family
+(** Raises [Not_found]. *)
+
+val isqrt : int -> int
+(** Integer square root helper (shared by grid-shaped families). *)

@@ -1,0 +1,38 @@
+(** Lemma 3.3's bad expander [Gbad = (S, N, E)]: high ordinary expansion,
+    unique-neighbor expansion exactly [2β − ∆].
+
+    Each [v_i ∈ S] has ∆ neighbors arranged on an implicit cycle so that
+    consecutive vertices share exactly [∆ − β] neighbors. The [2β − ∆]
+    vertices in the middle of each window are uniquely covered; the shared
+    flanks are double-covered. The remark after the lemma computes the
+    wireless expansion of the same graph: it is at least
+    [max{2β − ∆, ∆/2}] (choose every second vertex). *)
+
+type t
+
+val create : s:int -> delta:int -> beta:int -> t
+(** Requires [∆/2 ≤ β ≤ ∆], [s·β ≥ 2∆] (so the cyclic windows never
+    triple-overlap), and [s ≥ 3]. *)
+
+val bip : t -> Wx_graph.Bipartite.t
+val s : t -> int
+val delta : t -> int
+val beta : t -> int
+
+val predicted_beta_u : t -> int
+(** [2β − ∆]. *)
+
+val predicted_wireless_lb : t -> float
+(** [max{2β − ∆, ∆/2}] from the remark. *)
+
+val every_second : t -> Wx_util.Bitset.t
+(** The subset [{v_0, v_2, v_4, ...}] used in the remark's [g(l)]
+    calculation (for even [s] this uniquely covers [s·∆/2] vertices). *)
+
+val remark_f : t -> int -> float
+(** [f(l) = ((2 − l)∆ + 2(l − 1)β)/l]: expansion of a run of [l]
+    consecutive vertices when all transmit. *)
+
+val remark_g : t -> int -> float
+(** [g(l)]: expansion of a run of [l] consecutive vertices when every
+    second one transmits — [∆/2] for even [l], [(l+1)∆/(2l)] for odd. *)

@@ -1,0 +1,32 @@
+module Graph = Wx_graph.Graph
+module Bipartite = Wx_graph.Bipartite
+module Bitset = Wx_util.Bitset
+module Rng = Wx_util.Rng
+module Nbhd = Wx_expansion.Nbhd
+
+type t = {
+  graph : Graph.t;
+  host_n : int;
+  s_star : Bitset.t;
+  n_star : int array;
+  gbad : Gbad.t;
+}
+
+let create rng ~host ~gbad =
+  let inst = Gbad.bip gbad in
+  let s_cnt = Bipartite.s_count inst and n_cnt = Bipartite.n_count inst in
+  if n_cnt > Graph.n host then invalid_arg "Gbad_plug.create: host too small";
+  let n_star = Rng.sample_without_replacement rng (Graph.n host) n_cnt in
+  let base = Graph.n host in
+  let es = ref [] in
+  Bipartite.iter_edges inst (fun u w -> es := (base + u, n_star.(w)) :: !es);
+  let graph = Graph.add_vertices_and_edges host s_cnt !es in
+  let s_star = Bitset.create (Graph.n graph) in
+  for i = 0 to s_cnt - 1 do
+    Bitset.add_inplace s_star (base + i)
+  done;
+  { graph; host_n = base; s_star; n_star; gbad }
+
+let unique_expansion_of_s_star t =
+  let u = Nbhd.gamma1 t.graph t.s_star in
+  float_of_int (Bitset.cardinal u) /. float_of_int (Bitset.cardinal t.s_star)

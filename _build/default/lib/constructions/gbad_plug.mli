@@ -1,0 +1,21 @@
+(** Remark (2) after Lemma 3.3: plugging the bad bipartite graph on top of
+    an ordinary expander caps the composed graph's unique-neighbor
+    expansion at [2β − ∆] — witnessed by the planted S-side — even when the
+    host's own unique expansion is good — while only growing the maximum
+    degree additively. *)
+
+type t = {
+  graph : Wx_graph.Graph.t;
+  host_n : int;
+  s_star : Wx_util.Bitset.t;  (** the planted Gbad S-side (new vertices) *)
+  n_star : int array;  (** host vertices playing Gbad's N side *)
+  gbad : Gbad.t;
+}
+
+val create : Wx_util.Rng.t -> host:Wx_graph.Graph.t -> gbad:Gbad.t -> t
+(** Requires the host to have at least [s·β] vertices. S* is appended
+    after the host's vertices; N* is sampled without replacement. *)
+
+val unique_expansion_of_s_star : t -> float
+(** The ratio |Γ¹ of S-star| over |S-star| in the composed graph — the Remark predicts exactly
+    [2β − ∆] (S* has no other edges, and N* vertices are distinct). *)

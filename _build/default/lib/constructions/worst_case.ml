@@ -1,0 +1,99 @@
+module Graph = Wx_graph.Graph
+module Bipartite = Wx_graph.Bipartite
+module Bitset = Wx_util.Bitset
+module Rng = Wx_util.Rng
+module Floatx = Wx_util.Floatx
+
+type t = {
+  graph : Graph.t;
+  host_n : int;
+  s_star : Bitset.t;
+  n_star : int array;
+  core : Gen_core.t;
+  eps : float;
+  host_beta : float;
+  host_delta : int;
+}
+
+let create_gen rng ~eps ~host ~host_beta ~pick_n_star ~dummies =
+  if not (eps > 0.0 && eps < 0.5) then invalid_arg "Worst_case.create: need 0 < ε < 1/2";
+  let host_delta = Graph.max_degree host in
+  let fd = float_of_int host_delta in
+  if fd *. host_beta < 1.0 /. (1.0 -. (2.0 *. eps)) then
+    invalid_arg "Worst_case.create: need ∆·β >= 1/(1−2ε)";
+  let delta_star = max 1 (int_of_float (Float.floor (eps *. fd))) in
+  let beta_star = host_beta /. eps in
+  let core = Gen_core.create ~delta_star ~beta_star in
+  let bip = core.Gen_core.bip in
+  let s_star_count = Bipartite.s_count bip in
+  let n_star_count = Bipartite.n_count bip in
+  let n_star = pick_n_star rng n_star_count in
+  (* New vertices s_star are appended after the host's, then any dummies. *)
+  let base = Graph.n host in
+  let es = ref [] in
+  Bipartite.iter_edges bip (fun u w -> es := (base + u, n_star.(w)) :: !es);
+  let graph = Graph.add_vertices_and_edges host (s_star_count + dummies) !es in
+  let s_star = Bitset.create (Graph.n graph) in
+  for i = 0 to s_star_count - 1 do
+    Bitset.add_inplace s_star (base + i)
+  done;
+  { graph; host_n = base; s_star; n_star; core; eps; host_beta; host_delta }
+
+let create rng ~eps ~host ~host_beta =
+  let pick_n_star rng k =
+    if k > Graph.n host then invalid_arg "Worst_case.create: host too small to absorb N*";
+    Rng.sample_without_replacement rng (Graph.n host) k
+  in
+  create_gen rng ~eps ~host ~host_beta ~pick_n_star ~dummies:0
+
+let create_bipartite rng ~eps ~host ~host_beta =
+  match Wx_graph.Traversal.bipartition host with
+  | None -> invalid_arg "Worst_case.create_bipartite: host is not bipartite"
+  | Some (left, right) ->
+      (* Expand from L̃ = L ∪ S* into R̃ = R ∪ dummies: N* is drawn from the
+         right side only, and |S*| isolated dummies keep the sides equal in
+         size (the remark's balancing trick). *)
+      let right_arr = Bitset.to_array right in
+      let pick_n_star rng k =
+        if k > Array.length right_arr then
+          invalid_arg "Worst_case.create_bipartite: right side too small for N*";
+        Array.map
+          (fun i -> right_arr.(i))
+          (Rng.sample_without_replacement rng (Array.length right_arr) k)
+      in
+      (* Dummy count = |S*|; compute it by building the core first (cheap
+         double construction avoided by reading the size from a probe). *)
+      let host_delta = Graph.max_degree host in
+      let probe =
+        Gen_core.create
+          ~delta_star:(max 1 (int_of_float (Float.floor (eps *. float_of_int host_delta))))
+          ~beta_star:(host_beta /. eps)
+      in
+      let dummies = Bipartite.s_count probe.Gen_core.bip in
+      let t = create_gen rng ~eps ~host ~host_beta ~pick_n_star ~dummies in
+      let n = Graph.n t.graph in
+      let new_left = Bitset.create n and new_right = Bitset.create n in
+      Bitset.iter (Bitset.add_inplace new_left) left;
+      Bitset.iter (Bitset.add_inplace new_right) right;
+      Bitset.iter (Bitset.add_inplace new_left) t.s_star;
+      (* Dummies occupy the tail indices after S*. *)
+      for v = t.host_n + Bitset.cardinal t.s_star to n - 1 do
+        Bitset.add_inplace new_right v
+      done;
+      (t, new_left, new_right)
+
+let predicted_beta_tilde t = (1.0 -. t.eps) *. t.host_beta
+
+let predicted_delta_tilde t =
+  int_of_float (Float.ceil ((1.0 +. t.eps) *. float_of_int t.host_delta))
+
+let predicted_wireless_cap t =
+  let beta_t = predicted_beta_tilde t in
+  let delta_t = float_of_int (predicted_delta_tilde t) in
+  let denom_arg = Float.min (delta_t /. beta_t) (delta_t *. beta_t) in
+  let log_term = Float.max 1.0 (Floatx.log2 denom_arg) in
+  24.0 *. beta_t /. (t.eps ** 3.0 *. log_term)
+
+let s_star_wireless_exact t =
+  let m = Gen_core.max_unique_exact t.core in
+  float_of_int m /. float_of_int (Bitset.cardinal t.s_star)

@@ -1,0 +1,54 @@
+(** Worst-case expanders (Section 4.3.3, Corollary 4.11).
+
+    Plug a generalized core graph [G*_S] with parameters [∆* = ε∆],
+    [β* = β/ε] on top of a host (α, β)-expander [G]: the vertices of [S*]
+    are new, those of [N*] are (randomly chosen) host vertices. The result
+    [G̃] keeps expansion [β̃ = (1−ε)β] but its wireless expansion collapses
+    to [O(β̃ / (ε³·log min{∆̃/β̃, ∆̃·β̃}))] — witnessed by any subset of
+    [S*]. *)
+
+type t = {
+  graph : Wx_graph.Graph.t;  (** the composed graph G̃ *)
+  host_n : int;  (** number of host vertices (G̃ adds |S*| more) *)
+  s_star : Wx_util.Bitset.t;  (** the new vertices, as a set of G̃ *)
+  n_star : int array;  (** host vertices playing N*, by core N-index *)
+  core : Gen_core.t;
+  eps : float;
+  host_beta : float;
+  host_delta : int;
+}
+
+val create :
+  Wx_util.Rng.t -> eps:float -> host:Wx_graph.Graph.t -> host_beta:float -> t
+(** Requires [0 < ε < 1/2], [∆·β ≥ 1/(1−2ε)] and a host large enough to
+    absorb [N*]. [host_beta] is the host's (measured or known) expansion;
+    the host's max degree is read off the graph. *)
+
+val predicted_beta_tilde : t -> float
+(** Claim 4.9: [β̃ = (1 − ε)·β]. *)
+
+val predicted_delta_tilde : t -> int
+(** [∆̃ = (1 + ε)·∆] (upper bound on the composed max degree). *)
+
+val predicted_wireless_cap : t -> float
+(** Claim 4.10's numerator with constant 24:
+    [24·β̃·|S*| / (ε³·log₂ min{∆̃/β̃, ∆̃·β̃})] — an upper bound on
+    [|Γ¹_{S*}(S′)|] for subsets of S*, divided through by |S*| it bounds
+    the wireless expansion witnessed at S*. *)
+
+val s_star_wireless_exact : t -> float
+(** Exact wireless expansion of the set [S*] in G̃ (max over S′ ⊆ S* of
+    [|Γ¹_{S*}(S′)|] / |S*|) via the core graph's tree DP — valid because
+    every edge at S* lives in the plugged core graph. *)
+
+val create_bipartite :
+  Wx_util.Rng.t ->
+  eps:float ->
+  host:Wx_graph.Graph.t ->
+  host_beta:float ->
+  t * Wx_util.Bitset.t * Wx_util.Bitset.t
+(** The remark's bipartite variant: requires a bipartite host expanding
+    from its left side; [S*] joins the left side, [N*] is drawn from the
+    right side, and [|S*|] isolated dummy vertices keep the sides equal in
+    size. Returns the construction together with the new bipartition
+    [(L̃, R̃)]; the composed graph is again bipartite. *)

@@ -1,0 +1,1 @@
+lib/core/api.ml: Wx_constructions Wx_expansion Wx_graph Wx_radio Wx_spectral Wx_spokesmen Wx_util

@@ -1,0 +1,1 @@
+lib/core/instances.ml: List Printf Wx_constructions Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/core/instances.mli: Wx_constructions Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/core/theorems.ml: Array Float Format Instances List Printf Wx_constructions Wx_expansion Wx_graph Wx_radio Wx_spectral Wx_spokesmen Wx_util

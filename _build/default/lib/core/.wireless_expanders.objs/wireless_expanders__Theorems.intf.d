@@ -1,0 +1,1 @@
+lib/core/theorems.mli: Format Wx_constructions Wx_graph Wx_radio Wx_util

@@ -1,0 +1,93 @@
+module Graph = Wx_graph.Graph
+module Bipartite = Wx_graph.Bipartite
+module Bitset = Wx_util.Bitset
+module Gen = Wx_graph.Gen
+module Rng = Wx_util.Rng
+
+let seed = 20180218
+let rng offset = Rng.create (seed + offset)
+
+let small_graphs () =
+  [
+    ("cycle-10", Gen.cycle 10);
+    ("path-10", Gen.path 10);
+    ("grid-3x4", Gen.grid 3 4);
+    ("hypercube-3", Gen.hypercube 3);
+    ("complete-8", Gen.complete 8);
+    ("complete-bip-4x4", Gen.complete_bipartite 4 4);
+    ("star-10", Gen.star 10);
+    ("binary-tree-3", Gen.binary_tree 3);
+    ("cplus-8", Wx_constructions.Cplus.create 8);
+    ("random-3reg-12", Gen.random_regular (rng 1) 12 3);
+    ("gnp-12", Gen.gnp (rng 2) 12 0.4);
+    ("torus-3x4", Gen.torus 3 4);
+    ("lollipop-8+4", Gen.lollipop 8 4);
+    ("barbell-6", Gen.barbell 6);
+    ("ba-12-m2", Gen.barabasi_albert (rng 17) 12 2);
+    ("wheel-ish-gnp", Gen.gnp (rng 18) 11 0.5);
+  ]
+
+let regular_graphs () =
+  [
+    ("cycle-12", Gen.cycle 12);
+    ("hypercube-3", Gen.hypercube 3);
+    ("hypercube-4", Gen.hypercube 4);
+    ("complete-10", Gen.complete 10);
+    ("random-3reg-14", Gen.random_regular (rng 3) 14 3);
+    ("random-4reg-14", Gen.random_regular (rng 4) 14 4);
+    ("torus-4x4", Gen.torus 4 4);
+  ]
+
+let gbad_grid () =
+  let open Wx_constructions.Gbad in
+  let cases =
+    [
+      (6, 4, 2); (6, 4, 3); (6, 4, 4);
+      (6, 6, 3); (6, 6, 4); (6, 6, 5);
+      (8, 8, 4); (8, 8, 6); (8, 8, 8);
+      (10, 12, 6); (10, 12, 9); (10, 12, 12);
+      (40, 10, 5); (40, 10, 7);
+    ]
+  in
+  List.map (fun (s, delta, beta) -> create ~s ~delta ~beta) cases
+
+let core_sizes = [ 2; 4; 8; 16; 32; 64; 128; 256; 512 ]
+
+let neighborhood_instance g k r =
+  (* The paper's G_S for a random connected-ish set S of size k. *)
+  let n = Graph.n g in
+  let s = Bitset.random_of_universe r n (min k (n / 2)) in
+  let inst, _, _ = Bipartite.of_set_neighborhood g s in
+  inst
+
+let core s = Wx_constructions.Core_graph.bip (Wx_constructions.Core_graph.create s)
+
+let bipartite_instances () =
+  let fam name size off =
+    let f = Wx_constructions.Families.find name in
+    let g = f.Wx_constructions.Families.make (rng off) size in
+    (Printf.sprintf "%s-%d-nbhd" name size, neighborhood_instance g (size / 4) (rng (off + 100)))
+  in
+  [
+    ("core-16", core 16);
+    ("core-64", core 64);
+    ("gbad-10-12-9", Wx_constructions.Gbad.bip (Wx_constructions.Gbad.create ~s:10 ~delta:12 ~beta:9));
+    ("rand-bip-20x40-d4", Gen.random_bipartite_sdeg (rng 5) ~s:20 ~n:40 ~d:4);
+    ("rand-bip-30x20-d5", Gen.random_bipartite_sdeg (rng 6) ~s:30 ~n:20 ~d:5);
+    ("rand-bip-64x256-d8", Gen.random_bipartite_sdeg (rng 7) ~s:64 ~n:256 ~d:8);
+    ("rand-bip-100x50-d3", Gen.random_bipartite_sdeg (rng 8) ~s:100 ~n:50 ~d:3);
+    fam "hypercube" 64 9;
+    fam "random-4-regular" 60 10;
+    fam "grid" 64 11;
+    fam "margulis" 49 12;
+    ("matching-2048", Gen.bipartite_matching (rng 16) 2048);
+  ]
+
+let bipartite_small () =
+  [
+    ("core-8", core 8);
+    ("gbad-6-6-4", Wx_constructions.Gbad.bip (Wx_constructions.Gbad.create ~s:6 ~delta:6 ~beta:4));
+    ("rand-bip-12x24-d3", Gen.random_bipartite_sdeg (rng 13) ~s:12 ~n:24 ~d:3);
+    ("rand-bip-14x10-d4", Gen.random_bipartite_sdeg (rng 14) ~s:14 ~n:10 ~d:4);
+    ("rand-bip-16x16-d2", Gen.random_bipartite_sdeg (rng 15) ~s:16 ~n:16 ~d:2);
+  ]

@@ -1,0 +1,38 @@
+(** Curated, seeded instance sets shared by tests and benchmarks.
+
+    Keeping the instance catalog in one place means EXPERIMENTS.md's
+    numbers and `dune runtest`'s assertions are measured on identical
+    inputs. Every randomized instance is built from the fixed {!seed}
+    (plus a per-instance offset), so all outputs are reproducible. *)
+
+module Graph = Wx_graph.Graph
+module Bipartite = Wx_graph.Bipartite
+
+val seed : int
+(** The repository-wide base seed (20180218 — the paper's arXiv date). *)
+
+val rng : int -> Wx_util.Rng.t
+(** [rng offset] is a fresh generator at [seed + offset]. *)
+
+val small_graphs : unit -> (string * Graph.t) list
+(** The exact-measurement zoo (n ≤ 14): cycles, paths, grids, a hypercube,
+    complete and complete-bipartite graphs, C⁺, random regular and G(n,p)
+    instances, a star and a binary tree. Everything here is small enough
+    for [beta_w_exact]. *)
+
+val regular_graphs : unit -> (string * Graph.t) list
+(** Regular connected graphs for the spectral checks (Lemma 3.1). *)
+
+val gbad_grid : unit -> Wx_constructions.Gbad.t list
+(** The (s, ∆, β) sweep used by E3/E4. *)
+
+val core_sizes : int list
+(** Powers of two for E5. *)
+
+val bipartite_instances : unit -> (string * Bipartite.t) list
+(** Spokesmen workloads for E7/E9/E10: neighborhood instances extracted
+    from graph families, random bipartite graphs at several densities and
+    degree skews, core graphs and Gbads. *)
+
+val bipartite_small : unit -> (string * Bipartite.t) list
+(** The subset of instances where [Exact.solve] is feasible (|S| ≤ 18). *)

@@ -1,0 +1,1 @@
+lib/expansion/bip_measure.ml: Array Nbhd Printf Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/expansion/bip_measure.mli: Wx_graph Wx_util

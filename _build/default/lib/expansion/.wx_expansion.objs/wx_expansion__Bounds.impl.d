@@ -1,0 +1,1 @@
+lib/expansion/bounds.ml: Float List Wx_util

@@ -1,0 +1,1 @@
+lib/expansion/bounds.mli:

@@ -1,0 +1,1 @@
+lib/expansion/certificate.ml: Format Measure Nbhd Printf Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/expansion/certificate.mli: Format Wx_graph Wx_util

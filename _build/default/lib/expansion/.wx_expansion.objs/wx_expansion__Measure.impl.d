@@ -1,0 +1,1 @@
+lib/expansion/measure.ml: Array Float Nbhd Printf Wx_graph Wx_util

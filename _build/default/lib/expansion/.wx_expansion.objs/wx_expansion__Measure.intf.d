@@ -1,0 +1,1 @@
+lib/expansion/measure.mli: Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/expansion/nbhd.ml: Array Wx_graph Wx_util

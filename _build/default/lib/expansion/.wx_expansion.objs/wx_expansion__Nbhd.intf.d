@@ -1,0 +1,1 @@
+lib/expansion/nbhd.mli: Wx_graph Wx_util

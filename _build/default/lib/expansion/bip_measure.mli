@@ -1,0 +1,31 @@
+(** Wireless-expansion measurement on bipartite instances.
+
+    Section 4 reduces everything to a bipartite graph [G_S = (S, N, E_S)];
+    here we compute [max_{S′ ⊆ S} |Γ¹_S(S′)|] on such instances directly. *)
+
+module Bitset = Wx_util.Bitset
+module Bipartite = Wx_graph.Bipartite
+
+exception Too_large of string
+
+val exact_max_unique : ?work_limit:int -> Bipartite.t -> int * Bitset.t
+(** Exact maximum unique coverage over all subsets of side S, with the
+    maximizing subset. Cost [2^|S|]; default work limit [2^24]. *)
+
+val sampled_max_unique :
+  Wx_util.Rng.t -> samples:int -> Bipartite.t -> int * Bitset.t
+(** Best unique coverage over random subsets of S — a lower-bound witness
+    for the maximum (plus singletons and the full side, which are always
+    tried). *)
+
+val wireless_expansion_exact : ?work_limit:int -> Bipartite.t -> float
+(** [exact_max_unique / |S|]. *)
+
+val ordinary_expansion_min_exact : ?work_limit:int -> Bipartite.t -> float * Bitset.t
+(** [min_{∅ ≠ S′ ⊆ S} |Γ(S′)| / |S′|] — the bipartite expansion in the sense
+    of Lemma 4.4(4) (one-sided, from S towards N), with the minimizing
+    subset. Cost [2^|S|]. *)
+
+val ordinary_expansion_min_sampled :
+  Wx_util.Rng.t -> samples:int -> Bipartite.t -> float * Bitset.t
+(** Upper-bound certificate for the one-sided expansion on large sides. *)

@@ -1,0 +1,74 @@
+let log2 = Wx_util.Floatx.log2
+
+let lemma_3_1 ~d ~lambda2 ~alpha_u ~beta_u =
+  let fd = float_of_int d in
+  ((1.0 -. (1.0 /. fd)) *. beta_u) +. ((fd -. lambda2) *. (1.0 -. alpha_u) /. fd)
+
+let lemma_3_2 ~beta ~delta = (2.0 *. beta) -. float_of_int delta
+
+let gbad_wireless_lb ~beta ~delta =
+  Float.max (lemma_3_2 ~beta ~delta) (float_of_int delta /. 2.0)
+
+let theorem_1_1_denominator ~beta ~delta =
+  let fd = float_of_int delta in
+  let arg = 2.0 *. Float.min (fd /. beta) (fd *. beta) in
+  Float.max 1.0 (log2 arg)
+
+let theorem_1_1 ~beta ~delta = beta /. theorem_1_1_denominator ~beta ~delta
+
+let lemma_4_2 ~beta ~delta_n = beta /. Float.max 1.0 (log2 (2.0 *. delta_n))
+let lemma_4_3 ~beta ~delta_s = beta /. Float.max 1.0 (log2 (2.0 *. delta_s))
+
+let decay_success_probability j =
+  if j < 0 then invalid_arg "Bounds.decay_success_probability";
+  if j = 0 then 0.5
+  else begin
+    let p = 1.0 /. float_of_int (1 lsl j) in
+    (1.0 -. p) ** float_of_int ((1 lsl (j + 1)) - 1)
+  end
+
+let naive_fraction ~delta_max = 1.0 /. float_of_int (max 1 delta_max)
+let partition_fraction ~delta_n = 1.0 /. (8.0 *. Float.max 1.0 delta_n)
+
+let c_star = 3.59112
+
+let bucket_fraction ?(c = c_star) ~delta_max () =
+  if c <= 1.0 then invalid_arg "Bounds.bucket_fraction: c must be > 1";
+  let d = float_of_int (max 2 delta_max) in
+  log2 c /. (2.0 *. (1.0 +. c) *. log2 d)
+
+let near_optimal_fraction ~delta_n = 1.0 /. (9.0 *. Float.max 1.0 (log2 (2.0 *. delta_n)))
+
+let corollary_a15_fraction ~delta_n =
+  if delta_n < 2.0 then near_optimal_fraction ~delta_n
+  else Float.min (1.0 /. (9.0 *. log2 delta_n)) (1.0 /. 20.0)
+
+let mg delta =
+  let a13 = near_optimal_fraction ~delta_n:delta in
+  let a15 = corollary_a15_fraction ~delta_n:delta in
+  let bucket =
+    (* Corollary A.8 optimized over t at c = c_star: (1 − 1/t)·1/(2(1+c)·log_c(tδ)).
+       Evaluate on a small t-grid; this is the third leg of MG. *)
+    let best = ref 0.0 in
+    List.iter
+      (fun t ->
+        let v =
+          (1.0 -. (1.0 /. t))
+          /. (2.0 *. (1.0 +. c_star) *. (log2 (t *. Float.max 1.0 delta) /. log2 c_star))
+        in
+        if v > !best then best := v)
+      [ 1.5; 2.0; 3.0; 5.0; 10.0; 100.0 ];
+    !best
+  in
+  Float.max a13 (Float.max a15 bucket)
+
+let chlamtac_weinstein_fraction ~s_size = 1.0 /. Float.max 1.0 (log2 (float_of_int (max 2 s_size)))
+
+let spokesmen_avg_degree_fraction ~delta_s ~delta_n =
+  near_optimal_fraction ~delta_n:(Float.min delta_s delta_n)
+
+let broadcast_lower_bound ~n ~diameter =
+  if diameter < 1 || n <= diameter then invalid_arg "Bounds.broadcast_lower_bound";
+  float_of_int diameter *. log2 (float_of_int n /. float_of_int diameter)
+
+let corollary_5_1_min_rounds ~s:_ ~i = 1 + i

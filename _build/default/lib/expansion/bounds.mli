@@ -1,0 +1,85 @@
+(** Closed-form bound functions from the paper, as plain functions of the
+    instance parameters. The bench harness prints these next to measured
+    values; tests check the inequalities they participate in.
+
+    Logs are base 2 (the paper's convention). *)
+
+val lemma_3_1 : d:int -> lambda2:float -> alpha_u:float -> beta_u:float -> float
+(** Lemma 3.1: a d-regular (αu, βu)-unique expander is an (α, β)-expander
+    with [β ≥ (1 − 1/d)·βu + (d − λ₂)(1 − αu)/d]. Returns that lower
+    bound on β. *)
+
+val lemma_3_2 : beta:float -> delta:int -> float
+(** Lemma 3.2 (and 4.1): [βu ≥ 2β − ∆]. Returns [2β − ∆] (may be ≤ 0, in
+    which case the bound is vacuous). *)
+
+val gbad_wireless_lb : beta:float -> delta:int -> float
+(** Remark after Lemma 3.3: on [Gbad], [βw ≥ max{2β − ∆, ∆/2}]. *)
+
+val theorem_1_1_denominator : beta:float -> delta:int -> float
+(** [log₂(2·min{∆/β, ∆·β})], the deviation factor of Theorem 1.1; never
+    below 1 (the paper's regime [1/∆ ≤ β ≤ ∆] makes the argument ≥ 2). *)
+
+val theorem_1_1 : beta:float -> delta:int -> float
+(** The Ω-expression of Theorem 1.1 with constant 1:
+    [β / log₂(2·min{∆/β, ∆·β})]. Measured wireless expansions are compared
+    against constant multiples of this. *)
+
+val lemma_4_2 : beta:float -> delta_n:float -> float
+(** Regime β ≥ 1: [β / log₂(2·δN)] (δN ≤ ∆/β gives Theorem 1.1's form). *)
+
+val lemma_4_3 : beta:float -> delta_s:float -> float
+(** Regime β < 1: [β / log₂(2·δS)]. *)
+
+val decay_success_probability : int -> float
+(** Lower bound used in Lemma 4.2's proof: a vertex with
+    [deg ∈ [2^j, 2^{j+1})] is uniquely covered by a [2^{-j}]-sample with
+    probability ≥ e⁻³. Returns that probability bound for the given j
+    (exact expression [(1 − 2^{-j})^{2^{j+1} − 1}], minimized over the
+    degree range; [j = 0] gives 1·(1/2)^1 = 0.5). *)
+
+(** {1 Appendix A deterministic bounds} (per-instance, in units of |N| = γ) *)
+
+val naive_fraction : delta_max:int -> float
+(** Lemma A.1: [γ/∆] uniquely coverable — returns the fraction [1/∆]. *)
+
+val partition_fraction : delta_n:float -> float
+(** Lemma A.3: fraction [1/(8δ)]. *)
+
+val bucket_fraction : ?c:float -> delta_max:int -> unit -> float
+(** Corollary A.6/A.7: fraction [log₂c / (2(1+c) log₂ ∆)]; the default
+    [c ≈ 3.59112] maximizes it, giving [0.20087 / log₂ ∆]. *)
+
+val c_star : float
+(** The optimizing base [c ≈ 3.59112] of Corollary A.7. *)
+
+val near_optimal_fraction : delta_n:float -> float
+(** Lemma A.13: fraction [1/(9·log₂(2δ))]. *)
+
+val corollary_a15_fraction : delta_n:float -> float
+(** Corollary A.15: fraction [min{1/(9 log₂ δ), 1/20}] for δ ≥ 2 and
+    [1/(9 log₂ 2δ)] below (where the A.13 bound is the relevant one). *)
+
+val mg : float -> float
+(** Corollary A.16's [MG(δ)] — the best of the deterministic fractions,
+    following Observation A.17's case split (we take the max of the A.13,
+    A.15 and optimized-bucket expressions). *)
+
+val chlamtac_weinstein_fraction : s_size:int -> float
+(** The earlier bound of [7]: a set covering [|N| / log₂ |S|] unique
+    neighbors exists. Returns [1 / log₂ |S|] (∞-guarded: |S| ≥ 2). *)
+
+val spokesmen_avg_degree_fraction : delta_s:float -> delta_n:float -> float
+(** Our refinement (§4.2.1): fraction [1 / log₂(2·min{δN, δS})]-order
+    bound, i.e. [near_optimal_fraction] at [min{δN, δS}]. *)
+
+(** {1 Section 5 broadcast bounds} *)
+
+val broadcast_lower_bound : n:int -> diameter:int -> float
+(** [D/2 · log₂(2s)/4]-style lower bound in its asymptotic form
+    [D·log₂(n/D)] with constant 1 — measured times are compared as ratios
+    against this. Requires n > D ≥ 1. *)
+
+val corollary_5_1_min_rounds : s:int -> i:int -> int
+(** Corollary 5.1: reaching a [2i/log₂(2s)] fraction of N takes ≥ 1 + i
+    rounds. *)

@@ -1,0 +1,72 @@
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+
+type claim =
+  | Beta_at_most of float
+  | Beta_u_at_most of float
+  | Beta_w_at_most of float
+  | Wireless_set_at_least of float
+
+type t = { claim : claim; alpha : float; s : Bitset.t; s' : Bitset.t option }
+
+let size_ok g ~alpha s =
+  let k = Bitset.cardinal s in
+  k >= 1 && float_of_int k <= alpha *. float_of_int (Graph.n g)
+
+let verify g t =
+  Bitset.universe_size t.s = Graph.n g
+  && size_ok g ~alpha:t.alpha t.s
+  &&
+  match (t.claim, t.s') with
+  | Beta_at_most v, None -> Nbhd.expansion_of_set g t.s <= v +. 1e-9
+  | Beta_u_at_most v, None -> Nbhd.unique_expansion_of_set g t.s <= v +. 1e-9
+  | Beta_w_at_most v, None -> begin
+      match Measure.wireless_of_set_exact g t.s with
+      | w -> w.Measure.value <= v +. 1e-9
+      | exception Measure.Too_large _ -> false
+    end
+  | Wireless_set_at_least v, Some s' ->
+      Bitset.universe_size s' = Graph.n g
+      && Bitset.subset s' t.s
+      && float_of_int (Bitset.cardinal (Nbhd.gamma1_excluding g t.s s'))
+         /. float_of_int (Bitset.cardinal t.s)
+         >= v -. 1e-9
+  | (Beta_at_most _ | Beta_u_at_most _ | Beta_w_at_most _), Some _ -> false
+  | Wireless_set_at_least _, None -> false
+
+let check_witness g ~alpha s name =
+  if not (size_ok g ~alpha s) then
+    invalid_arg (Printf.sprintf "Certificate.%s: witness violates the α-limit" name)
+
+let beta_upper ?(alpha = 0.5) g s =
+  check_witness g ~alpha s "beta_upper";
+  { claim = Beta_at_most (Nbhd.expansion_of_set g s); alpha; s; s' = None }
+
+let beta_u_upper ?(alpha = 0.5) g s =
+  check_witness g ~alpha s "beta_u_upper";
+  { claim = Beta_u_at_most (Nbhd.unique_expansion_of_set g s); alpha; s; s' = None }
+
+let beta_w_upper ?(alpha = 0.5) g s =
+  check_witness g ~alpha s "beta_w_upper";
+  let w = Measure.wireless_of_set_exact g s in
+  { claim = Beta_w_at_most w.Measure.value; alpha; s; s' = None }
+
+let wireless_lower ?(alpha = 0.5) g s s' =
+  check_witness g ~alpha s "wireless_lower";
+  if not (Bitset.subset s' s) then invalid_arg "Certificate.wireless_lower: S' ⊄ S";
+  let v =
+    float_of_int (Bitset.cardinal (Nbhd.gamma1_excluding g s s'))
+    /. float_of_int (Bitset.cardinal s)
+  in
+  { claim = Wireless_set_at_least v; alpha; s; s' = Some s' }
+
+let pp fmt t =
+  let name, v =
+    match t.claim with
+    | Beta_at_most v -> ("β ≤", v)
+    | Beta_u_at_most v -> ("βu ≤", v)
+    | Beta_w_at_most v -> ("βw ≤", v)
+    | Wireless_set_at_least v -> ("wireless(S) ≥", v)
+  in
+  Format.fprintf fmt "%s %.4f (α=%.2f) via S=%s%s" name v t.alpha (Bitset.to_string t.s)
+    (match t.s' with Some s' -> ", S'=" ^ Bitset.to_string s' | None -> "")

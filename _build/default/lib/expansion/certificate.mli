@@ -1,0 +1,46 @@
+(** First-class, machine-checkable expansion certificates.
+
+    EXPERIMENTS.md's discipline — "claims about minima over exponentially
+    many sets are exact or witness-backed" — made concrete: a certificate
+    packages the claim, the witness set(s), and enough data for {!verify}
+    to recheck it from scratch against the graph. The bench harness and
+    the CLI can emit certificates; tests verify that verification really
+    catches corrupted witnesses. *)
+
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+
+type claim =
+  | Beta_at_most of float
+      (** witness S: [|Γ⁻(S)|/|S| ≤ v] ⇒ [β(G) ≤ v] (S within the α-limit
+          is the caller's obligation, recorded in [alpha]) *)
+  | Beta_u_at_most of float
+  | Beta_w_at_most of float
+      (** witness S: [max_{S′⊆S} |Γ¹_S(S′)|/|S| ≤ v] ⇒ [βw(G) ≤ v]; the
+          verifier re-runs the exact inner maximization (so S must have
+          ≤ 30 vertices) *)
+  | Wireless_set_at_least of float
+      (** witnesses (S, S′): [|Γ¹_S(S′)|/|S| ≥ v] — a lower bound on the
+          wireless expansion of the specific set S *)
+
+type t = {
+  claim : claim;
+  alpha : float;  (** the α the witness size was checked against *)
+  s : Bitset.t;
+  s' : Bitset.t option;  (** only for [Wireless_set_at_least] *)
+}
+
+val verify : Graph.t -> t -> bool
+(** Recompute everything from the graph; false on any mismatch, including
+    size-vs-α violations and [s'] ⊄ [s]. Never raises on well-formed
+    bitsets of the right universe. *)
+
+val beta_upper : ?alpha:float -> Graph.t -> Bitset.t -> t
+(** Build (and self-verify) a certificate from a witness; raises
+    [Invalid_argument] if the witness violates the α-limit. *)
+
+val beta_u_upper : ?alpha:float -> Graph.t -> Bitset.t -> t
+val beta_w_upper : ?alpha:float -> Graph.t -> Bitset.t -> t
+val wireless_lower : ?alpha:float -> Graph.t -> Bitset.t -> Bitset.t -> t
+
+val pp : Format.formatter -> t -> unit

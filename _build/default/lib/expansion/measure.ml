@@ -1,0 +1,221 @@
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+module Combi = Wx_util.Combi
+module Rng = Wx_util.Rng
+
+type witnessed = { value : float; witness : Bitset.t }
+
+exception Too_large of string
+
+let max_set_size ?(alpha = 0.5) g =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Measure: alpha must be in (0, 1]";
+  int_of_float (Float.floor (alpha *. float_of_int (Graph.n g)))
+
+let check_work name actual limit =
+  if actual > limit then
+    raise
+      (Too_large
+         (Printf.sprintf "%s: enumeration of %d sets exceeds work limit %d" name actual limit))
+
+(* Generic exact minimum of [score] over non-empty subsets of size <= kmax. *)
+let min_over_sets name ?(work_limit = 1 lsl 24) g kmax score =
+  let n = Graph.n g in
+  if n = 0 || kmax = 0 then invalid_arg (name ^ ": no feasible sets");
+  let count = Combi.subsets_count_le n kmax in
+  check_work name count work_limit;
+  let best = ref infinity in
+  let best_set = ref (Bitset.create n) in
+  let buf = Bitset.create n in
+  Combi.iter_subsets_le n kmax (fun idxs ->
+      Bitset.clear_inplace buf;
+      Array.iter (Bitset.add_inplace buf) idxs;
+      let v = score buf in
+      if v < !best then begin
+        best := v;
+        best_set := Bitset.copy buf
+      end);
+  { value = !best; witness = !best_set }
+
+let min_over_sampled_sets g kmax rng samples score =
+  let n = Graph.n g in
+  if n = 0 || kmax = 0 then invalid_arg "Measure: no feasible sets";
+  let best = ref infinity in
+  let best_set = ref (Bitset.create n) in
+  for _ = 1 to samples do
+    let k = 1 + Rng.int rng kmax in
+    let s = Bitset.random_of_universe rng n k in
+    let v = score s in
+    if v < !best then begin
+      best := v;
+      best_set := s
+    end
+  done;
+  { value = !best; witness = !best_set }
+
+let beta_exact ?alpha ?work_limit g =
+  min_over_sets "Measure.beta_exact" ?work_limit g (max_set_size ?alpha g)
+    (Nbhd.expansion_of_set g)
+
+let beta_sampled ?alpha rng ~samples g =
+  min_over_sampled_sets g (max_set_size ?alpha g) rng samples (Nbhd.expansion_of_set g)
+
+let beta_u_exact ?alpha ?work_limit g =
+  min_over_sets "Measure.beta_u_exact" ?work_limit g (max_set_size ?alpha g)
+    (Nbhd.unique_expansion_of_set g)
+
+let beta_u_sampled ?alpha rng ~samples g =
+  min_over_sampled_sets g (max_set_size ?alpha g) rng samples (Nbhd.unique_expansion_of_set g)
+
+(* Exact max over S' of |Γ¹_S(S')| for a fixed S, returning (max, argmax).
+   Gray-code enumeration with incremental per-vertex neighbor counts. *)
+let max_unique_over_subsets ?(work_limit = 1 lsl 24) g s =
+  let n = Graph.n g in
+  let elts = Bitset.to_array s in
+  let k = Array.length elts in
+  if k = 0 then invalid_arg "Measure.wireless_of_set: empty set";
+  if k > 30 then raise (Too_large "Measure.wireless_of_set: |S| > 30");
+  check_work "Measure.wireless_of_set" (1 lsl k) work_limit;
+  let cnt = Array.make n 0 in
+  let uniq = ref 0 in
+  let cur = Bitset.create n in
+  let flip u =
+    if Bitset.mem cur u then begin
+      Bitset.remove_inplace cur u;
+      Graph.iter_neighbors g u (fun w ->
+          if not (Bitset.mem s w) then begin
+            if cnt.(w) = 1 then decr uniq else if cnt.(w) = 2 then incr uniq;
+            cnt.(w) <- cnt.(w) - 1
+          end)
+    end
+    else begin
+      Bitset.add_inplace cur u;
+      Graph.iter_neighbors g u (fun w ->
+          if not (Bitset.mem s w) then begin
+            if cnt.(w) = 0 then incr uniq else if cnt.(w) = 1 then decr uniq;
+            cnt.(w) <- cnt.(w) + 1
+          end)
+    end
+  in
+  let best = ref 0 in
+  let best_set = ref (Bitset.create n) in
+  let total = 1 lsl k in
+  for i = 1 to total - 1 do
+    let gray_prev = (i - 1) lxor ((i - 1) lsr 1) in
+    let gray = i lxor (i lsr 1) in
+    let changed = gray lxor gray_prev in
+    let bit =
+      let rec go b = if changed lsr b land 1 = 1 then b else go (b + 1) in
+      go 0
+    in
+    flip elts.(bit);
+    if !uniq > !best then begin
+      best := !uniq;
+      best_set := Bitset.copy cur
+    end
+  done;
+  (!best, !best_set)
+
+let wireless_of_set_exact ?work_limit g s =
+  let m, s' = max_unique_over_subsets ?work_limit g s in
+  { value = float_of_int m /. float_of_int (Bitset.cardinal s); witness = s' }
+
+let beta_w_exact ?alpha ?(work_limit = 1 lsl 26) g =
+  let kmax = max_set_size ?alpha g in
+  let n = Graph.n g in
+  if n = 0 || kmax = 0 then invalid_arg "Measure.beta_w_exact: no feasible sets";
+  (* Total work is sum over sets S of 2^|S| = Θ(3^n) when kmax = n; check
+     before enumerating. *)
+  let work = ref 0.0 in
+  for k = 1 to kmax do
+    work := !work +. (float_of_int (Combi.binomial n k) *. float_of_int (1 lsl k))
+  done;
+  if !work > float_of_int work_limit then
+    raise (Too_large "Measure.beta_w_exact: 3^n-style enumeration exceeds work limit");
+  let best = ref infinity in
+  let best_set = ref (Bitset.create n) in
+  let buf = Bitset.create n in
+  Combi.iter_subsets_le n kmax (fun idxs ->
+      Bitset.clear_inplace buf;
+      Array.iter (Bitset.add_inplace buf) idxs;
+      let m, _ = max_unique_over_subsets ~work_limit:max_int g buf in
+      let v = float_of_int m /. float_of_int (Array.length idxs) in
+      if v < !best then begin
+        best := v;
+        best_set := Bitset.copy buf
+      end);
+  { value = !best; witness = !best_set }
+
+let beta_w_sampled ?alpha ?(inner_work_limit = 1 lsl 22) rng ~samples g =
+  let kmax = max_set_size ?alpha g in
+  let n = Graph.n g in
+  if n = 0 || kmax = 0 then invalid_arg "Measure.beta_w_sampled: no feasible sets";
+  let best = ref infinity in
+  let best_set = ref (Bitset.create n) in
+  for _ = 1 to samples do
+    let k = 1 + Rng.int rng kmax in
+    if k <= 22 then begin
+      let s = Bitset.random_of_universe rng n k in
+      match max_unique_over_subsets ~work_limit:inner_work_limit g s with
+      | m, _ ->
+          let v = float_of_int m /. float_of_int k in
+          if v < !best then begin
+            best := v;
+            best_set := s
+          end
+      | exception Too_large _ -> ()
+    end
+  done;
+  { value = !best; witness = !best_set }
+
+let profile_beta ?alpha ?(work_limit = 1 lsl 24) g =
+  let kmax = max_set_size ?alpha g in
+  let n = Graph.n g in
+  let count = Combi.subsets_count_le n kmax in
+  check_work "Measure.profile_beta" count work_limit;
+  let buf = Bitset.create n in
+  let out = ref [] in
+  for k = kmax downto 1 do
+    let best = ref infinity in
+    Combi.iter_subsets_of_size n k (fun idxs ->
+        Bitset.clear_inplace buf;
+        Array.iter (Bitset.add_inplace buf) idxs;
+        let v = Nbhd.expansion_of_set g buf in
+        if v < !best then best := v);
+    out := (k, !best) :: !out
+  done;
+  !out
+
+let profile_generic ?alpha ?(work_limit = 1 lsl 24) name g score =
+  let kmax = max_set_size ?alpha g in
+  let n = Graph.n g in
+  let count = Combi.subsets_count_le n kmax in
+  check_work name count work_limit;
+  let buf = Bitset.create n in
+  let out = ref [] in
+  for k = kmax downto 1 do
+    let best = ref infinity in
+    Combi.iter_subsets_of_size n k (fun idxs ->
+        Bitset.clear_inplace buf;
+        Array.iter (Bitset.add_inplace buf) idxs;
+        let v = score buf in
+        if v < !best then best := v);
+    out := (k, !best) :: !out
+  done;
+  !out
+
+let profile_beta_u ?alpha ?work_limit g =
+  profile_generic ?alpha ?work_limit "Measure.profile_beta_u" g (Nbhd.unique_expansion_of_set g)
+
+let profile_beta_w ?alpha ?(work_limit = 1 lsl 26) g =
+  (* Work is Σ_k C(n,k)·2^k; bound it before enumerating. *)
+  let kmax = max_set_size ?alpha g in
+  let n = Graph.n g in
+  let work = ref 0.0 in
+  for k = 1 to kmax do
+    work := !work +. (float_of_int (Combi.binomial n k) *. float_of_int (1 lsl k))
+  done;
+  if !work > float_of_int work_limit then
+    raise (Too_large "Measure.profile_beta_w: enumeration exceeds work limit");
+  profile_generic ?alpha ~work_limit:max_int "Measure.profile_beta_w" g (fun s ->
+      let m, _ = max_unique_over_subsets ~work_limit:max_int g s in
+      float_of_int m /. float_of_int (Bitset.cardinal s))

@@ -1,0 +1,110 @@
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+
+let gamma g s =
+  let out = Bitset.create (Graph.n g) in
+  Bitset.iter (fun v -> Graph.iter_neighbors g v (Bitset.add_inplace out)) s;
+  out
+
+let gamma_minus g s =
+  let out = gamma g s in
+  Bitset.diff_inplace out s;
+  out
+
+let deg_in g v s =
+  Graph.fold_neighbors g v (fun acc w -> if Bitset.mem s w then acc + 1 else acc) 0
+
+(* Count, per vertex outside [s], how many neighbors it has in [s']; collect
+   those with exactly one. Shared by gamma1 and gamma1_excluding. *)
+let unique_outside g ~outside_of ~from =
+  let n = Graph.n g in
+  let cnt = Array.make n 0 in
+  Bitset.iter
+    (fun v ->
+      Graph.iter_neighbors g v (fun w ->
+          if not (Bitset.mem outside_of w) then cnt.(w) <- cnt.(w) + 1))
+    from;
+  let out = Bitset.create n in
+  for w = 0 to n - 1 do
+    if cnt.(w) = 1 then Bitset.add_inplace out w
+  done;
+  out
+
+let gamma1 g s = unique_outside g ~outside_of:s ~from:s
+
+let gamma1_excluding g s s' =
+  if not (Bitset.subset s' s) then invalid_arg "Nbhd.gamma1_excluding: S' must be a subset of S";
+  unique_outside g ~outside_of:s ~from:s'
+
+let expansion_of_set g s =
+  let k = Bitset.cardinal s in
+  if k = 0 then nan else float_of_int (Bitset.cardinal (gamma_minus g s)) /. float_of_int k
+
+let unique_expansion_of_set g s =
+  let k = Bitset.cardinal s in
+  if k = 0 then nan else float_of_int (Bitset.cardinal (gamma1 g s)) /. float_of_int k
+
+module Bip = struct
+  module Bipartite = Wx_graph.Bipartite
+
+  let covered t s' =
+    let out = Bitset.create (Bipartite.n_count t) in
+    Bitset.iter (fun u -> Array.iter (Bitset.add_inplace out) (Bipartite.neighbors_s t u)) s';
+    out
+
+  let counts t s' =
+    let cnt = Array.make (Bipartite.n_count t) 0 in
+    Bitset.iter
+      (fun u -> Array.iter (fun w -> cnt.(w) <- cnt.(w) + 1) (Bipartite.neighbors_s t u))
+      s';
+    cnt
+
+  let unique t s' =
+    let cnt = counts t s' in
+    let out = Bitset.create (Bipartite.n_count t) in
+    Array.iteri (fun w c -> if c = 1 then Bitset.add_inplace out w) cnt;
+    out
+
+  let unique_count t s' =
+    let cnt = counts t s' in
+    Array.fold_left (fun acc c -> if c = 1 then acc + 1 else acc) 0 cnt
+
+  let iter_gray_unique t elts f =
+    let k = Array.length elts in
+    if k > 30 then invalid_arg "Nbhd.Bip.iter_gray_unique: too many elements";
+    let cnt = Array.make (Bipartite.n_count t) 0 in
+    let uniq = ref 0 in
+    let buf = Bitset.create (Bipartite.s_count t) in
+    let flip u =
+      (* Toggle S-vertex [u]; update per-N counts and the unique counter. *)
+      if Bitset.mem buf u then begin
+        Bitset.remove_inplace buf u;
+        Array.iter
+          (fun w ->
+            if cnt.(w) = 1 then decr uniq else if cnt.(w) = 2 then incr uniq;
+            cnt.(w) <- cnt.(w) - 1)
+          (Bipartite.neighbors_s t u)
+      end
+      else begin
+        Bitset.add_inplace buf u;
+        Array.iter
+          (fun w ->
+            if cnt.(w) = 0 then incr uniq else if cnt.(w) = 1 then decr uniq;
+            cnt.(w) <- cnt.(w) + 1)
+          (Bipartite.neighbors_s t u)
+      end
+    in
+    f buf !uniq;
+    let total = 1 lsl k in
+    for i = 1 to total - 1 do
+      let gray_prev = (i - 1) lxor ((i - 1) lsr 1) in
+      let gray = i lxor (i lsr 1) in
+      let changed = gray lxor gray_prev in
+      let bit =
+        let rec go b = if changed lsr b land 1 = 1 then b else go (b + 1) in
+        go 0
+      in
+      flip elts.(bit);
+      f buf !uniq
+    done
+end

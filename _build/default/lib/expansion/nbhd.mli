@@ -1,0 +1,53 @@
+(** Neighborhood operators from Section 2.1.
+
+    All set arguments and results are {!Wx_util.Bitset.t} over the graph's
+    vertex universe. Notation matches the paper:
+    - [Γ(S)]: all neighbors of S (may intersect S),
+    - [Γ⁻(S) = Γ(S) \ S]: external neighbors,
+    - [Γ¹(S)]: vertices outside S with {e exactly one} neighbor in S,
+    - [Γ¹_S(S′)]: vertices outside S with exactly one neighbor in S′ ⊆ S
+      (the S-excluding unique neighborhood — the quantity wireless
+      expansion maximizes). *)
+
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+
+val gamma : Graph.t -> Bitset.t -> Bitset.t
+val gamma_minus : Graph.t -> Bitset.t -> Bitset.t
+val gamma1 : Graph.t -> Bitset.t -> Bitset.t
+
+val gamma1_excluding : Graph.t -> Bitset.t -> Bitset.t -> Bitset.t
+(** [gamma1_excluding g s s'] is [Γ¹_S(S′)]. Requires [S′ ⊆ S]. *)
+
+val deg_in : Graph.t -> int -> Bitset.t -> int
+(** [deg_in g v s] is [deg(v, S)], the number of v's neighbors inside [s]. *)
+
+val expansion_of_set : Graph.t -> Bitset.t -> float
+(** [|Γ⁻(S)| / |S|]; [nan] on the empty set. *)
+
+val unique_expansion_of_set : Graph.t -> Bitset.t -> float
+(** [|Γ¹(S)| / |S|]. *)
+
+(** The same operators on a bipartite instance [(S, N, E)], where subsets
+    live on side S and neighborhoods on side N. *)
+module Bip : sig
+  module Bipartite = Wx_graph.Bipartite
+
+  val covered : Bipartite.t -> Bitset.t -> Bitset.t
+  (** N-vertices with ≥ 1 neighbor in the S-subset. *)
+
+  val unique : Bipartite.t -> Bitset.t -> Bitset.t
+  (** N-vertices with exactly one neighbor in the S-subset — [Γ¹_S(S′)] when
+      the instance is the graph between S and its neighborhood. *)
+
+  val unique_count : Bipartite.t -> Bitset.t -> int
+  (** [cardinal (unique t s')] without materializing the set. *)
+
+  val iter_gray_unique : Bipartite.t -> int array -> (Bitset.t -> int -> unit) -> unit
+  (** [iter_gray_unique t elts f] enumerates every subset [S′] of the given
+      S-vertices in Gray-code order, maintaining the unique-coverage count
+      incrementally (O(deg) per step instead of O(m)), and calls
+      [f s' count] for each. The bitset is a reused buffer. Requires
+      [Array.length elts <= 30]. This is the kernel of exact wireless
+      expansion. *)
+end

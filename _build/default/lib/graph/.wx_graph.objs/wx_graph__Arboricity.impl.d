@@ -1,0 +1,1 @@
+lib/graph/arboricity.ml: Array Float Graph Wx_util

@@ -1,0 +1,1 @@
+lib/graph/arboricity.mli: Graph Wx_util

@@ -1,0 +1,1 @@
+lib/graph/bipartite.ml: Array Format Graph Hashtbl List Wx_util

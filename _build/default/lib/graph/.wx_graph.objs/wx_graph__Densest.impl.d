@@ -1,0 +1,1 @@
+lib/graph/densest.ml: Array Flow Graph Wx_util

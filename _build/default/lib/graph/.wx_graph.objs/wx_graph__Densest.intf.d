@@ -1,0 +1,1 @@
+lib/graph/densest.mli: Graph Wx_util

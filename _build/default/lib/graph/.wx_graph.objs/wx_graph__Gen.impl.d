@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Bipartite Builder Graph Hashtbl List Wx_util

@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Bipartite Buffer Fun Graph List Printf String Wx_util

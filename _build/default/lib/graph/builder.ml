@@ -1,0 +1,27 @@
+type t = { mutable n : int; edges : (int * int, unit) Hashtbl.t }
+
+let create n =
+  if n < 0 then invalid_arg "Builder.create";
+  { n; edges = Hashtbl.create 64 }
+
+let n t = t.n
+
+let key u v = if u < v then (u, v) else (v, u)
+
+let add_edge t u v =
+  if u = v then invalid_arg "Builder.add_edge: self-loop";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Builder.add_edge: endpoint out of range";
+  Hashtbl.replace t.edges (key u v) ()
+
+let mem_edge t u v = Hashtbl.mem t.edges (key u v)
+let edge_count t = Hashtbl.length t.edges
+
+let add_vertex t =
+  let v = t.n in
+  t.n <- t.n + 1;
+  v
+
+let to_graph t =
+  let es = Hashtbl.fold (fun e () acc -> e :: acc) t.edges [] in
+  Graph.of_edges t.n es

@@ -1,0 +1,25 @@
+(** Mutable edge accumulator producing a {!Graph.t}.
+
+    Generators and constructions add edges incrementally; duplicates are
+    tolerated (collapsed on [to_graph]) but self-loops are rejected
+    immediately so bugs surface at the add site. *)
+
+type t
+
+val create : int -> t
+(** [create n] starts an empty builder over [0..n-1] vertices. *)
+
+val n : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent; raises [Invalid_argument] on self-loops or range errors. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val edge_count : t -> int
+(** Distinct edges added so far. *)
+
+val add_vertex : t -> int
+(** Grow the universe by one; returns the new vertex's index. *)
+
+val to_graph : t -> Graph.t

@@ -1,0 +1,23 @@
+let st_edge_connectivity g u v =
+  if u = v then invalid_arg "Connectivity.st_edge_connectivity: same vertex";
+  let f = Flow.create (Graph.n g) in
+  (* An undirected unit edge = one unit of capacity in each direction. *)
+  Graph.iter_edges g (fun a b ->
+      Flow.add_edge f a b 1;
+      Flow.add_edge f b a 1);
+  Flow.max_flow f ~source:u ~sink:v
+
+let edge_connectivity g =
+  let n = Graph.n g in
+  if n <= 1 then 0
+  else begin
+    (* λ(G) = min over t of mincut(0, t): vertex 0 is on one side of any
+       global minimum cut, some t on the other. *)
+    let best = ref max_int in
+    for t = 1 to n - 1 do
+      best := min !best (st_edge_connectivity g 0 t)
+    done;
+    !best
+  end
+
+let is_k_edge_connected g k = edge_connectivity g >= k

@@ -1,0 +1,16 @@
+(** Edge connectivity via max-flow (Menger's theorem).
+
+    Expanders are highly connected; this gives the exact global edge
+    connectivity λ(G), used to sanity-check generated hosts (a d-regular
+    expander should have λ = d) and as another from-scratch substrate on
+    top of {!Flow}. *)
+
+val st_edge_connectivity : Graph.t -> int -> int -> int
+(** Max number of edge-disjoint u–v paths = min u–v cut (unit capacities
+    both directions). *)
+
+val edge_connectivity : Graph.t -> int
+(** Global λ(G) = min over t ≠ 0 of the 0–t cut (n − 1 flow runs).
+    Returns 0 for disconnected or single-vertex graphs. *)
+
+val is_k_edge_connected : Graph.t -> int -> bool

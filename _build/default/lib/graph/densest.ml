@@ -1,0 +1,91 @@
+module Bitset = Wx_util.Bitset
+
+(* Goldberg's network for the test "does some U containing the anchor r
+   satisfy q·|E(U)| − p·(|U| − offset) > 0?":
+
+     source → edge-node            capacity q   (one node per edge)
+     edge-node → both endpoints    capacity ∞
+     vertex → sink                 capacity p
+     source → r                    capacity ∞   (forces r ∈ U)
+
+   A finite cut keeps an edge-node on the source side iff both endpoints
+   are, so min-cut = q·m − max_{U ∋ r} (q·|E(U)| − p·|U|). Anchoring at r
+   rules out the degenerate U = ∅ optimum that makes the unanchored
+   problem insensitive to the −offset shift in the denominator. *)
+let best_anchored g ~p ~q ~r =
+  let n = Graph.n g and m = Graph.m g in
+  let source = n + m and sink = n + m + 1 in
+  let fl = Flow.create (n + m + 2) in
+  let ei = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      let enode = n + !ei in
+      incr ei;
+      Flow.add_edge fl source enode q;
+      Flow.add_edge fl enode u Flow.infinite;
+      Flow.add_edge fl enode v Flow.infinite);
+  for v = 0 to n - 1 do
+    Flow.add_edge fl v sink p
+  done;
+  Flow.add_edge fl source r Flow.infinite;
+  let _ = Flow.max_flow fl ~source ~sink in
+  let side = Flow.min_cut_side fl ~source in
+  let u = Bitset.create n in
+  for v = 0 to n - 1 do
+    if side.(v) then Bitset.add_inplace u v
+  done;
+  u
+
+let edges_within g u =
+  let acc = ref 0 in
+  Bitset.iter
+    (fun v -> Graph.iter_neighbors g v (fun w -> if w > v && Bitset.mem u w then incr acc))
+    u;
+  !acc
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let max_density ?(offset = 1) g =
+  if offset < 0 then invalid_arg "Densest.max_density: negative offset";
+  let n = Graph.n g in
+  if n <= offset then invalid_arg "Densest.max_density: graph too small for offset";
+  if Graph.m g = 0 then (0, 1, Bitset.of_list n [ 0 ])
+  else begin
+    (* Dinkelbach: start from the whole graph's density, repeatedly ask the
+       anchored Goldberg test for a strictly denser set. Each accepted set
+       realizes a strictly larger rational with denominator < n, so the
+       loop terminates. *)
+    let init_num = Graph.m g and init_den = max 1 (n - offset) in
+    let d0 = max 1 (gcd init_num init_den) in
+    let best_num = ref (init_num / d0) in
+    let best_den = ref (init_den / d0) in
+    let best_set = ref (Bitset.full n) in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      let p = !best_num and q = !best_den in
+      for r = 0 to n - 1 do
+        let u = best_anchored g ~p ~q ~r in
+        let k = Bitset.cardinal u in
+        if k > offset then begin
+          let num = edges_within g u in
+          let den = k - offset in
+          (* Strictly denser than the incumbent? (cross-multiplied) *)
+          if num * !best_den > !best_num * den then begin
+            let d = max 1 (gcd num den) in
+            best_num := num / d;
+            best_den := den / d;
+            best_set := u;
+            improved := true
+          end
+        end
+      done
+    done;
+    (!best_num, !best_den, !best_set)
+  end
+
+let arboricity_exact g =
+  if Graph.n g <= 1 || Graph.m g = 0 then 0
+  else begin
+    let num, den, _ = max_density ~offset:1 g in
+    (num + den - 1) / den
+  end

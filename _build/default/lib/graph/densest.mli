@@ -1,0 +1,25 @@
+(** Exact maximum subgraph density via parametric flow (Goldberg's
+    construction + Dinkelbach iteration).
+
+    The paper defines arboricity as [max_U ⌈|E(U)|/(|U|−1)⌉] (§2.1); by
+    Nash–Williams this equals the minimum number of forests covering the
+    graph. {!Arboricity.exact} enumerates subsets and stops at n = 20;
+    this module computes the same maximum {e exactly} in polynomial time
+    for any n: whether some [U] has [|E(U)| > g·(|U|−1)] is a min-cut
+    question on Goldberg's network (scaled to integer capacities when [g]
+    is rational), and Dinkelbach iteration converges to the optimum in
+    finitely many cuts because each iterate is a realized density. *)
+
+val max_density : ?offset:int -> Graph.t -> int * int * Wx_util.Bitset.t
+(** [max_density ~offset g] maximizes [|E(U)| / (|U| − offset)] over
+    vertex sets with [|U| > offset]; returns [(num, den, u)] with the
+    optimum equal to [num/den] attained by [u] ([|E(u)| = num],
+    [|u| − offset = den]). [offset] defaults to 1 (the paper's arboricity
+    denominator); [offset = 0] gives the classic densest subgraph.
+    Raises [Invalid_argument] if the graph has no feasible set
+    (fewer than [offset + 1] vertices) and returns [(0, 1, ∅)]-style
+    degenerate answers only for edgeless graphs. *)
+
+val arboricity_exact : Graph.t -> int
+(** [⌈max_U |E(U)|/(|U|−1)⌉] — exact arboricity at any size. 0 for graphs
+    with ≤ 1 vertex or no edges. *)

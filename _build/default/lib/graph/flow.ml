@@ -1,0 +1,125 @@
+(* Arc storage: parallel arrays, arcs come in pairs (arc i's reverse is
+   i lxor 1). *)
+type t = {
+  n : int;
+  mutable head : int array; (* head.(v) = first arc index out of v, -1 none *)
+  mutable nxt : int array;
+  mutable dst : int array;
+  mutable cap : int array;
+  mutable arcs : int;
+}
+
+let infinite = max_int / 4
+
+let create n =
+  {
+    n;
+    head = Array.make n (-1);
+    nxt = Array.make 16 (-1);
+    dst = Array.make 16 0;
+    cap = Array.make 16 0;
+    arcs = 0;
+  }
+
+let grow t =
+  let len = Array.length t.nxt in
+  if t.arcs + 2 > len then begin
+    let nlen = 2 * len in
+    let extend a fill =
+      let b = Array.make nlen fill in
+      Array.blit a 0 b 0 len;
+      b
+    in
+    t.nxt <- extend t.nxt (-1);
+    t.dst <- extend t.dst 0;
+    t.cap <- extend t.cap 0
+  end
+
+let add_arc t u v c =
+  grow t;
+  let i = t.arcs in
+  t.arcs <- i + 1;
+  t.dst.(i) <- v;
+  t.cap.(i) <- c;
+  t.nxt.(i) <- t.head.(u);
+  t.head.(u) <- i
+
+let add_edge t u v cap =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Flow.add_edge: node out of range";
+  if cap < 0 then invalid_arg "Flow.add_edge: negative capacity";
+  add_arc t u v cap;
+  add_arc t v u 0
+
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Flow.max_flow: source = sink";
+  let level = Array.make t.n (-1) in
+  let it = Array.make t.n (-1) in
+  let bfs () =
+    Array.fill level 0 t.n (-1);
+    level.(source) <- 0;
+    let q = Queue.create () in
+    Queue.add source q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      let a = ref t.head.(v) in
+      while !a >= 0 do
+        if t.cap.(!a) > 0 && level.(t.dst.(!a)) < 0 then begin
+          level.(t.dst.(!a)) <- level.(v) + 1;
+          Queue.add t.dst.(!a) q
+        end;
+        a := t.nxt.(!a)
+      done
+    done;
+    level.(sink) >= 0
+  in
+  (* Blocking-flow DFS with the current-arc optimization. *)
+  let rec dfs v pushed =
+    if v = sink then pushed
+    else begin
+      let result = ref 0 in
+      while !result = 0 && it.(v) >= 0 do
+        let a = it.(v) in
+        let w = t.dst.(a) in
+        if t.cap.(a) > 0 && level.(w) = level.(v) + 1 then begin
+          let d = dfs w (min pushed t.cap.(a)) in
+          if d > 0 then begin
+            t.cap.(a) <- t.cap.(a) - d;
+            t.cap.(a lxor 1) <- t.cap.(a lxor 1) + d;
+            result := d
+          end
+          else it.(v) <- t.nxt.(a)
+        end
+        else it.(v) <- t.nxt.(a)
+      done;
+      !result
+    end
+  in
+  let flow = ref 0 in
+  while bfs () do
+    Array.blit t.head 0 it 0 t.n;
+    let d = ref (dfs source infinite) in
+    while !d > 0 do
+      flow := !flow + !d;
+      d := dfs source infinite
+    done
+  done;
+  !flow
+
+let min_cut_side t ~source =
+  let seen = Array.make t.n false in
+  let q = Queue.create () in
+  seen.(source) <- true;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    let a = ref t.head.(v) in
+    while !a >= 0 do
+      let w = t.dst.(!a) in
+      if t.cap.(!a) > 0 && not seen.(w) then begin
+        seen.(w) <- true;
+        Queue.add w q
+      end;
+      a := t.nxt.(!a)
+    done
+  done;
+  seen

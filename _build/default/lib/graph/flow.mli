@@ -1,0 +1,28 @@
+(** Dinic maximum-flow on integer capacities.
+
+    Substrate for the exact densest-subgraph / Nash–Williams arboricity
+    computation ({!Densest}), which the low-arboricity experiment (E12)
+    uses to certify arboricity exactly at sizes where the subset-
+    enumeration definition is unusable. *)
+
+type t
+
+val create : int -> t
+(** [create n] — a flow network on nodes [0..n-1] with no arcs. *)
+
+val add_edge : t -> int -> int -> int -> unit
+(** [add_edge t u v cap] adds a directed arc with the given capacity (and
+    its residual reverse arc of capacity 0). [cap] must be ≥ 0; use
+    {!infinite} for effectively unbounded arcs. *)
+
+val infinite : int
+(** A capacity larger than any sum of finite capacities we build
+    ([max_int / 4]). *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Runs Dinic (BFS level graph + blocking DFS). The network's residual
+    state is consumed: call on a freshly built network. *)
+
+val min_cut_side : t -> source:int -> bool array
+(** After {!max_flow}, the source side of a minimum cut: vertices reachable
+    from the source in the residual graph. *)

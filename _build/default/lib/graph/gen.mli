@@ -1,0 +1,76 @@
+(** Graph generators: deterministic families and random models.
+
+    These supply base expanders and low-arboricity controls for the
+    experiments. Random generators take an explicit {!Wx_util.Rng.t}. *)
+
+val cycle : int -> Graph.t
+(** [cycle n], [n >= 3]. *)
+
+val path : int -> Graph.t
+val star : int -> Graph.t
+(** [star n]: center 0, leaves [1..n-1]. *)
+
+val complete : int -> Graph.t
+
+val complete_bipartite : int -> int -> Graph.t
+(** [complete_bipartite a b]: left side [0..a-1], right side [a..a+b-1]. *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h]: 4-neighbor grid; vertex [(x, y)] is [y*w + x]. Planar, so
+    arboricity ≤ 3 — a key low-arboricity family for E12. *)
+
+val torus : int -> int -> Graph.t
+(** Wrap-around grid; 4-regular when both sides ≥ 3. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d]: the d-dimensional cube on 2^d vertices; d-regular with
+    known good expansion. *)
+
+val binary_tree : int -> Graph.t
+(** [binary_tree depth]: perfect binary tree with [2^depth] leaves and
+    [2^(depth+1) - 1] vertices; heap indexing (root 0, children 2i+1/2i+2). *)
+
+val gnp : Wx_util.Rng.t -> int -> float -> Graph.t
+(** Erdős–Rényi [G(n, p)]. *)
+
+val random_regular : Wx_util.Rng.t -> int -> int -> Graph.t
+(** [random_regular rng n d]: uniform-ish simple d-regular graph via the
+    configuration model with edge-swap repair (requires [n*d] even,
+    [d < n]). Raises [Failure] only if the repair budget is exhausted
+    (never observed for d ≤ n/2). *)
+
+val random_bipartite_sdeg : Wx_util.Rng.t -> s:int -> n:int -> d:int -> Bipartite.t
+(** Random bipartite instance where each S-vertex picks [d] distinct random
+    N-neighbors; requires [d <= n]. *)
+
+val margulis : int -> Graph.t
+(** Margulis–Gabber–Galil expander on [Z_m × Z_m]: vertex (x,y) connected
+    via the four maps (x±y, y), (x±y+1, y), (x, y±x), (x, y±x+1) and their
+    inverses, collapsed to a simple graph (degree ≤ 8). A classic explicit
+    expander family. *)
+
+val double_cover : Graph.t -> Graph.t
+(** Bipartite double cover [G × K₂]: vertex [v] splits into [v] and [v+n];
+    edge (u,v) becomes (u, v+n) and (v, u+n). Turns a non-bipartite
+    expander into a bipartite one (used when the Section 4.3.3 remark asks
+    for a bipartite host). *)
+
+val bipartite_matching : Wx_util.Rng.t -> int -> Bipartite.t
+(** [bipartite_matching rng n]: a perfect matching between two sides of
+    size [n] under a uniformly random bijection. The regime where the
+    paper's average-degree spokesmen bound beats Chlamtac–Weinstein's
+    [|N|/log|S|] for large [n] (see §4.2.1 and experiment E9). *)
+
+val lollipop : int -> int -> Graph.t
+(** [lollipop clique tail]: a K_clique with a path of [tail] extra vertices
+    hanging off vertex 0 — the classic bad-expansion control. *)
+
+val barbell : int -> Graph.t
+(** [barbell k]: two K_k cliques joined by a single edge; expansion and
+    Cheeger constant collapse at the bridge. *)
+
+val barabasi_albert : Wx_util.Rng.t -> int -> int -> Graph.t
+(** [barabasi_albert rng n m]: preferential attachment, each new vertex
+    linking to [m] existing ones weighted by degree. Heavy-tailed degrees —
+    the skewed spokesmen workload where average-degree bounds shine.
+    Requires [n > m >= 1]. *)

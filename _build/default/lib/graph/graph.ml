@@ -1,0 +1,152 @@
+module Bitset = Wx_util.Bitset
+
+type t = { n : int; m : int; adj : int array array }
+
+let of_edges n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let seen = Hashtbl.create (2 * List.length edges) in
+  let deg = Array.make n 0 in
+  let clean =
+    List.filter
+      (fun (u, v) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Graph.of_edges: endpoint out of range";
+        if u = v then invalid_arg "Graph.of_edges: self-loop";
+        let key = if u < v then (u, v) else (v, u) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          deg.(u) <- deg.(u) + 1;
+          deg.(v) <- deg.(v) + 1;
+          true
+        end)
+      edges
+  in
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    clean;
+  Array.iter (fun a -> Array.sort compare a) adj;
+  { n; m = List.length clean; adj }
+
+let n g = g.n
+let m g = g.m
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g =
+  let d = ref 0 in
+  for v = 0 to g.n - 1 do
+    d := max !d (degree g v)
+  done;
+  !d
+
+let min_degree g =
+  if g.n = 0 then 0
+  else begin
+    let d = ref max_int in
+    for v = 0 to g.n - 1 do
+      d := min !d (degree g v)
+    done;
+    !d
+  end
+
+let avg_degree g = if g.n = 0 then 0.0 else 2.0 *. float_of_int g.m /. float_of_int g.n
+
+let is_regular g =
+  if g.n = 0 then Some 0
+  else begin
+    let d = degree g 0 in
+    let rec go v = if v >= g.n then Some d else if degree g v = d then go (v + 1) else None in
+    go 1
+  end
+
+let neighbors g v = g.adj.(v)
+let iter_neighbors g v f = Array.iter f g.adj.(v)
+let fold_neighbors g v f init = Array.fold_left f init g.adj.(v)
+
+let mem_edge g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then false
+  else begin
+    let a = g.adj.(u) in
+    (* Binary search in the sorted adjacency array. *)
+    let lo = ref 0 and hi = ref (Array.length a - 1) in
+    let found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) = v then found := true
+      else if a.(mid) < v then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  end
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let iter_vertices g f =
+  for v = 0 to g.n - 1 do
+    f v
+  done
+
+let induced g s =
+  let keep = Bitset.to_array s in
+  let k = Array.length keep in
+  let back = Array.make g.n (-1) in
+  Array.iteri (fun i v -> back.(v) <- i) keep;
+  let es = ref [] in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun w -> if back.(w) >= 0 && back.(w) > i then es := (i, back.(w)) :: !es)
+        g.adj.(v))
+    keep;
+  (of_edges k !es, keep)
+
+let disjoint_union a b =
+  let shift = a.n in
+  let es = edges a @ List.map (fun (u, v) -> (u + shift, v + shift)) (edges b) in
+  of_edges (a.n + b.n) es
+
+let add_vertices_and_edges g k es =
+  let n' = g.n + k in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n' || v < 0 || v >= n' then
+        invalid_arg "Graph.add_vertices_and_edges: endpoint out of range")
+    es;
+  of_edges n' (edges g @ es)
+
+let relabel g perm =
+  if Array.length perm <> g.n then invalid_arg "Graph.relabel: bad permutation length";
+  let seen = Array.make g.n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= g.n || seen.(p) then invalid_arg "Graph.relabel: not a permutation";
+      seen.(p) <- true)
+    perm;
+  of_edges g.n (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g))
+
+let equal a b = a.n = b.n && a.m = b.m && a.adj = b.adj
+
+let pp fmt g = Format.fprintf fmt "graph(n=%d, m=%d, Δ=%d)" g.n g.m (max_degree g)
+
+let pp_adjacency fmt g =
+  pp fmt g;
+  Format.fprintf fmt "@.";
+  for v = 0 to g.n - 1 do
+    Format.fprintf fmt "  %d:" v;
+    Array.iter (fun w -> Format.fprintf fmt " %d" w) g.adj.(v);
+    Format.fprintf fmt "@."
+  done

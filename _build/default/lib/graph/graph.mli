@@ -1,0 +1,68 @@
+(** Immutable undirected simple graphs.
+
+    Vertices are [0..n-1]. Adjacency lists are sorted arrays, so membership
+    tests are O(log deg) and neighbor iteration is cache-friendly. Build
+    graphs with {!Builder} or {!of_edges}. *)
+
+type t
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds the graph on [n] vertices. Duplicate edges are
+    collapsed; self-loops raise [Invalid_argument], as do out-of-range
+    endpoints. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val min_degree : t -> int
+val avg_degree : t -> float
+
+val is_regular : t -> int option
+(** [Some d] when every vertex has degree [d]. *)
+
+val neighbors : t -> int -> int array
+(** Sorted adjacency array. {b Do not mutate} — it is the graph's own
+    storage. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val mem_edge : t -> int -> int -> bool
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Each undirected edge visited once, with [u < v]. *)
+
+val edges : t -> (int * int) list
+
+val iter_vertices : t -> (int -> unit) -> unit
+
+val induced : t -> Wx_util.Bitset.t -> t * int array
+(** [induced g s] is the subgraph induced by vertex set [s], together with
+    the map from new indices to original vertices. *)
+
+val disjoint_union : t -> t -> t
+(** Vertices of the second graph are shifted by [n first]. *)
+
+val add_vertices_and_edges : t -> int -> (int * int) list -> t
+(** [add_vertices_and_edges g k es] appends [k] fresh vertices
+    [n g .. n g + k - 1] and adds edges [es] (which may touch old and new
+    vertices). Used to plug construction gadgets on top of host expanders
+    (Section 4.3.3). *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] renames vertex [v] to [perm.(v)]; [perm] must be a
+    permutation of [0..n-1]. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same n, same edge set). *)
+
+val pp : Format.formatter -> t -> unit
+(** Short description: ["graph(n=8, m=12, Δ=3)"]. *)
+
+val pp_adjacency : Format.formatter -> t -> unit
+(** Full adjacency dump, for debugging small graphs. *)

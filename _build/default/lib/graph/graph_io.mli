@@ -1,0 +1,24 @@
+(** Plain-text graph serialization.
+
+    Format: first non-comment line is [n m]; each following line one edge
+    [u v]. Lines starting with [#] are comments. This is the DIMACS-lite
+    edge-list convention most graph tooling reads, so instances can move
+    between this library, the CLI, and external tools. *)
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save : Graph.t -> string -> unit
+(** [save g path]. *)
+
+val load : string -> Graph.t
+
+val bipartite_to_string : Bipartite.t -> string
+(** First line [s n m]; then [u w] edges with [u] on side S. *)
+
+val bipartite_of_string : string -> Bipartite.t
+
+val to_dot : ?highlight:Wx_util.Bitset.t -> Graph.t -> string
+(** Graphviz DOT output; [highlight] fills the given vertices — handy for
+    eyeballing expansion witnesses. *)

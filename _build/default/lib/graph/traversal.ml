@@ -1,0 +1,124 @@
+module Bitset = Wx_util.Bitset
+
+let bfs_from g init_dist =
+  let n = Graph.n g in
+  let dist = init_dist in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if dist.(v) = 0 then Queue.add v queue
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Graph.iter_neighbors g v (fun w ->
+        if dist.(w) = max_int then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+  done;
+  dist
+
+let bfs g src =
+  let n = Graph.n g in
+  if src < 0 || src >= n then invalid_arg "Traversal.bfs: source out of range";
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  bfs_from g dist
+
+let bfs_multi g srcs =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  Bitset.iter (fun v -> dist.(v) <- 0) srcs;
+  bfs_from g dist
+
+let bfs_layers g src =
+  let dist = bfs g src in
+  let maxd = Array.fold_left (fun a d -> if d <> max_int then max a d else a) 0 dist in
+  let buckets = Array.make (maxd + 1) [] in
+  Array.iteri (fun v d -> if d <> max_int then buckets.(d) <- v :: buckets.(d)) dist;
+  Array.to_list (Array.map (fun l -> Array.of_list (List.rev l)) buckets)
+
+let eccentricity g v =
+  let dist = bfs g v in
+  Array.fold_left
+    (fun acc d -> if d = max_int then max_int else if acc = max_int then acc else max acc d)
+    0 dist
+
+let diameter g =
+  let n = Graph.n g in
+  if n < 2 then 0
+  else begin
+    let d = ref 0 in
+    (try
+       for v = 0 to n - 1 do
+         let e = eccentricity g v in
+         if e = max_int then begin
+           d := max_int;
+           raise Exit
+         end;
+         d := max !d e
+       done
+     with Exit -> ());
+    !d
+  end
+
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if comp.(v) = -1 then begin
+      let id = !count in
+      incr count;
+      let queue = Queue.create () in
+      comp.(v) <- id;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Graph.iter_neighbors g u (fun w ->
+            if comp.(w) = -1 then begin
+              comp.(w) <- id;
+              Queue.add w queue
+            end)
+      done
+    end
+  done;
+  (comp, !count)
+
+let is_connected g =
+  Graph.n g <= 1
+  ||
+  let _, c = components g in
+  c = 1
+
+let distance g u v =
+  let dist = bfs g u in
+  dist.(v)
+
+let bipartition g =
+  let n = Graph.n g in
+  let color = Array.make n (-1) in
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    if !ok && color.(src) = -1 then begin
+      color.(src) <- 0;
+      let queue = Queue.create () in
+      Queue.add src queue;
+      while !ok && not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        Graph.iter_neighbors g v (fun w ->
+            if color.(w) = -1 then begin
+              color.(w) <- 1 - color.(v);
+              Queue.add w queue
+            end
+            else if color.(w) = color.(v) then ok := false)
+      done
+    end
+  done;
+  if not !ok then None
+  else begin
+    let a = Bitset.create n and b = Bitset.create n in
+    Array.iteri (fun v c -> if c = 1 then Bitset.add_inplace b v else Bitset.add_inplace a v) color;
+    Some (a, b)
+  end
+
+let is_bipartite g = bipartition g <> None

@@ -1,0 +1,38 @@
+(** BFS-based graph traversal: distances, components, diameter.
+
+    The Section-5 broadcast experiments need diameters; expansion witnesses
+    need connectivity checks. *)
+
+val bfs : Graph.t -> int -> int array
+(** [bfs g src] returns the distance array; unreachable vertices get
+    [max_int]. *)
+
+val bfs_multi : Graph.t -> Wx_util.Bitset.t -> int array
+(** BFS from a set of sources (distance to the nearest source). *)
+
+val bfs_layers : Graph.t -> int -> int array list
+(** Vertices grouped by distance from the source: layer 0 is [[src]],
+    layer i the vertices at distance i. Unreachable vertices are omitted. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Max finite distance from the vertex; [max_int] if the graph is
+    disconnected from it. *)
+
+val diameter : Graph.t -> int
+(** Exact diameter via all-pairs BFS; [max_int] when disconnected,
+    0 for graphs with fewer than 2 vertices. *)
+
+val components : Graph.t -> int array * int
+(** [(comp, count)]: component id per vertex, and number of components. *)
+
+val is_connected : Graph.t -> bool
+
+val distance : Graph.t -> int -> int -> int
+(** Pairwise distance ([max_int] if disconnected). *)
+
+val is_bipartite : Graph.t -> bool
+(** BFS 2-coloring; true also for edgeless/disconnected graphs whose every
+    component is 2-colorable. *)
+
+val bipartition : Graph.t -> (Wx_util.Bitset.t * Wx_util.Bitset.t) option
+(** The two color classes when the graph is bipartite. *)

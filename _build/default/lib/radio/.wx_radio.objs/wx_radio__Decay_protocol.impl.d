@@ -1,0 +1,1 @@
+lib/radio/decay_protocol.ml: Network Printf Protocol Wx_graph Wx_util

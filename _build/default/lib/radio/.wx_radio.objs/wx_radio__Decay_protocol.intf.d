@@ -1,0 +1,1 @@
+lib/radio/decay_protocol.mli: Protocol

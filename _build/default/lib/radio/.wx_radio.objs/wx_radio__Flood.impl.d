@@ -1,0 +1,1 @@
+lib/radio/flood.ml: Network Protocol Wx_util

@@ -1,0 +1,1 @@
+lib/radio/network.ml: Array Wx_graph Wx_util

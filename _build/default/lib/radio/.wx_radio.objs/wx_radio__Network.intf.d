@@ -1,0 +1,1 @@
+lib/radio/network.mli: Wx_graph Wx_util

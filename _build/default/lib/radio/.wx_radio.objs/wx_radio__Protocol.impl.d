@@ -1,0 +1,1 @@
+lib/radio/protocol.ml: Network Wx_util

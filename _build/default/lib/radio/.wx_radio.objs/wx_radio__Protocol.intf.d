@@ -1,0 +1,1 @@
+lib/radio/protocol.mli: Network Wx_util

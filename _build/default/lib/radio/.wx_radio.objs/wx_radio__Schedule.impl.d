@@ -1,0 +1,1 @@
+lib/radio/schedule.ml: Array List Network Wx_graph Wx_spokesmen Wx_util

@@ -1,0 +1,1 @@
+lib/radio/schedule.mli: Wx_graph Wx_spokesmen Wx_util

@@ -1,0 +1,1 @@
+lib/radio/sim.ml: Array Float List Network Protocol Wx_graph Wx_util

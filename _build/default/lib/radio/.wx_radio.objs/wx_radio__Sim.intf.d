@@ -1,0 +1,1 @@
+lib/radio/sim.mli: Protocol Wx_graph Wx_util

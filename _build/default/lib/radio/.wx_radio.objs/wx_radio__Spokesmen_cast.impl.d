@@ -1,0 +1,1 @@
+lib/radio/spokesmen_cast.ml: Array Network Protocol Wx_graph Wx_spokesmen Wx_util

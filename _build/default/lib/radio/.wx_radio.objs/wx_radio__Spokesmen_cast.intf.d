@@ -1,0 +1,1 @@
+lib/radio/spokesmen_cast.mli: Protocol Wx_graph Wx_spokesmen Wx_util

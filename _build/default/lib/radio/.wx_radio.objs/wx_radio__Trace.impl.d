@@ -1,0 +1,1 @@
+lib/radio/trace.ml: Buffer List Network Printf Protocol String Wx_graph Wx_util

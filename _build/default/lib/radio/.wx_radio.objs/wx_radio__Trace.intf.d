@@ -1,0 +1,1 @@
+lib/radio/trace.mli: Protocol Wx_graph Wx_util

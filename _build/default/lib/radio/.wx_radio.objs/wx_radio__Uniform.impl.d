@@ -1,0 +1,1 @@
+lib/radio/uniform.ml: Network Printf Protocol Wx_graph Wx_util

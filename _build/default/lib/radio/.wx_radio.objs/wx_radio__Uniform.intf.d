@@ -1,0 +1,1 @@
+lib/radio/uniform.mli: Protocol

@@ -1,0 +1,44 @@
+module Bitset = Wx_util.Bitset
+module Rng = Wx_util.Rng
+
+let phase_length n = Wx_util.Floatx.log2i_ceil (max 2 n) + 1
+
+let make name k_opt =
+  {
+    Protocol.name;
+    distributed = true;
+    choose =
+      (fun net rng ->
+        let g = Network.graph net in
+        let k = match k_opt with Some k -> k | None -> phase_length (Wx_graph.Graph.n g) in
+        let round = Network.round net in
+        let out = Bitset.create (Wx_graph.Graph.n g) in
+        Bitset.iter
+          (fun v ->
+            let t0 = Network.informed_since net v in
+            let slot = (round - t0) mod k in
+            let p = 1.0 /. float_of_int (1 lsl slot) in
+            if Rng.bernoulli rng p then Bitset.add_inplace out v)
+          (Network.informed net);
+        out);
+  }
+
+let protocol = make "decay" None
+let with_phase_length k = make (Printf.sprintf "decay-k%d" k) (Some k)
+
+let globally_phased =
+  {
+    Protocol.name = "decay-global";
+    distributed = true;
+    choose =
+      (fun net rng ->
+        let g = Network.graph net in
+        let k = phase_length (Wx_graph.Graph.n g) in
+        let slot = Network.round net mod k in
+        let p = 1.0 /. float_of_int (1 lsl slot) in
+        let out = Bitset.create (Wx_graph.Graph.n g) in
+        Bitset.iter
+          (fun v -> if Rng.bernoulli rng p then Bitset.add_inplace out v)
+          (Network.informed net);
+        out);
+  }

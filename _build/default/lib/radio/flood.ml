@@ -1,0 +1,6 @@
+let protocol =
+  {
+    Protocol.name = "flood";
+    distributed = true;
+    choose = (fun net _rng -> Wx_util.Bitset.copy (Network.informed net));
+  }

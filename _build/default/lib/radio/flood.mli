@@ -1,0 +1,7 @@
+(** Naive flooding: every informed processor transmits every round.
+
+    This is the strategy whose failure on C⁺ motivates the paper — once
+    both clique attachment points are informed, every clique vertex hears
+    a collision forever and the broadcast stalls. *)
+
+val protocol : Protocol.t

@@ -1,0 +1,53 @@
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  informed : Bitset.t;
+  since : int array;
+  mutable round : int;
+  mutable collisions : int;
+}
+
+let create g source =
+  if source < 0 || source >= Graph.n g then invalid_arg "Network.create: bad source";
+  let informed = Bitset.create (Graph.n g) in
+  Bitset.add_inplace informed source;
+  let since = Array.make (Graph.n g) (-1) in
+  since.(source) <- 0;
+  { graph = g; informed; since; round = 0; collisions = 0 }
+
+let graph t = t.graph
+let round t = t.round
+let informed t = t.informed
+let is_informed t v = Bitset.mem t.informed v
+let informed_count t = Bitset.cardinal t.informed
+let all_informed t = informed_count t = Graph.n t.graph
+let informed_since t v = t.since.(v)
+let collisions t = t.collisions
+
+let step t transmitters =
+  if not (Bitset.subset transmitters t.informed) then
+    invalid_arg "Network.step: transmitter without the message";
+  let n = Graph.n t.graph in
+  let heard = Array.make n 0 in
+  Bitset.iter
+    (fun v ->
+      Graph.iter_neighbors t.graph v (fun w ->
+          if heard.(w) < 2 then heard.(w) <- heard.(w) + 1
+          else heard.(w) <- heard.(w) (* saturate *)))
+    transmitters;
+  t.round <- t.round + 1;
+  let newly = Bitset.create n in
+  for w = 0 to n - 1 do
+    if heard.(w) >= 2 && not (Bitset.mem transmitters w) then t.collisions <- t.collisions + 1;
+    (* Reception: silent, exactly one transmitting neighbor. A transmitting
+       processor hears nothing (it is busy transmitting). *)
+    if heard.(w) = 1 && (not (Bitset.mem transmitters w)) && not (Bitset.mem t.informed w)
+    then begin
+      Bitset.add_inplace newly w;
+      t.since.(w) <- t.round
+    end
+  done;
+  Bitset.union_inplace t.informed newly;
+  newly

@@ -1,0 +1,37 @@
+(** Synchronous radio network state (the model of [8], Section 1.1).
+
+    Rounds are synchronous. In a round every processor either transmits or
+    stays silent; a silent processor receives the message iff {e exactly
+    one} of its neighbors transmits. Two or more transmitting neighbors
+    collide, which is indistinguishable from silence — the simulator counts
+    such collision events but never reveals them to protocols. *)
+
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+
+type t
+
+val create : Graph.t -> int -> t
+(** [create g source]: only [source] holds the message at round 0. *)
+
+val graph : t -> Graph.t
+val round : t -> int
+val informed : t -> Bitset.t
+(** The set of processors holding the message. Do not mutate. *)
+
+val is_informed : t -> int -> bool
+val informed_count : t -> int
+val all_informed : t -> bool
+
+val informed_since : t -> int -> int
+(** Round at which the vertex received the message (0 for the source);
+    [-1] if not yet informed. Protocols may read this for their own
+    vertex — it is local knowledge. *)
+
+val collisions : t -> int
+(** Total collision events so far (vertex-rounds hearing ≥ 2 transmitters). *)
+
+val step : t -> Bitset.t -> Bitset.t
+(** [step t transmitters] advances one round and returns the newly informed
+    set. Raises [Invalid_argument] if some transmitter is not informed
+    (a processor cannot transmit a message it does not hold). *)

@@ -1,0 +1,5 @@
+type t = {
+  name : string;
+  distributed : bool;
+  choose : Network.t -> Wx_util.Rng.t -> Wx_util.Bitset.t;
+}

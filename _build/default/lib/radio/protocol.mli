@@ -1,0 +1,18 @@
+(** Broadcast protocol interface.
+
+    A protocol chooses, each round, which informed processors transmit.
+    Distributed protocols ({!Decay_protocol}, {!Flood}) must base each
+    vertex's decision only on locally observable state (whether it holds
+    the message, when it received it, the round number, global constants
+    like n, and private randomness). Centralized schedules
+    ({!Spokesmen_cast}) may look at the whole topology — the Section 5
+    lower bound holds against these too, which is what makes reproducing
+    it with a centralized upper-bound protocol meaningful. *)
+
+type t = {
+  name : string;
+  distributed : bool;
+  choose : Network.t -> Wx_util.Rng.t -> Wx_util.Bitset.t;
+      (** Transmitter set for the coming round; must be a subset of the
+          informed set. *)
+}

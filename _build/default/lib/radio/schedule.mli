@@ -1,0 +1,42 @@
+(** Offline broadcast schedule synthesis — the Chlamtac–Weinstein
+    application of spokesmen election ([7], §4.2.1).
+
+    Given full topology knowledge, compute an explicit round-by-round list
+    of transmitter sets that completes a broadcast. Each round solves a
+    spokesmen-election instance on the current frontier, so the number of
+    rounds is governed by the graph's wireless expansion: per round, a
+    [βw/(1+βw)]-ish fraction of the remaining boundary gets informed.
+
+    The synthesized schedule is a {e certificate}: {!replay} re-executes
+    it on the collision-semantics simulator and checks it really informs
+    everyone — synthesis bugs cannot silently produce wrong round counts. *)
+
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+
+type t = {
+  source : int;
+  rounds : Bitset.t array;  (** transmitter set per round, in order *)
+}
+
+val length : t -> int
+
+val synthesize :
+  ?solver:(Wx_util.Rng.t -> Wx_graph.Bipartite.t -> Wx_spokesmen.Solver.result) ->
+  ?max_rounds:int ->
+  Wx_util.Rng.t ->
+  Graph.t ->
+  source:int ->
+  t
+(** Greedy synthesis with the given per-round solver (default: the full
+    portfolio with a branch-and-bound attempt on small frontiers). Raises
+    [Failure] if the graph is disconnected from the source or the round
+    limit (default [4·n + 64]) is hit. *)
+
+val replay : Graph.t -> t -> bool * int
+(** Execute on {!Network}; returns (everyone informed?, informed count).
+    Also validates that every scheduled transmitter holds the message when
+    it transmits ([Invalid_argument] from the simulator otherwise). *)
+
+val lower_bound_rounds : Graph.t -> source:int -> int
+(** Eccentricity of the source — no schedule beats the BFS depth. *)

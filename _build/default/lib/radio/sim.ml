@@ -1,0 +1,58 @@
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+module Rng = Wx_util.Rng
+
+type outcome = {
+  rounds : int;
+  completed : bool;
+  informed_final : int;
+  collisions : int;
+  frontier_history : int array;
+}
+
+let default_limit g = (64 * Graph.n g) + 1024
+
+let run_until ?max_rounds g ~source protocol rng ~stop =
+  let limit = match max_rounds with Some m -> m | None -> default_limit g in
+  let net = Network.create g source in
+  let history = ref [] in
+  let finished = ref (stop net) in
+  while (not !finished) && Network.round net < limit do
+    let tx = protocol.Protocol.choose net rng in
+    let _newly = Network.step net tx in
+    history := Network.informed_count net :: !history;
+    finished := stop net
+  done;
+  ( net,
+    {
+      rounds = Network.round net;
+      completed = !finished;
+      informed_final = Network.informed_count net;
+      collisions = Network.collisions net;
+      frontier_history = Array.of_list (List.rev !history);
+    } )
+
+let run ?max_rounds g ~source protocol rng =
+  let _, o = run_until ?max_rounds g ~source protocol rng ~stop:Network.all_informed in
+  { o with completed = o.informed_final = Graph.n g }
+
+let rounds_to_inform ?max_rounds g ~source ~target protocol rng =
+  let net, o =
+    run_until ?max_rounds g ~source protocol rng ~stop:(fun net -> Network.is_informed net target)
+  in
+  if Network.is_informed net target then Some o.rounds else None
+
+let rounds_to_fraction ?max_rounds g ~source ~subset ~fraction protocol rng =
+  let total = Bitset.cardinal subset in
+  if total = 0 then invalid_arg "Sim.rounds_to_fraction: empty subset";
+  let target = int_of_float (Float.ceil (fraction *. float_of_int total)) in
+  let enough net =
+    let cnt = Bitset.cardinal (Bitset.inter (Network.informed net) subset) in
+    cnt >= target
+  in
+  let net, o = run_until ?max_rounds g ~source protocol rng ~stop:enough in
+  if enough net then Some o.rounds else None
+
+let monte_carlo ?max_rounds g ~source protocol ~seeds =
+  let one seed = run ?max_rounds g ~source protocol (Rng.create seed) in
+  (one, List.map one seeds)

@@ -1,0 +1,48 @@
+(** Broadcast simulation drivers.
+
+    All runs are deterministic given the seed. The Monte-Carlo wrapper is
+    how E11 reproduces the "in expectation and with high probability"
+    qualifiers of the Section 5 lower bound. *)
+
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+
+type outcome = {
+  rounds : int;  (** rounds executed *)
+  completed : bool;  (** everyone informed before the round limit *)
+  informed_final : int;
+  collisions : int;
+  frontier_history : int array;  (** informed count after each round, index 0 = round 1 *)
+}
+
+val run :
+  ?max_rounds:int -> Graph.t -> source:int -> Protocol.t -> Wx_util.Rng.t -> outcome
+(** Run until everyone is informed or the limit (default [64·n + 1024])
+    is hit. *)
+
+val rounds_to_inform :
+  ?max_rounds:int -> Graph.t -> source:int -> target:int -> Protocol.t -> Wx_util.Rng.t -> int option
+(** Rounds until a specific target vertex is informed ([None] on timeout) —
+    used for relay-to-relay times on the broadcast chain. *)
+
+val rounds_to_fraction :
+  ?max_rounds:int ->
+  Graph.t ->
+  source:int ->
+  subset:Bitset.t ->
+  fraction:float ->
+  Protocol.t ->
+  Wx_util.Rng.t ->
+  int option
+(** Rounds until ≥ [fraction] of [subset] is informed — Corollary 5.1
+    measures this on the core graph's N side. *)
+
+val monte_carlo :
+  ?max_rounds:int ->
+  Graph.t ->
+  source:int ->
+  Protocol.t ->
+  seeds:int list ->
+  (int -> outcome) * outcome list
+(** [(per_seed, all)]: run one broadcast per seed; [per_seed] re-runs a
+    single seed (for drilling into an outlier). *)

@@ -1,0 +1,43 @@
+module Bitset = Wx_util.Bitset
+module Bipartite = Wx_graph.Bipartite
+
+let make name solve =
+  {
+    Protocol.name;
+    distributed = false;
+    choose =
+      (fun net rng ->
+        let g = Network.graph net in
+        let informed = Network.informed net in
+        let inst, s_map, _ = Bipartite.of_set_neighborhood g informed in
+        let n_vertices = Bitset.create (Wx_graph.Graph.n g) in
+        if Bipartite.n_count inst = 0 then n_vertices (* nothing reachable: stay silent *)
+        else begin
+          let r = solve rng inst in
+          let out = Bitset.create (Wx_graph.Graph.n g) in
+          Bitset.iter (fun i -> Bitset.add_inplace out s_map.(i)) r.Wx_spokesmen.Solver.chosen;
+          (* Transmitting nothing stalls forever; if the solver returned an
+             empty set (degenerate instance), fall back to one arbitrary
+             informed vertex with an uninformed neighbor. *)
+          if Bitset.is_empty out then begin
+            (try
+               Bitset.iter
+                 (fun v ->
+                   if
+                     Wx_graph.Graph.fold_neighbors g v
+                       (fun acc w -> acc || not (Bitset.mem informed w))
+                       false
+                   then begin
+                     Bitset.add_inplace out v;
+                     raise Exit
+                   end)
+                 informed
+             with Exit -> ());
+            out
+          end
+          else out
+        end);
+  }
+
+let protocol = make "spokesmen-cast" (fun rng inst -> Wx_spokesmen.Portfolio.solve ~reps:16 rng inst)
+let with_solver name solve = make name solve

@@ -1,0 +1,15 @@
+(** Centralized wireless-expander broadcast.
+
+    Each round, form the bipartite instance between the informed set and
+    its uninformed neighborhood, run a spokesmen solver on it, and let the
+    chosen subset transmit. On a graph with wireless expansion βw, each
+    round informs ≥ βw·|frontier| new vertices (until the α-limit), which
+    is exactly the information-dissemination guarantee the wireless
+    expander definition was built for. *)
+
+val protocol : Protocol.t
+(** Uses the full solver portfolio (best candidate each round). *)
+
+val with_solver :
+  string -> (Wx_util.Rng.t -> Wx_graph.Bipartite.t -> Wx_spokesmen.Solver.result) -> Protocol.t
+(** Plug a specific solver (ablation: decay-only vs portfolio). *)

@@ -1,0 +1,51 @@
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+
+type round = {
+  index : int;
+  transmitters : int;
+  newly_informed : int;
+  informed_total : int;
+  collisions_this_round : int;
+}
+
+type t = { rounds : round list; completed : bool; population : int }
+
+let run ?(max_rounds = 4096) g ~source protocol rng =
+  let net = Network.create g source in
+  let rounds = ref [] in
+  let i = ref 0 in
+  while (not (Network.all_informed net)) && !i < max_rounds do
+    incr i;
+    let coll_before = Network.collisions net in
+    let tx = protocol.Protocol.choose net rng in
+    let newly = Network.step net tx in
+    rounds :=
+      {
+        index = !i;
+        transmitters = Bitset.cardinal tx;
+        newly_informed = Bitset.cardinal newly;
+        informed_total = Network.informed_count net;
+        collisions_this_round = Network.collisions net - coll_before;
+      }
+      :: !rounds
+  done;
+  { rounds = List.rev !rounds; completed = Network.all_informed net; population = Graph.n g }
+
+let render ?(width = 24) t =
+  let buf = Buffer.create 1024 in
+  let total = max 1 t.population in
+  List.iter
+    (fun r ->
+      let filled = r.informed_total * width / total in
+      Buffer.add_string buf
+        (Printf.sprintf "r %3d | tx %4d | + %4d | informed %5d | coll %4d | %s%s\n" r.index
+           r.transmitters r.newly_informed r.informed_total r.collisions_this_round
+           (String.make filled '#')
+           (String.make (width - filled) '.')))
+    t.rounds;
+  Buffer.add_string buf (if t.completed then "completed\n" else "STALLED / round limit\n");
+  Buffer.contents buf
+
+let stalled_rounds t =
+  List.length (List.filter (fun r -> r.transmitters > 0 && r.newly_informed = 0) t.rounds)

@@ -1,0 +1,15 @@
+module Bitset = Wx_util.Bitset
+
+let protocol p =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Uniform.protocol: p out of range";
+  {
+    Protocol.name = Printf.sprintf "uniform-%.2f" p;
+    distributed = true;
+    choose =
+      (fun net rng ->
+        let out = Bitset.create (Wx_graph.Graph.n (Network.graph net)) in
+        Bitset.iter
+          (fun v -> if Wx_util.Rng.bernoulli rng p then Bitset.add_inplace out v)
+          (Network.informed net);
+        out);
+  }

@@ -1,0 +1,10 @@
+(** Uniform-probability transmission: every informed processor transmits
+    with a fixed probability [p] each round.
+
+    The single-parameter baseline between flooding ([p = 1], stalls on C⁺)
+    and silence ([p = 0]); the decay protocol exists precisely because no
+    fixed [p] works at every frontier density — the A7 ablation sweeps [p]
+    to show the dependence. *)
+
+val protocol : float -> Protocol.t
+(** Raises [Invalid_argument] unless [0 ≤ p ≤ 1]. *)

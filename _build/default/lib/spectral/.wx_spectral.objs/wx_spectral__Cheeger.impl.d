@@ -1,0 +1,1 @@
+lib/spectral/cheeger.ml: Array Float Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/spectral/cheeger.mli: Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/spectral/spectral_gap.ml: Array Float Vec Wx_graph

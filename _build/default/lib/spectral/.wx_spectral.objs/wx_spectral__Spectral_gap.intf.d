@@ -1,0 +1,1 @@
+lib/spectral/spectral_gap.mli: Vec Wx_graph Wx_util

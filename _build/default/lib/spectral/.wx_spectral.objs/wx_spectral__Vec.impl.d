@@ -1,0 +1,1 @@
+lib/spectral/vec.ml: Array List Wx_util

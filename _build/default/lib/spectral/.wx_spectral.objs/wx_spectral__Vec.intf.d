@@ -1,0 +1,1 @@
+lib/spectral/vec.mli: Wx_util

@@ -1,0 +1,76 @@
+module Bitset = Wx_util.Bitset
+module Graph = Wx_graph.Graph
+module Combi = Wx_util.Combi
+module Rng = Wx_util.Rng
+
+let cut_edges g s =
+  let acc = ref 0 in
+  Bitset.iter
+    (fun v -> Graph.iter_neighbors g v (fun w -> if not (Bitset.mem s w) then incr acc))
+    s;
+  !acc
+
+let edge_expansion_of_set g s =
+  let k = Bitset.cardinal s in
+  if k = 0 then nan else float_of_int (cut_edges g s) /. float_of_int k
+
+let h_exact ?(work_limit = 1 lsl 24) g =
+  let n = Graph.n g in
+  let kmax = n / 2 in
+  if n < 2 then invalid_arg "Cheeger.h_exact: need n >= 2";
+  let count = Combi.subsets_count_le n kmax in
+  if count > work_limit then invalid_arg "Cheeger.h_exact: too many sets";
+  let best = ref infinity in
+  let best_set = ref (Bitset.create n) in
+  let buf = Bitset.create n in
+  Combi.iter_subsets_le n kmax (fun idxs ->
+      Bitset.clear_inplace buf;
+      Array.iter (Bitset.add_inplace buf) idxs;
+      let v = edge_expansion_of_set g buf in
+      if v < !best then begin
+        best := v;
+        best_set := Bitset.copy buf
+      end);
+  (!best, !best_set)
+
+let h_sampled rng ~samples g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Cheeger.h_sampled: need n >= 2";
+  let kmax = n / 2 in
+  let best = ref infinity in
+  let best_set = ref (Bitset.create n) in
+  let consider s =
+    let k = Bitset.cardinal s in
+    if k >= 1 && k <= kmax then begin
+      let v = edge_expansion_of_set g s in
+      if v < !best then begin
+        best := v;
+        best_set := Bitset.copy s
+      end
+    end
+  in
+  (* BFS balls: prefixes of a BFS order are classic low-expansion cuts. *)
+  for src = 0 to min (n - 1) 7 do
+    let dist = Wx_graph.Traversal.bfs g src in
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare dist.(a) dist.(b)) order;
+    let ball = Bitset.create n in
+    Array.iter
+      (fun v ->
+        if dist.(v) < max_int then begin
+          Bitset.add_inplace ball v;
+          consider ball
+        end)
+      order
+  done;
+  (* Random sets. *)
+  for _ = 1 to samples do
+    let k = 1 + Rng.int rng kmax in
+    consider (Bitset.random_of_universe rng n k)
+  done;
+  (!best, !best_set)
+
+let cheeger_bounds ~d ~lambda2 =
+  let fd = float_of_int d in
+  let gap = Float.max 0.0 (fd -. lambda2) in
+  (gap /. 2.0, sqrt (2.0 *. fd *. gap))

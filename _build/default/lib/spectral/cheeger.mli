@@ -1,0 +1,27 @@
+(** Edge expansion (Cheeger constant) and its spectral sandwich.
+
+    Background machinery for the expander families the paper builds on:
+    for a connected d-regular graph, the edge expansion
+    [h(G) = min_{0 < |S| ≤ n/2} |e(S, S̄)| / |S|] satisfies the Cheeger
+    inequalities [(d − λ₂)/2 ≤ h(G) ≤ √(2d(d − λ₂))]. We verify the
+    sandwich empirically in tests, and use h to certify that the random
+    hosts used by E8 really are expanders rather than assuming it. *)
+
+val cut_edges : Wx_graph.Graph.t -> Wx_util.Bitset.t -> int
+(** [|e(S, S̄)|]. *)
+
+val edge_expansion_of_set : Wx_graph.Graph.t -> Wx_util.Bitset.t -> float
+(** [|e(S, S̄)| / |S|]; [nan] on the empty set. *)
+
+val h_exact : ?work_limit:int -> Wx_graph.Graph.t -> float * Wx_util.Bitset.t
+(** Exact Cheeger constant by enumeration over sets of size ≤ n/2
+    (default work limit 2^24 sets). *)
+
+val h_sampled :
+  Wx_util.Rng.t -> samples:int -> Wx_graph.Graph.t -> float * Wx_util.Bitset.t
+(** Witness upper bound: min over sampled sets plus BFS-ball and
+    degree-ordered prefix heuristics (the structured cuts that are usually
+    worst). *)
+
+val cheeger_bounds : d:int -> lambda2:float -> float * float
+(** [(lower, upper)] = [((d − λ₂)/2, √(2d(d − λ₂)))]. *)

@@ -1,0 +1,115 @@
+module Graph = Wx_graph.Graph
+
+let matvec g x y =
+  let n = Graph.n g in
+  for v = 0 to n - 1 do
+    let acc = ref 0.0 in
+    Graph.iter_neighbors g v (fun w -> acc := !acc +. x.(w));
+    y.(v) <- !acc
+  done
+
+let lambda2_regular ?(iters = 10_000) ?(tol = 1e-10) g rng =
+  let n = Graph.n g in
+  let d =
+    match Graph.is_regular g with
+    | Some d -> d
+    | None -> invalid_arg "Spectral_gap.lambda2_regular: graph is not regular"
+  in
+  if n < 2 then invalid_arg "Spectral_gap.lambda2_regular: need n >= 2";
+  let ones = Vec.make n (1.0 /. sqrt (float_of_int n)) in
+  let x = ref (Vec.random_unit rng n) in
+  Vec.orthogonalize_inplace !x [ ones ];
+  Vec.normalize_inplace !x;
+  let y = Vec.make n 0.0 in
+  let fd = float_of_int d in
+  let prev = ref infinity in
+  let result = ref nan in
+  (try
+     for _ = 1 to iters do
+       (* y := (A + dI) x *)
+       matvec g !x y;
+       Vec.axpy_inplace y fd !x;
+       Vec.orthogonalize_inplace y [ ones ];
+       let mu = Vec.norm y in
+       if mu < 1e-12 then begin
+         (* x was (numerically) in the kernel of A + dI after deflation:
+            λ₂ + d ≈ 0, i.e. λ₂ ≈ −d (bipartite-like spectrum). *)
+         result := -.fd;
+         raise Exit
+       end;
+       Vec.scale_inplace y (1.0 /. mu);
+       Array.blit y 0 !x 0 n;
+       if Float.abs (mu -. !prev) < tol *. Float.max 1.0 mu then begin
+         result := mu -. fd;
+         raise Exit
+       end;
+       prev := mu
+     done;
+     result := !prev -. fd
+   with Exit -> ());
+  !result
+
+let spectral_gap_regular ?iters ?tol g rng =
+  let d =
+    match Graph.is_regular g with
+    | Some d -> float_of_int d
+    | None -> invalid_arg "Spectral_gap.spectral_gap_regular: graph is not regular"
+  in
+  d -. lambda2_regular ?iters ?tol g rng
+
+let eigenvalues_dense g =
+  let n = Graph.n g in
+  if n > 400 then invalid_arg "Spectral_gap.eigenvalues_dense: n too large";
+  let a = Array.make_matrix n n 0.0 in
+  Graph.iter_edges g (fun u v ->
+      a.(u).(v) <- 1.0;
+      a.(v).(u) <- 1.0);
+  (* Cyclic Jacobi: repeatedly zero the largest off-diagonal entry via a
+     Givens rotation until the off-diagonal mass is negligible. *)
+  let off_norm () =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        acc := !acc +. (a.(i).(j) *. a.(i).(j))
+      done
+    done;
+    sqrt !acc
+  in
+  let rotate p q =
+    if Float.abs a.(p).(q) > 1e-14 then begin
+      let theta = (a.(q).(q) -. a.(p).(p)) /. (2.0 *. a.(p).(q)) in
+      let t =
+        let s = if theta >= 0.0 then 1.0 else -1.0 in
+        s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+      in
+      let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+      let s = t *. c in
+      for k = 0 to n - 1 do
+        let akp = a.(k).(p) and akq = a.(k).(q) in
+        a.(k).(p) <- (c *. akp) -. (s *. akq);
+        a.(k).(q) <- (s *. akp) +. (c *. akq)
+      done;
+      for k = 0 to n - 1 do
+        let apk = a.(p).(k) and aqk = a.(q).(k) in
+        a.(p).(k) <- (c *. apk) -. (s *. aqk);
+        a.(q).(k) <- (s *. apk) +. (c *. aqk)
+      done
+    end
+  in
+  let sweeps = ref 0 in
+  while off_norm () > 1e-10 && !sweeps < 200 do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate p q
+      done
+    done
+  done;
+  let eig = Array.init n (fun i -> a.(i).(i)) in
+  Array.sort (fun x y -> compare y x) eig;
+  eig
+
+let alon_spencer_cut_bound ~d ~lambda2 ~n ~a =
+  let fa = float_of_int a in
+  let fb = float_of_int (n - a) in
+  (float_of_int d -. lambda2) *. fa *. fb /. float_of_int n

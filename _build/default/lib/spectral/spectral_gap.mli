@@ -1,0 +1,29 @@
+(** Adjacency-matrix spectra of graphs.
+
+    Lemma 3.1 relates unique-neighbor expansion of a d-regular graph to its
+    second adjacency eigenvalue λ₂. The primary solver is power iteration on
+    the shifted matrix [A + dI] with deflation of the all-ones eigenvector;
+    a dense Jacobi eigensolver provides an independent cross-check for small
+    graphs (used in tests). *)
+
+val matvec : Wx_graph.Graph.t -> Vec.t -> Vec.t -> unit
+(** [matvec g x y] computes [y := A·x] where A is the adjacency matrix. *)
+
+val lambda2_regular : ?iters:int -> ?tol:float -> Wx_graph.Graph.t -> Wx_util.Rng.t -> float
+(** Second-largest adjacency eigenvalue of a connected d-regular graph.
+
+    Runs power iteration on [A + dI] (all eigenvalues shifted to [0, 2d], so
+    the dominant one after deflating the all-ones vector is [λ₂ + d]).
+    Raises [Invalid_argument] if the graph is not regular. *)
+
+val spectral_gap_regular : ?iters:int -> ?tol:float -> Wx_graph.Graph.t -> Wx_util.Rng.t -> float
+(** [d − λ₂] for a d-regular graph. *)
+
+val eigenvalues_dense : Wx_graph.Graph.t -> float array
+(** All adjacency eigenvalues in decreasing order, by cyclic Jacobi rotation
+    on the dense matrix. O(n³); requires [n ≤ 400]. *)
+
+val alon_spencer_cut_bound : d:int -> lambda2:float -> n:int -> a:int -> float
+(** The Alon–Spencer bound used in Lemma 3.1's proof:
+    [e(A, B) ≥ (d − λ₂)·|A|·|B| / n] for any partition (A, B) with |A| = a.
+    Returned as the float lower bound on the number of cut edges. *)

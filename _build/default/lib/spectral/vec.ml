@@ -1,0 +1,42 @@
+type t = float array
+
+let make n x = Array.make n x
+
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm a = sqrt (dot a a)
+
+let scale_inplace a c =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- a.(i) *. c
+  done
+
+let axpy_inplace y a x =
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let normalize_inplace a =
+  let nrm = norm a in
+  if nrm < 1e-300 then failwith "Vec.normalize_inplace: zero vector";
+  scale_inplace a (1.0 /. nrm)
+
+let orthogonalize_inplace v basis =
+  List.iter
+    (fun u ->
+      let c = dot v u in
+      axpy_inplace v (-.c) u)
+    basis
+
+let random_unit rng n =
+  let v = Array.init n (fun _ -> Wx_util.Rng.float rng -. 0.5) in
+  normalize_inplace v;
+  v
+
+let copy = Array.copy
+let sub a b = Array.init (Array.length a) (fun i -> a.(i) -. b.(i))

@@ -1,0 +1,23 @@
+(** Dense float-vector operations for the eigensolvers. *)
+
+type t = float array
+
+val make : int -> float -> t
+val random_unit : Wx_util.Rng.t -> int -> t
+(** Random vector on the unit sphere (componentwise uniform, normalized). *)
+
+val dot : t -> t -> float
+val norm : t -> float
+
+val scale_inplace : t -> float -> unit
+val axpy_inplace : t -> float -> t -> unit
+(** [axpy_inplace y a x] performs [y := y + a·x]. *)
+
+val normalize_inplace : t -> unit
+(** Raises [Failure] on (near-)zero vectors. *)
+
+val orthogonalize_inplace : t -> t list -> unit
+(** Gram–Schmidt: remove components of the given unit vectors. *)
+
+val copy : t -> t
+val sub : t -> t -> t

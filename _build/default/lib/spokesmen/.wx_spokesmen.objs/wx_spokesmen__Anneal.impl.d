@@ -1,0 +1,1 @@
+lib/spokesmen/anneal.ml: Array Greedy Solver Wx_graph Wx_util

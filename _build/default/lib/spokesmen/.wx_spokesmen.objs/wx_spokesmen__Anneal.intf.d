@@ -1,0 +1,1 @@
+lib/spokesmen/anneal.mli: Solver Wx_graph Wx_util

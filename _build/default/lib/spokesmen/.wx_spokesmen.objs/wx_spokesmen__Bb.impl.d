@@ -1,0 +1,1 @@
+lib/spokesmen/bb.ml: Array Solver Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/spokesmen/bb.mli: Solver Wx_graph

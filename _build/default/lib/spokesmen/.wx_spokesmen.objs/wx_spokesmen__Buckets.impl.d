@@ -1,0 +1,1 @@
+lib/spokesmen/buckets.ml: Array Float Hashtbl List Partition Solver Wx_expansion Wx_graph Wx_util

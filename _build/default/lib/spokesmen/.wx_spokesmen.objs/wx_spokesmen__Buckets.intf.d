@@ -1,0 +1,1 @@
+lib/spokesmen/buckets.mli: Solver Wx_graph

@@ -1,0 +1,1 @@
+lib/spokesmen/decay.ml: Array Hashtbl List Solver Wx_expansion Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/spokesmen/decay.mli: Solver Wx_graph Wx_util

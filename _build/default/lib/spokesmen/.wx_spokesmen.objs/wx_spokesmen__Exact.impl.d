@@ -1,0 +1,1 @@
+lib/spokesmen/exact.ml: Solver Wx_expansion Wx_graph

@@ -1,0 +1,1 @@
+lib/spokesmen/exact.mli: Solver Wx_graph

@@ -1,0 +1,1 @@
+lib/spokesmen/greedy.ml: Array Solver Wx_graph Wx_util

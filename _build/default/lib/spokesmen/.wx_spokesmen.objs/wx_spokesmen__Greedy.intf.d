@@ -1,0 +1,1 @@
+lib/spokesmen/greedy.mli: Solver Wx_graph

@@ -1,0 +1,1 @@
+lib/spokesmen/naive.ml: Array List Seq Solver Wx_graph Wx_util

@@ -1,0 +1,1 @@
+lib/spokesmen/naive.mli: Solver Wx_graph Wx_util

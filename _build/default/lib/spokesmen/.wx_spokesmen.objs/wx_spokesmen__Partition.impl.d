@@ -1,0 +1,1 @@
+lib/spokesmen/partition.ml: Array Printf Solver Wx_graph Wx_util

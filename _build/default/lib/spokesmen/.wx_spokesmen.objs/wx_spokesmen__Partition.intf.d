@@ -1,0 +1,1 @@
+lib/spokesmen/partition.mli: Solver Wx_graph Wx_util

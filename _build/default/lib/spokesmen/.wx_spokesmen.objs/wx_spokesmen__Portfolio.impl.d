@@ -1,0 +1,1 @@
+lib/spokesmen/portfolio.ml: Anneal Buckets Decay Greedy List Naive Partition Solver Wx_graph

@@ -1,0 +1,1 @@
+lib/spokesmen/portfolio.mli: Solver Wx_graph Wx_util

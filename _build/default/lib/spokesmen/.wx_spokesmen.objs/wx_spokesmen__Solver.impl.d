@@ -1,0 +1,1 @@
+lib/spokesmen/solver.ml: Wx_expansion Wx_graph Wx_util

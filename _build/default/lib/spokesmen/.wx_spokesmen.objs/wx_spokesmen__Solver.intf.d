@@ -1,0 +1,1 @@
+lib/spokesmen/solver.mli: Wx_graph Wx_util

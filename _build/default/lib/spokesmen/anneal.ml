@@ -1,0 +1,70 @@
+module Bitset = Wx_util.Bitset
+module Bipartite = Wx_graph.Bipartite
+module Rng = Wx_util.Rng
+
+let solve ?steps ?(t0 = 2.0) ?cooling rng t =
+  let s = Bipartite.s_count t in
+  if s = 0 then invalid_arg "Anneal.solve: empty S side";
+  let steps = match steps with Some k -> k | None -> 200 * s in
+  let cooling =
+    match cooling with
+    | Some c -> c
+    | None -> if steps <= 1 then 1.0 else exp (log (0.01 /. t0) /. float_of_int steps)
+  in
+  (* Start from the greedy local optimum. *)
+  let start = Greedy.solve_with_removal t in
+  let cnt = Array.make (Bipartite.n_count t) 0 in
+  let chosen = Bitset.copy start.Solver.chosen in
+  Bitset.iter
+    (fun u -> Array.iter (fun w -> cnt.(w) <- cnt.(w) + 1) (Bipartite.neighbors_s t u))
+    chosen;
+  let uniq = ref 0 in
+  Array.iter (fun c -> if c = 1 then incr uniq) cnt;
+  let flip_gain u =
+    if Bitset.mem chosen u then
+      Array.fold_left
+        (fun acc w -> match cnt.(w) with 1 -> acc - 1 | 2 -> acc + 1 | _ -> acc)
+        0 (Bipartite.neighbors_s t u)
+    else
+      Array.fold_left
+        (fun acc w -> match cnt.(w) with 0 -> acc + 1 | 1 -> acc - 1 | _ -> acc)
+        0 (Bipartite.neighbors_s t u)
+  in
+  let apply_flip u =
+    if Bitset.mem chosen u then begin
+      Bitset.remove_inplace chosen u;
+      Array.iter
+        (fun w ->
+          (match cnt.(w) with 1 -> decr uniq | 2 -> incr uniq | _ -> ());
+          cnt.(w) <- cnt.(w) - 1)
+        (Bipartite.neighbors_s t u)
+    end
+    else begin
+      Bitset.add_inplace chosen u;
+      Array.iter
+        (fun w ->
+          (match cnt.(w) with 0 -> incr uniq | 1 -> decr uniq | _ -> ());
+          cnt.(w) <- cnt.(w) + 1)
+        (Bipartite.neighbors_s t u)
+    end
+  in
+  let best = ref !uniq in
+  let best_set = ref (Bitset.copy chosen) in
+  let temp = ref t0 in
+  for _ = 1 to steps do
+    let u = Rng.int rng s in
+    let g = flip_gain u in
+    let accept =
+      g >= 0
+      || (!temp > 1e-9 && Rng.float rng < exp (float_of_int g /. !temp))
+    in
+    if accept then begin
+      apply_flip u;
+      if !uniq > !best then begin
+        best := !uniq;
+        best_set := Bitset.copy chosen
+      end
+    end;
+    temp := !temp *. cooling
+  done;
+  Solver.make t "anneal" !best_set

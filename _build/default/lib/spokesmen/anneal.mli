@@ -1,0 +1,13 @@
+(** Simulated-annealing solver for spokesmen election.
+
+    Single-vertex flip moves over S, Metropolis acceptance with a
+    geometric cooling schedule, seeded from the greedy solution. The
+    practical quality ceiling against which the paper's constructive
+    procedures are measured in E9's extended table. *)
+
+val solve :
+  ?steps:int -> ?t0:float -> ?cooling:float -> Wx_util.Rng.t -> Wx_graph.Bipartite.t ->
+  Solver.result
+(** Defaults: [steps = 200·|S|], [t0 = 2.0], [cooling] chosen so the
+    temperature decays to ~0.01 by the final step. Deterministic given the
+    rng. *)

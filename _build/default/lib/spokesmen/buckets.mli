@@ -1,0 +1,24 @@
+(** Degree-class solvers (Lemma A.5, Corollaries A.6–A.10).
+
+    Partition the N side into degree classes [N^(i) = {w : deg(w,S) ∈
+    [c^{i-1}, c^i)}]; within one class the degrees are within a factor [c]
+    of each other ("convenient" degrees), and a large uniquely-covered
+    subset exists. Corollary A.7 optimizes the base at [c ≈ 3.59112],
+    giving coverage ≥ 0.20087·γ/log₂∆. *)
+
+module Bipartite = Wx_graph.Bipartite
+
+val classes : ?c:float -> Bipartite.t -> (int * int array) array
+(** Non-empty degree classes [(i, members)], i ≥ 1, ascending. The top
+    class is closed on the right, as in Lemma A.5. *)
+
+val largest_class : ?c:float -> Bipartite.t -> int * int array
+
+val solve_class : Bipartite.t -> int array -> Solver.result
+(** Run Procedure Partition restricted to one class. *)
+
+val solve : ?c:float -> Bipartite.t -> Solver.result
+(** Largest class only (the Corollary A.6 argument). *)
+
+val solve_all_classes : ?c:float -> Bipartite.t -> Solver.result
+(** Try every class, keep the best — same guarantee, better constants. *)

@@ -1,0 +1,44 @@
+(** The probabilistic-method solver of Lemmas 4.2 / 4.3 (Theorem 1.1).
+
+    Regime β ≥ 1 (Lemma 4.2): restrict N to vertices of degree ≤ 2δN,
+    bucket them by ⌊log₂ deg⌋, take the largest bucket [N_j], and sample
+    [S′ ⊆ S] with inclusion probability [2^{-j}]. Each vertex of [N_j] is
+    uniquely covered with probability ≥ e⁻³, so the expected coverage is
+    Ω(|N_j|) = Ω(|N| / log 2δN). The solver repeats the sampling and keeps
+    the best draw.
+
+    Regime β < 1 (Lemma 4.3): drop S-vertices of degree > 2δS, greedily
+    extract a subcover S″ with |S″| ≤ |Γ(S′)|, and run the β ≥ 1 argument
+    on the induced instance.
+
+    This is also the paper's simple solution to the Spokesmen Election
+    problem (§4.2.1). *)
+
+val bucket_of_degree : int -> int
+(** ⌊log₂ d⌋ for d ≥ 1. *)
+
+val buckets : Wx_graph.Bipartite.t -> (int * int array) array
+(** Degree buckets of the N-side restricted to degree ≤ 2δN: pairs
+    [(j, members)] for non-empty buckets, ascending j. *)
+
+val largest_bucket : Wx_graph.Bipartite.t -> int * int array
+(** The (j, members) pair of maximum size; raises [Invalid_argument] on an
+    instance with an empty N side. *)
+
+val solve_direct :
+  ?reps:int -> ?all_buckets:bool -> Wx_util.Rng.t -> Wx_graph.Bipartite.t -> Solver.result
+(** The Lemma 4.2 sampler. [reps] (default 32) repetitions; with
+    [all_buckets] (default false) every bucket is tried, not only the
+    largest — still within the paper's argument, just a better constant. *)
+
+val greedy_subcover : Wx_graph.Bipartite.t -> Wx_util.Bitset.t -> Wx_util.Bitset.t
+(** [greedy_subcover t s'] iterates over [s'] adding a vertex only if it
+    covers a yet-uncovered N-vertex; the result [S″ ⊆ S′] satisfies
+    [Γ(S″) = Γ(S′)] and [|S″| ≤ |Γ(S′)|] (Lemma 4.3's step). *)
+
+val solve_reduced : ?reps:int -> ?all_buckets:bool -> Wx_util.Rng.t -> Wx_graph.Bipartite.t -> Solver.result
+(** The Lemma 4.3 reduction followed by [solve_direct]. *)
+
+val solve : ?reps:int -> ?all_buckets:bool -> Wx_util.Rng.t -> Wx_graph.Bipartite.t -> Solver.result
+(** Dispatch on the regime: [solve_direct] when |N| ≥ |S|, otherwise the
+    better of [solve_reduced] and [solve_direct]. *)

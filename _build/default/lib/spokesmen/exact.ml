@@ -1,0 +1,11 @@
+module Bipartite = Wx_graph.Bipartite
+module Bip_measure = Wx_expansion.Bip_measure
+
+exception Too_large of string
+
+let solve ?work_limit t =
+  match Bip_measure.exact_max_unique ?work_limit t with
+  | _, best_set -> Solver.make t "exact" best_set
+  | exception Bip_measure.Too_large msg -> raise (Too_large msg)
+
+let optimum ?work_limit t = (solve ?work_limit t).Solver.covered

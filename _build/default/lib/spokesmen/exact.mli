@@ -1,0 +1,16 @@
+(** Optimal spokesmen set by exhaustive search.
+
+    The problem is NP-hard ([8]); this solver is for small instances
+    (|S| ≲ 24), where it provides the ground truth against which the
+    polynomial solvers' approximation quality is measured (experiment E9). *)
+
+module Bipartite = Wx_graph.Bipartite
+
+exception Too_large of string
+
+val solve : ?work_limit:int -> Bipartite.t -> Solver.result
+(** Gray-code enumeration of all 2^|S| subsets with incremental coverage
+    counts; default work limit 2^24 enumerated subsets. *)
+
+val optimum : ?work_limit:int -> Bipartite.t -> int
+(** Just the optimal coverage value. *)

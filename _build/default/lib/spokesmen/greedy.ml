@@ -1,0 +1,83 @@
+module Bitset = Wx_util.Bitset
+module Bipartite = Wx_graph.Bipartite
+
+(* Incremental objective state: per-N coverage counts and the current
+   number of uniquely covered vertices. *)
+type state = { cnt : int array; mutable uniq : int; chosen : Bitset.t }
+
+let make_state t =
+  { cnt = Array.make (Bipartite.n_count t) 0; uniq = 0; chosen = Bitset.create (Bipartite.s_count t) }
+
+let gain_of_add t st u =
+  Array.fold_left
+    (fun acc w ->
+      match st.cnt.(w) with 0 -> acc + 1 | 1 -> acc - 1 | _ -> acc)
+    0 (Bipartite.neighbors_s t u)
+
+let gain_of_remove t st u =
+  Array.fold_left
+    (fun acc w ->
+      match st.cnt.(w) with 1 -> acc - 1 | 2 -> acc + 1 | _ -> acc)
+    0 (Bipartite.neighbors_s t u)
+
+let apply_add t st u =
+  Bitset.add_inplace st.chosen u;
+  Array.iter
+    (fun w ->
+      (match st.cnt.(w) with 0 -> st.uniq <- st.uniq + 1 | 1 -> st.uniq <- st.uniq - 1 | _ -> ());
+      st.cnt.(w) <- st.cnt.(w) + 1)
+    (Bipartite.neighbors_s t u)
+
+let apply_remove t st u =
+  Bitset.remove_inplace st.chosen u;
+  Array.iter
+    (fun w ->
+      (match st.cnt.(w) with 1 -> st.uniq <- st.uniq - 1 | 2 -> st.uniq <- st.uniq + 1 | _ -> ());
+      st.cnt.(w) <- st.cnt.(w) - 1)
+    (Bipartite.neighbors_s t u)
+
+let greedy_pass t st =
+  let s = Bipartite.s_count t in
+  let continue_ = ref true in
+  while !continue_ do
+    let best_u = ref (-1) and best_g = ref 0 in
+    for u = 0 to s - 1 do
+      if not (Bitset.mem st.chosen u) then begin
+        let g = gain_of_add t st u in
+        if g > !best_g then begin
+          best_g := g;
+          best_u := u
+        end
+      end
+    done;
+    if !best_u >= 0 then apply_add t st !best_u else continue_ := false
+  done
+
+let removal_pass t st =
+  let changed = ref false in
+  Bitset.iter
+    (fun u -> if gain_of_remove t st u > 0 then begin
+         apply_remove t st u;
+         changed := true
+       end)
+    (Bitset.copy st.chosen);
+  !changed
+
+let solve t =
+  let st = make_state t in
+  greedy_pass t st;
+  Solver.make t "greedy" st.chosen
+
+let solve_with_removal t =
+  let st = make_state t in
+  greedy_pass t st;
+  let continue_ = ref true in
+  (* Alternate removal and add passes until neither changes anything; each
+     accepted move strictly increases the objective, so this terminates. *)
+  while !continue_ do
+    let removed = removal_pass t st in
+    let before = st.uniq in
+    greedy_pass t st;
+    continue_ := removed || st.uniq > before
+  done;
+  Solver.make t "greedy-local" st.chosen

@@ -1,0 +1,13 @@
+(** Marginal-gain greedy solver for spokesmen election.
+
+    Repeatedly add the S-vertex whose inclusion increases the unique-
+    coverage objective the most; stop when no vertex has positive marginal
+    gain. Not covered by a paper guarantee (the objective is not
+    submodular — adding a vertex can destroy earlier unique coverage), but
+    a strong practical baseline for E9 and the broadcast scheduler. *)
+
+val solve : Wx_graph.Bipartite.t -> Solver.result
+
+val solve_with_removal : Wx_graph.Bipartite.t -> Solver.result
+(** Greedy add followed by interleaved best-single-removal passes until a
+    local optimum under single add/remove moves. *)

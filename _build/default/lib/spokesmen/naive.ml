@@ -1,0 +1,68 @@
+module Bitset = Wx_util.Bitset
+module Bipartite = Wx_graph.Bipartite
+
+type trace = { s_uni : Bitset.t; n_uni : Bitset.t; steps : int }
+
+let run t =
+  let s = Bipartite.s_count t and n = Bipartite.n_count t in
+  let s_tmp = Bitset.full s and n_tmp = Bitset.full n in
+  (* Isolated N-vertices can never be covered; exclude them up front (the
+     paper's framework assumes minimum degree 1, so this only widens the
+     procedure's domain — the γ/∆ guarantee then counts coverable N). *)
+  for w = 0 to n - 1 do
+    if Bipartite.deg_n t w = 0 then Bitset.remove_inplace n_tmp w
+  done;
+  let s_uni = Bitset.create s and n_uni = Bitset.create n in
+  let steps = ref 0 in
+  (* Γ(v, Stmp) as a sorted list of live S-neighbors. *)
+  let live_nbrs v =
+    Array.to_list (Array.of_seq
+      (Seq.filter (Bitset.mem s_tmp) (Array.to_seq (Bipartite.neighbors_n t v))))
+  in
+  while not (Bitset.is_empty n_tmp) do
+    incr steps;
+    (* v ∈ Ntmp minimizing |Γ(v, Stmp)|. Invariant (I4) guarantees ≥ 1. *)
+    let v = ref (-1) and vdeg = ref max_int in
+    Bitset.iter
+      (fun w ->
+        let d = List.length (live_nbrs w) in
+        if d < !vdeg then begin
+          v := w;
+          vdeg := d
+        end)
+      n_tmp;
+    let v = !v in
+    let gv = live_nbrs v in
+    assert (gv <> []);
+    let gv_set = Bitset.of_list s gv in
+    (* Qv: N-vertices of Ntmp incident on Γ(v, Stmp); split into Q'v (same
+       live neighborhood as v) and Q''v. *)
+    let q'v = ref [] and q''v = ref [] in
+    Bitset.iter
+      (fun u ->
+        let nbrs = live_nbrs u in
+        let touches = List.exists (fun x -> Bitset.mem gv_set x) nbrs in
+        if touches then
+          if nbrs = gv then q'v := u :: !q'v else q''v := u :: !q''v)
+      n_tmp;
+    (* Promote one vertex w of Γ(v, Stmp); discard the others from Stmp. *)
+    let w = List.hd gv in
+    List.iter (fun x -> Bitset.remove_inplace s_tmp x) gv;
+    Bitset.add_inplace s_uni w;
+    (* Q'v moves to Nuni; neighbors of w inside Q''v leave Ntmp entirely. *)
+    List.iter
+      (fun u ->
+        Bitset.remove_inplace n_tmp u;
+        Bitset.add_inplace n_uni u)
+      !q'v;
+    List.iter
+      (fun u ->
+        if Array.exists (fun x -> x = w) (Bipartite.neighbors_n t u) then
+          Bitset.remove_inplace n_tmp u)
+      !q''v
+  done;
+  { s_uni; n_uni; steps = !steps }
+
+let solve t =
+  let tr = run t in
+  Solver.make t "naive" tr.s_uni

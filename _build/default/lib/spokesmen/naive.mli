@@ -1,0 +1,25 @@
+(** Lemma A.1's procedure: guaranteed unique coverage ≥ γ/∆.
+
+    Repeatedly pick the N-vertex [v] of minimum remaining degree; one of its
+    remaining S-neighbors [w] is promoted to the spokesmen set, the rest of
+    [Γ(v, Stmp)] is discarded, and N-vertices that would conflict with [w]
+    are removed. The procedure maintains invariants (I1)–(I4) of the paper;
+    {!Trace} exposes the final state so tests can check them. *)
+
+module Bitset = Wx_util.Bitset
+module Bipartite = Wx_graph.Bipartite
+
+type trace = {
+  s_uni : Bitset.t;  (** promoted spokesmen (subset of S) *)
+  n_uni : Bitset.t;  (** N-vertices guaranteed a unique spokesman *)
+  steps : int;  (** iterations executed *)
+}
+
+val run : Bipartite.t -> trace
+(** Isolated N-vertices (degree 0) are excluded up front — they can never
+    be covered; the paper's framework assumes minimum degree 1, where this
+    changes nothing. *)
+
+val solve : Bipartite.t -> Solver.result
+(** [run] packaged as a solver; the objective is re-evaluated on the full
+    instance, so it can only exceed [|n_uni|]. *)

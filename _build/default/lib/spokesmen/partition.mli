@@ -1,0 +1,64 @@
+(** Procedure Partition (Appendix A.1.2) and its derived solvers.
+
+    The procedure partitions N into (Nuni, Nmany, Ntmp) and S into
+    (Suni, Stmp) by greedily promoting the S-vertex of maximum
+    [gain(v) = |Ntmp(v)| − 2·|Nuni(v)|], maintaining the partition
+    conditions:
+
+    - (P1) every vertex of Nuni has a unique neighbor in Suni;
+    - (P2) every vertex of Ntmp has a neighbor in Stmp and none in Suni;
+    - (P3) |Nuni| ≥ |Nmany|;
+    - (P4) on termination, Ntmp = ∅ or |Etmp| ≤ 2|Euni|.
+
+    Three solvers build on it: the raw procedure, the degree-capped variant
+    of Lemma A.3 (≥ γ/(8δ) coverage), and the recursive variant of
+    Lemma A.13 (≥ γ/(9·log 2δ) coverage). *)
+
+module Bitset = Wx_util.Bitset
+module Bipartite = Wx_graph.Bipartite
+
+type state = {
+  s_uni : Bitset.t;
+  s_tmp : Bitset.t;
+  n_uni : Bitset.t;
+  n_many : Bitset.t;
+  n_tmp : Bitset.t;
+  steps : int;
+}
+
+val run : ?restrict_n:Bitset.t -> Bipartite.t -> state
+(** Run the procedure; [restrict_n] restricts attention to a subset of N
+    (vertices outside it are ignored entirely), which is how Lemmas A.3 and
+    A.11 apply the procedure to [N^{2δ}]. *)
+
+val gain : Bipartite.t -> state -> int -> int
+(** [gain t st v] for [v ∈ s_tmp] — exposed for tests (all gains are ≤ 0 at
+    termination unless [n_tmp] is empty). *)
+
+val edges_tmp : Bipartite.t -> state -> int
+(** |Etmp|: edges between [s_tmp] and [n_tmp]. *)
+
+val edges_uni : Bipartite.t -> state -> int
+(** |Euni|: edges between [s_tmp] and [n_uni]. *)
+
+val check_conditions : Bipartite.t -> state -> (string * bool) list
+(** Evaluate (P1)–(P4); used by tests and by the bench's self-check. *)
+
+val solve : Bipartite.t -> Solver.result
+(** The raw procedure's [s_uni] as a spokesmen candidate. *)
+
+val solve_degree_capped : Bipartite.t -> Solver.result
+(** Lemma A.3: run on [N^{2δ}] (N-vertices of degree ≤ 2·δN). *)
+
+val solve_recursive : ?max_depth:int -> Bipartite.t -> Solver.result
+(** Lemma A.13 / Corollary A.15: after the procedure, if [n_tmp] is
+    non-empty, also recurse on the induced (s_tmp, n_tmp) instance and keep
+    whichever candidate uniquely covers more. (The paper's proof chooses one
+    branch by comparing γ/log 2δ ratios; taking the better of both is the
+    same argument with a max instead of a case split.) *)
+
+val solve_threshold : t_param:float -> Bipartite.t -> Solver.result
+(** Lemma A.11's variant: run the procedure on [N^{tδ}] (N-vertices of
+    degree ≤ t·δN). With [t_param = 2] this is {!solve_degree_capped};
+    larger [t] trades the per-vertex degree cap against the fraction of N
+    retained — Corollaries A.8/A.12 optimize that trade. *)

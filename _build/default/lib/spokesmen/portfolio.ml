@@ -1,0 +1,34 @@
+module Bipartite = Wx_graph.Bipartite
+
+let solvers =
+  [
+    ("decay", fun rng t -> Decay.solve rng t);
+    ("decay-all-buckets", fun rng t -> Decay.solve ~all_buckets:true rng t);
+    ("naive", fun _ t -> Naive.solve t);
+    ("partition", fun _ t -> Partition.solve t);
+    ("partition-capped", fun _ t -> Partition.solve_degree_capped t);
+    ("partition-recursive", fun _ t -> Partition.solve_recursive t);
+    ("buckets", fun _ t -> Buckets.solve t);
+    ("buckets-all-classes", fun _ t -> Buckets.solve_all_classes t);
+    ("greedy", fun _ t -> Greedy.solve t);
+    ("greedy-local", fun _ t -> Greedy.solve_with_removal t);
+    ("anneal", fun rng t -> Anneal.solve ~steps:(50 * Wx_graph.Bipartite.s_count t) rng t);
+  ]
+
+let solve_each ?reps rng t =
+  List.map
+    (fun (name, f) ->
+      let r =
+        match name with
+        | "decay" -> Decay.solve ?reps rng t
+        | "decay-all-buckets" -> Decay.solve ?reps ~all_buckets:true rng t
+        | _ -> f rng t
+      in
+      (name, r))
+    solvers
+
+let solve ?reps rng t =
+  match solve_each ?reps rng t with
+  | [] -> invalid_arg "Portfolio.solve: no solvers"
+  | (_, first) :: rest ->
+      List.fold_left (fun acc (_, r) -> Solver.best acc r) first rest

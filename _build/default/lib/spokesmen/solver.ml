@@ -1,0 +1,13 @@
+module Bitset = Wx_util.Bitset
+module Bipartite = Wx_graph.Bipartite
+module Nbhd = Wx_expansion.Nbhd
+
+type result = { name : string; chosen : Bitset.t; covered : int }
+
+let evaluate t s' = Nbhd.Bip.unique_count t s'
+let make t name chosen = { name; chosen; covered = evaluate t chosen }
+let best a b = if b.covered > a.covered then b else a
+
+let fraction t r =
+  let n = Bipartite.n_count t in
+  if n = 0 then 0.0 else float_of_int r.covered /. float_of_int n

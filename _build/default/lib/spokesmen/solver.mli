@@ -1,0 +1,28 @@
+(** Common result type for spokesmen-election solvers.
+
+    The Spokesmen Election problem (Chlamtac–Weinstein; §4.2.1): given a
+    bipartite graph [(S, N, E)], find [S′ ⊆ S] maximizing the number of
+    unique neighbors [|Γ¹(S′)|] in N. NP-hard in general; each solver in
+    this library realizes one of the paper's existence arguments as an
+    algorithm. *)
+
+module Bitset = Wx_util.Bitset
+module Bipartite = Wx_graph.Bipartite
+
+type result = {
+  name : string;  (** which solver produced it *)
+  chosen : Bitset.t;  (** the subset S′ of side S *)
+  covered : int;  (** |Γ¹_S(S′)| — N-vertices uniquely covered *)
+}
+
+val evaluate : Bipartite.t -> Bitset.t -> int
+(** Objective value of an arbitrary candidate. *)
+
+val make : Bipartite.t -> string -> Bitset.t -> result
+(** Package a candidate with its (re-)evaluated objective. *)
+
+val best : result -> result -> result
+(** Higher [covered] wins; ties keep the first. *)
+
+val fraction : Bipartite.t -> result -> float
+(** [covered / |N|] — the unit in which the paper's bounds are stated. *)

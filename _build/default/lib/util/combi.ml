@@ -1,0 +1,65 @@
+exception Overflow
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      (* Multiply before dividing keeps the running value integral; check
+         for overflow on the multiply. *)
+      let next_num = n - k + i in
+      if !acc > max_int / next_num then raise Overflow;
+      acc := !acc * next_num / i
+    done;
+    !acc
+  end
+
+let iter_subsets_of_size n k f =
+  if k < 0 || k > n then ()
+  else if k = 0 then ()
+  else begin
+    let a = Array.init k (fun i -> i) in
+    let continue_ = ref true in
+    while !continue_ do
+      f a;
+      (* Advance to the next combination in lexicographic order. *)
+      let i = ref (k - 1) in
+      while !i >= 0 && a.(!i) = n - k + !i do
+        decr i
+      done;
+      if !i < 0 then continue_ := false
+      else begin
+        a.(!i) <- a.(!i) + 1;
+        for j = !i + 1 to k - 1 do
+          a.(j) <- a.(j - 1) + 1
+        done
+      end
+    done
+  end
+
+let iter_subsets_le n k f =
+  for size = 1 to min k n do
+    iter_subsets_of_size n size f
+  done
+
+let iter_all_subsets n f =
+  if n > 30 then invalid_arg "Combi.iter_all_subsets: n too large";
+  for mask = 0 to (1 lsl n) - 1 do
+    f mask
+  done
+
+let subsets_count_le n k =
+  let acc = ref 0 in
+  for size = 1 to min k n do
+    let c = binomial n size in
+    if !acc > max_int - c then raise Overflow;
+    acc := !acc + c
+  done;
+  !acc
+
+let choose_indices n xs =
+  List.iter (fun i -> if i < 0 || i >= n then invalid_arg "Combi.choose_indices") xs;
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a

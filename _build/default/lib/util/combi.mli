@@ -1,0 +1,30 @@
+(** Combinatorics helpers for exact expansion computation.
+
+    Exact values of β, βu, βw are minima/maxima over vertex subsets; these
+    iterators drive the enumeration. *)
+
+val binomial : int -> int -> int
+(** [binomial n k]; 0 when [k < 0] or [k > n]. Raises [Overflow] if the value
+    exceeds [max_int] (never happens at the sizes we enumerate). *)
+
+exception Overflow
+
+val iter_subsets_of_size : int -> int -> (int array -> unit) -> unit
+(** [iter_subsets_of_size n k f] calls [f] on each size-[k] subset of
+    [0..n-1] in lexicographic order. The array is reused between calls —
+    copy it if you keep it. *)
+
+val iter_subsets_le : int -> int -> (int array -> unit) -> unit
+(** All non-empty subsets of [0..n-1] of size at most [k], by increasing
+    size. Same buffer-reuse caveat. *)
+
+val iter_all_subsets : int -> (int -> unit) -> unit
+(** [iter_all_subsets n f] calls [f mask] for every [mask] in
+    [0 .. 2^n - 1]. Requires [n <= 30]. *)
+
+val subsets_count_le : int -> int -> int
+(** Number of non-empty subsets of size at most [k] — used to refuse
+    enumerations that would not terminate in reasonable time. *)
+
+val choose_indices : int -> int list -> int array
+(** [choose_indices n [i1; ...]] checks bounds and sorts. *)

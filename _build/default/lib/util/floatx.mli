@@ -1,0 +1,20 @@
+(** Small float helpers shared across the expansion bounds. *)
+
+val log2 : float -> float
+(** Base-2 logarithm (the paper's [log] is base 2 throughout). *)
+
+val log2i_ceil : int -> int
+(** [log2i_ceil n] is the least [k] with [2^k >= n]; requires [n >= 1]. *)
+
+val log2i_floor : int -> int
+(** [log2i_floor n] is the greatest [k] with [2^k <= n]; requires [n >= 1]. *)
+
+val is_pow2 : int -> bool
+
+val safe_div : float -> float -> float
+(** [safe_div a b] is [a /. b], or [nan] when [b = 0]. *)
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** Absolute-or-relative comparison with default [eps = 1e-9]. *)
+
+val clamp : lo:float -> hi:float -> float -> float

@@ -1,0 +1,74 @@
+type 'a entry = { prio : int; value : 'a }
+
+type 'a t = {
+  sign : int; (* +1 for max-heap, -1 for min-heap *)
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let create sign = { sign; data = [||]; size = 0 }
+let create_max () = create 1
+let create_min () = create (-1)
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let better q a b = q.sign * compare a.prio b.prio > 0
+
+let grow q filler =
+  let cap = Array.length q.data in
+  if q.size = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let nd = Array.make ncap filler in
+    Array.blit q.data 0 nd 0 q.size;
+    q.data <- nd
+  end
+
+let push q prio value =
+  let e = { prio; value } in
+  grow q e;
+  q.data.(q.size) <- e;
+  q.size <- q.size + 1;
+  (* Sift up. *)
+  let i = ref (q.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    better q q.data.(!i) q.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = q.data.(parent) in
+    q.data.(parent) <- q.data.(!i);
+    q.data.(!i) <- tmp;
+    i := parent
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < q.size && better q q.data.(l) q.data.(!best) then best := l;
+        if r < q.size && better q q.data.(r) q.data.(!best) then best := r;
+        if !best = !i then continue_ := false
+        else begin
+          let tmp = q.data.(!best) in
+          q.data.(!best) <- q.data.(!i);
+          q.data.(!i) <- tmp;
+          i := !best
+        end
+      done
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek q = if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).value)

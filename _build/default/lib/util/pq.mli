@@ -1,0 +1,21 @@
+(** Binary-heap priority queue with integer priorities.
+
+    Used by the greedy spokesmen procedures (pick the vertex of minimum /
+    maximum score) and by graph traversals. Max-oriented by default; wrap
+    priorities in [-p] for min behaviour, or use [create_min]. *)
+
+type 'a t
+
+val create_max : unit -> 'a t
+val create_min : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> int -> 'a -> unit
+(** [push q priority value]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Extract the best (max or min priority) entry. *)
+
+val peek : 'a t -> (int * 'a) option

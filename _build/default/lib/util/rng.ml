@@ -1,0 +1,125 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only for seeding / splitting. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed =
+  let st = ref seed in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  { s0; s1; s2; s3 }
+
+let create seed = of_seed64 (Int64.of_int seed)
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next *)
+let int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Seed a child from two raw outputs folded through splitmix, so parent and
+     child streams do not share xoshiro state. *)
+  let a = int64 t and b = int64 t in
+  of_seed64 (Int64.logxor a (Int64.mul b 0x9E3779B97F4A7C15L))
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top multiple of [bound] below 2^62. *)
+  let limit = (max_int / bound) * bound in
+  let rec draw () =
+    let v = bits t in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 random bits scaled to [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int v *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = if p >= 1.0 then true else if p <= 0.0 then false else float t < p
+
+let geometric t p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = float t in
+    (* Inverse CDF: floor(log(1-u) / log(1-p)). *)
+    let v = log1p (-.u) /. log1p (-.p) in
+    int_of_float (Float.floor v)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let sample_without_replacement t n k =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) draws, exact uniformity over k-subsets. *)
+  let chosen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  let idx = ref 0 in
+  for j = n - k to n - 1 do
+    let v = int t (j + 1) in
+    let v = if Hashtbl.mem chosen v then j else v in
+    Hashtbl.add chosen v ();
+    out.(!idx) <- v;
+    incr idx
+  done;
+  shuffle t out;
+  out
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let subset_bernoulli t n p =
+  if p <= 0.0 then []
+  else if p >= 1.0 then List.init n (fun i -> i)
+  else begin
+    (* Skip-ahead sampling: jump between included indices with geometric
+       gaps, so cost is O(np) rather than O(n) when p is small. *)
+    let acc = ref [] in
+    let i = ref (geometric t p) in
+    while !i < n do
+      acc := !i :: !acc;
+      i := !i + 1 + geometric t p
+    done;
+    List.rev !acc
+  end

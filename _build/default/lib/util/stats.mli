@@ -1,0 +1,54 @@
+(** Descriptive statistics for experiment reporting.
+
+    Monte-Carlo experiments (e.g. broadcast-time distributions in the Section
+    5 reproduction) report summaries computed here. All functions raise
+    [Invalid_argument] on empty input. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance (denominator [n-1]); 0 when [n = 1]. *)
+
+val stddev : float array -> float
+val min : float array -> float
+val max : float array -> float
+val sum : float array -> float
+
+val median : float array -> float
+(** Linear-interpolated median. Does not mutate its argument. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], by linear interpolation between
+    order statistics. Does not mutate its argument. *)
+
+val of_ints : int array -> float array
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Streaming mean/variance accumulator (Welford), for loops that do not want
+    to materialize samples. *)
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end
+
+val histogram : float array -> bins:int -> (float * float * int) array
+(** [histogram xs ~bins] returns [(lo, hi, count)] per bin over the data
+    range; the last bin is closed on the right. *)

@@ -1,0 +1,1 @@
+test/common.ml: Alcotest Format QCheck QCheck_alcotest Wx_graph Wx_util

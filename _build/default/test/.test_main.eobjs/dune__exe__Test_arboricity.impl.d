@@ -1,0 +1,1 @@
+test/test_arboricity.ml: Alcotest Common Wx_graph Wx_util

@@ -1,0 +1,1 @@
+test/test_bipartite.ml: Alcotest Array Common Wx_constructions Wx_expansion Wx_graph Wx_util

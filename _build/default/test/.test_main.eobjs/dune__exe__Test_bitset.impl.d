@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Common Hashtbl List Printf QCheck Wx_util

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Common Float List QCheck Wx_expansion Wx_util

@@ -1,0 +1,1 @@
+test/test_certificate.ml: Alcotest Common Format String Wx_expansion Wx_graph Wx_util

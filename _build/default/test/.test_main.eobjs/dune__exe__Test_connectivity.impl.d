@@ -1,0 +1,1 @@
+test/test_connectivity.ml: Alcotest Common Wx_graph Wx_spectral

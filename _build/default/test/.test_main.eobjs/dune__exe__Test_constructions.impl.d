@@ -1,0 +1,1 @@
+test/test_constructions.ml: Alcotest Array Common Hashtbl List Printf Wx_constructions Wx_expansion Wx_graph Wx_util

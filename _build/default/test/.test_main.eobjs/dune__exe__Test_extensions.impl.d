@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Common Filename Float Fun List Printf String Sys Wireless_expanders Wx_constructions Wx_expansion Wx_graph Wx_radio Wx_spectral Wx_spokesmen Wx_util

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Common List Printf Wx_graph Wx_util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Common Wx_graph Wx_util

@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Common List Wx_constructions Wx_expansion Wx_graph Wx_util

@@ -1,0 +1,1 @@
+test/test_nbhd.ml: Alcotest Array Common Float Wx_expansion Wx_graph Wx_util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Common Format List QCheck Wx_constructions Wx_expansion Wx_graph Wx_radio Wx_spokesmen Wx_util

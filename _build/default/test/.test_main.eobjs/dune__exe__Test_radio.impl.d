@@ -1,0 +1,1 @@
+test/test_radio.ml: Alcotest Array Common List Wx_constructions Wx_graph Wx_radio Wx_util

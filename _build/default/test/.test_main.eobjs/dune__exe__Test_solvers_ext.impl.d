@@ -1,0 +1,1 @@
+test/test_solvers_ext.ml: Alcotest Common List Wx_constructions Wx_graph Wx_radio Wx_spokesmen Wx_util

@@ -1,0 +1,1 @@
+test/test_spectral.ml: Alcotest Array Common Float Wx_graph Wx_spectral

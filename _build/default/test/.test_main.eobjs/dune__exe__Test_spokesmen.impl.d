@@ -1,0 +1,1 @@
+test/test_spokesmen.ml: Alcotest Array Common Float Hashtbl List Printf Wx_constructions Wx_expansion Wx_graph Wx_spokesmen Wx_util

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Common List Wireless_expanders Wx_constructions Wx_graph Wx_radio

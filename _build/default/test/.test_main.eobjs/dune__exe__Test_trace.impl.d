@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Common List String Wireless_expanders Wx_constructions Wx_graph Wx_radio Wx_util

@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Array Common List Wx_graph Wx_util

@@ -1,0 +1,1 @@
+test/test_util_misc.ml: Alcotest Array Common Float Hashtbl List QCheck String Wx_util

@@ -1,0 +1,47 @@
+(* Shared helpers for the test suite. *)
+
+module Bitset = Wx_util.Bitset
+module Rng = Wx_util.Rng
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (Wx_util.Floatx.approx_equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_int msg expected actual = Alcotest.(check int) msg expected actual
+
+let bitset_testable =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Bitset.to_string s))
+    Bitset.equal
+
+let sorted_list_of_bitset s = Bitset.elements s
+
+(* A tiny deterministic pool of rngs for tests. *)
+let rng ?(salt = 0) () = Rng.create (424242 + salt)
+
+(* Random small graph generator for qcheck properties: pick n in [lo, hi]
+   and each edge with probability p drawn from the seed. *)
+let arbitrary_graph ~lo ~hi =
+  QCheck.make
+    ~print:(fun g -> Format.asprintf "%a" Wx_graph.Graph.pp_adjacency g)
+    QCheck.Gen.(
+      let* n = int_range lo hi in
+      let* p = float_range 0.15 0.75 in
+      let* seed = int_range 0 1_000_000 in
+      let r = Rng.create seed in
+      return (Wx_graph.Gen.gnp r n p))
+
+let arbitrary_bipartite ~smax ~nmax =
+  QCheck.make
+    ~print:(fun t -> Format.asprintf "%a" Wx_graph.Bipartite.pp t)
+    QCheck.Gen.(
+      let* s = int_range 2 smax in
+      let* n = int_range 2 nmax in
+      let* d = int_range 1 (min 4 n) in
+      let* seed = int_range 0 1_000_000 in
+      let r = Rng.create seed in
+      return (Wx_graph.Gen.random_bipartite_sdeg r ~s ~n ~d))
+
+let qcheck ?(count = 100) name prop arb =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)

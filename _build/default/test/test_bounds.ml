@@ -1,0 +1,127 @@
+module Bounds = Wx_expansion.Bounds
+open Common
+
+let test_lemma_3_1 () =
+  (* d = 4, λ₂ = 2, αu = 1/2, βu = 1: (3/4)·1 + (2/4)·(1/2) = 1. *)
+  check_float "value" 1.0 (Bounds.lemma_3_1 ~d:4 ~lambda2:2.0 ~alpha_u:0.5 ~beta_u:1.0)
+
+let test_lemma_3_2 () =
+  check_float "2β−∆" 2.0 (Bounds.lemma_3_2 ~beta:4.0 ~delta:6);
+  check_true "vacuous below ∆/2" (Bounds.lemma_3_2 ~beta:2.0 ~delta:6 < 0.0)
+
+let test_gbad_wireless_lb () =
+  check_float "∆/2 dominates" 3.0 (Bounds.gbad_wireless_lb ~beta:3.0 ~delta:6);
+  check_float "2β−∆ dominates" 4.0 (Bounds.gbad_wireless_lb ~beta:5.0 ~delta:6)
+
+let test_theorem_1_1_denominator () =
+  (* β = 2, ∆ = 8: min{4, 16} = 4, log₂ 8 = 3. *)
+  check_float "denominator" 3.0 (Bounds.theorem_1_1_denominator ~beta:2.0 ~delta:8);
+  (* β = 1/2, ∆ = 8: min{16, 4} = 4 → same. *)
+  check_float "symmetric in β ↔ 1/β" 3.0 (Bounds.theorem_1_1_denominator ~beta:0.5 ~delta:8)
+
+let test_theorem_1_1 () =
+  check_float "β/denominator" (2.0 /. 3.0) (Bounds.theorem_1_1 ~beta:2.0 ~delta:8)
+
+let test_theorem_1_1_never_exceeds_beta () =
+  List.iter
+    (fun (beta, delta) ->
+      check_true "bound <= β" (Bounds.theorem_1_1 ~beta ~delta <= beta +. 1e-9))
+    [ (1.0, 2); (0.5, 4); (3.0, 10); (8.0, 16); (0.1, 100) ]
+
+let test_lemma_4_2_4_3 () =
+  check_float "4.2" (2.0 /. 3.0) (Bounds.lemma_4_2 ~beta:2.0 ~delta_n:4.0);
+  check_float "4.3" (0.5 /. 3.0) (Bounds.lemma_4_3 ~beta:0.5 ~delta_s:4.0)
+
+let test_decay_success_probability () =
+  check_float "j=0" 0.5 (Bounds.decay_success_probability 0);
+  (* All j: bounded below by e⁻³ (the proof's bound). *)
+  for j = 0 to 20 do
+    check_true "≥ e⁻³" (Bounds.decay_success_probability j >= exp (-3.0) -. 1e-12)
+  done
+
+let test_appendix_fractions () =
+  check_float "naive" 0.125 (Bounds.naive_fraction ~delta_max:8);
+  check_float "partition" (1.0 /. 16.0) (Bounds.partition_fraction ~delta_n:2.0);
+  check_float "near-optimal δ=2" (1.0 /. 18.0) (Bounds.near_optimal_fraction ~delta_n:2.0);
+  (* Corollary A.7's magic constant at the optimizing c. *)
+  let f = Bounds.bucket_fraction ~delta_max:256 () in
+  check_float ~eps:1e-4 "0.20087/log ∆" (0.20087 /. 8.0) f
+
+let test_c_star_is_optimal () =
+  (* Perturbing c in either direction must not beat c_star. *)
+  let at c = Bounds.bucket_fraction ~c ~delta_max:64 () in
+  let star = at Bounds.c_star in
+  check_true "left" (at (Bounds.c_star -. 0.3) <= star +. 1e-12);
+  check_true "right" (at (Bounds.c_star +. 0.3) <= star +. 1e-12)
+
+let test_corollary_a15 () =
+  (* δ < 2 falls back to A.13's form. *)
+  check_float "small δ" (Bounds.near_optimal_fraction ~delta_n:1.5)
+    (Bounds.corollary_a15_fraction ~delta_n:1.5);
+  (* Large δ: min{1/(9 log δ), 1/20}. *)
+  check_float "huge δ" (1.0 /. (9.0 *. 20.0)) (Bounds.corollary_a15_fraction ~delta_n:1048576.0)
+
+let test_mg_dominates_components () =
+  List.iter
+    (fun d ->
+      let mg = Bounds.mg d in
+      check_true "≥ A.13" (mg >= Bounds.near_optimal_fraction ~delta_n:d -. 1e-12);
+      check_true "≥ A.15" (mg >= Bounds.corollary_a15_fraction ~delta_n:d -. 1e-12))
+    [ 1.0; 2.0; 4.0; 10.0; 100.0; 10000.0 ]
+
+let test_chlamtac_weinstein () =
+  check_float "1/log|S|" 0.25 (Bounds.chlamtac_weinstein_fraction ~s_size:16)
+
+let test_avg_degree_refinement_beats_cw_when_sparse () =
+  (* min{δN, δS} small but |S| huge: our bound must be far better. *)
+  let ours = Bounds.spokesmen_avg_degree_fraction ~delta_s:3.0 ~delta_n:2.0 in
+  let cw = Bounds.chlamtac_weinstein_fraction ~s_size:1_000_000 in
+  check_true "refinement wins" (ours > cw)
+
+let test_broadcast_lower_bound () =
+  check_float "D log(n/D)" (8.0 *. Wx_util.Floatx.log2 128.0)
+    (Bounds.broadcast_lower_bound ~n:1024 ~diameter:8)
+
+let test_corollary_5_1_rounds () =
+  check_int "i=0" 1 (Bounds.corollary_5_1_min_rounds ~s:64 ~i:0);
+  check_int "i=3" 4 (Bounds.corollary_5_1_min_rounds ~s:64 ~i:3)
+
+let test_monotonicity_qcheck =
+  [
+    qcheck ~count:200 "theorem 1.1 bound monotone in β for fixed regime"
+      (fun (b, d) ->
+        let beta = 1.0 +. Float.abs b in
+        let delta = 2 + (abs d mod 50) in
+        if beta +. 0.1 > float_of_int delta then true
+        else
+          (* In the β ≥ 1 regime the bound is increasing in β. *)
+          Bounds.theorem_1_1 ~beta:(beta +. 0.1) ~delta >= Bounds.theorem_1_1 ~beta ~delta -. 1e-9)
+      QCheck.(pair (float_bound_exclusive 10.0) small_signed_int);
+    qcheck ~count:200 "near-optimal fraction decreasing in δ"
+      (fun d ->
+        let d = 1.0 +. Float.abs d in
+        Bounds.near_optimal_fraction ~delta_n:(d +. 1.0)
+        <= Bounds.near_optimal_fraction ~delta_n:d +. 1e-12)
+      QCheck.(float_bound_exclusive 1000.0);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "lemma 3.1" `Quick test_lemma_3_1;
+    Alcotest.test_case "lemma 3.2" `Quick test_lemma_3_2;
+    Alcotest.test_case "gbad wireless lb" `Quick test_gbad_wireless_lb;
+    Alcotest.test_case "thm 1.1 denominator" `Quick test_theorem_1_1_denominator;
+    Alcotest.test_case "thm 1.1" `Quick test_theorem_1_1;
+    Alcotest.test_case "thm 1.1 <= β" `Quick test_theorem_1_1_never_exceeds_beta;
+    Alcotest.test_case "lemmas 4.2/4.3" `Quick test_lemma_4_2_4_3;
+    Alcotest.test_case "decay success prob" `Quick test_decay_success_probability;
+    Alcotest.test_case "appendix fractions" `Quick test_appendix_fractions;
+    Alcotest.test_case "c* optimal" `Quick test_c_star_is_optimal;
+    Alcotest.test_case "corollary A.15" `Quick test_corollary_a15;
+    Alcotest.test_case "MG dominates" `Quick test_mg_dominates_components;
+    Alcotest.test_case "chlamtac-weinstein" `Quick test_chlamtac_weinstein;
+    Alcotest.test_case "refinement beats CW" `Quick test_avg_degree_refinement_beats_cw_when_sparse;
+    Alcotest.test_case "broadcast lb" `Quick test_broadcast_lower_bound;
+    Alcotest.test_case "cor 5.1 rounds" `Quick test_corollary_5_1_rounds;
+  ]
+  @ test_monotonicity_qcheck

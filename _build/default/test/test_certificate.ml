@@ -1,0 +1,101 @@
+module Certificate = Wx_expansion.Certificate
+module Measure = Wx_expansion.Measure
+module Graph = Wx_graph.Graph
+module Gen = Wx_graph.Gen
+module Bitset = Wx_util.Bitset
+open Common
+
+let cycle10 = Gen.cycle 10
+let arc = Bitset.of_list 10 [ 0; 1; 2; 3; 4 ]
+
+let test_beta_upper_roundtrip () =
+  let c = Certificate.beta_upper cycle10 arc in
+  check_true "verifies" (Certificate.verify cycle10 c);
+  (match c.Certificate.claim with
+  | Certificate.Beta_at_most v -> check_float "value 2/5" 0.4 v
+  | _ -> Alcotest.fail "wrong claim");
+  (* The certified upper bound really bounds the exact measure. *)
+  let exact = (Measure.beta_exact cycle10).Measure.value in
+  (match c.Certificate.claim with
+  | Certificate.Beta_at_most v -> check_true "sound" (exact <= v +. 1e-9)
+  | _ -> ())
+
+let test_beta_u_and_w_upper () =
+  let cu = Certificate.beta_u_upper cycle10 (Bitset.of_list 10 [ 0; 2; 4; 6; 8 ]) in
+  check_true "βu cert verifies" (Certificate.verify cycle10 cu);
+  (match cu.Certificate.claim with
+  | Certificate.Beta_u_at_most v -> check_float "alternating set: 0" 0.0 v
+  | _ -> Alcotest.fail "wrong claim");
+  let cw = Certificate.beta_w_upper cycle10 arc in
+  check_true "βw cert verifies" (Certificate.verify cycle10 cw)
+
+let test_wireless_lower () =
+  let s' = Bitset.of_list 10 [ 0; 4 ] in
+  let c = Certificate.wireless_lower cycle10 arc s' in
+  check_true "verifies" (Certificate.verify cycle10 c);
+  (match c.Certificate.claim with
+  | Certificate.Wireless_set_at_least v ->
+      (* {0,4} uniquely covers 9 and 5: 2/5. *)
+      check_float "2/5" 0.4 v
+  | _ -> Alcotest.fail "wrong claim")
+
+let test_verify_rejects_corruption () =
+  let c = Certificate.beta_upper cycle10 arc in
+  (* Claim a tighter bound than the witness provides. *)
+  let corrupted = { c with Certificate.claim = Certificate.Beta_at_most 0.1 } in
+  check_true "corrupted value rejected" (not (Certificate.verify cycle10 corrupted));
+  (* Wrong graph (different universe). *)
+  check_true "wrong graph rejected" (not (Certificate.verify (Gen.cycle 12) c))
+
+let test_verify_rejects_alpha_violation () =
+  let big = Bitset.of_list 10 [ 0; 1; 2; 3; 4; 5; 6 ] in
+  Alcotest.check_raises "witness too large"
+    (Invalid_argument "Certificate.beta_upper: witness violates the α-limit") (fun () ->
+      ignore (Certificate.beta_upper cycle10 big));
+  (* Hand-built certificate with an α-violating witness fails verify. *)
+  let c =
+    { Certificate.claim = Certificate.Beta_at_most 1.0; alpha = 0.5; s = big; s' = None }
+  in
+  check_true "verify rejects" (not (Certificate.verify cycle10 c))
+
+let test_verify_rejects_non_subset () =
+  Alcotest.check_raises "S' not subset"
+    (Invalid_argument "Certificate.wireless_lower: S' ⊄ S") (fun () ->
+      ignore (Certificate.wireless_lower cycle10 arc (Bitset.of_list 10 [ 7 ])))
+
+let test_sampled_witnesses_certify () =
+  (* The measure engine's sampled witnesses convert into verifying
+     certificates — the pipeline EXPERIMENTS.md relies on. *)
+  let g = Gen.random_regular (rng ~salt:180 ()) 30 4 in
+  let w = Measure.beta_sampled (rng ~salt:181 ()) ~samples:300 g in
+  let c = Certificate.beta_upper g w.Measure.witness in
+  check_true "verifies" (Certificate.verify g c)
+
+let test_pp () =
+  let c = Certificate.beta_upper cycle10 arc in
+  let s = Format.asprintf "%a" Certificate.pp c in
+  check_true "mentions value" (String.length s > 10)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_dot_export () =
+  let dot = Wx_graph.Graph_io.to_dot ~highlight:arc cycle10 in
+  check_true "has edges" (contains dot "0 -- 1;");
+  check_true "has highlight" (contains dot "fillcolor");
+  check_true "well formed" (contains dot "graph G {")
+
+let suite =
+  [
+    Alcotest.test_case "beta upper roundtrip" `Quick test_beta_upper_roundtrip;
+    Alcotest.test_case "beta_u / beta_w upper" `Quick test_beta_u_and_w_upper;
+    Alcotest.test_case "wireless lower" `Quick test_wireless_lower;
+    Alcotest.test_case "verify rejects corruption" `Quick test_verify_rejects_corruption;
+    Alcotest.test_case "verify rejects alpha" `Quick test_verify_rejects_alpha_violation;
+    Alcotest.test_case "verify rejects non-subset" `Quick test_verify_rejects_non_subset;
+    Alcotest.test_case "sampled witnesses certify" `Quick test_sampled_witnesses_certify;
+    Alcotest.test_case "pp" `Quick test_pp;
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+  ]

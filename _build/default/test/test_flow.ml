@@ -1,0 +1,154 @@
+module Flow = Wx_graph.Flow
+module Densest = Wx_graph.Densest
+module Gen = Wx_graph.Gen
+module Graph = Wx_graph.Graph
+module Arboricity = Wx_graph.Arboricity
+module Bitset = Wx_util.Bitset
+open Common
+
+(* --- Dinic --- *)
+
+let test_single_arc () =
+  let f = Flow.create 2 in
+  Flow.add_edge f 0 1 5;
+  check_int "flow" 5 (Flow.max_flow f ~source:0 ~sink:1)
+
+let test_series_bottleneck () =
+  let f = Flow.create 3 in
+  Flow.add_edge f 0 1 7;
+  Flow.add_edge f 1 2 3;
+  check_int "bottleneck" 3 (Flow.max_flow f ~source:0 ~sink:2)
+
+let test_parallel_paths () =
+  let f = Flow.create 4 in
+  Flow.add_edge f 0 1 3;
+  Flow.add_edge f 1 3 3;
+  Flow.add_edge f 0 2 4;
+  Flow.add_edge f 2 3 4;
+  check_int "sum" 7 (Flow.max_flow f ~source:0 ~sink:3)
+
+let test_classic_network () =
+  (* CLRS figure: max flow 23. *)
+  let f = Flow.create 6 in
+  List.iter
+    (fun (u, v, c) -> Flow.add_edge f u v c)
+    [
+      (0, 1, 16); (0, 2, 13); (1, 2, 10); (2, 1, 4); (1, 3, 12); (3, 2, 9);
+      (2, 4, 14); (4, 3, 7); (3, 5, 20); (4, 5, 4);
+    ];
+  check_int "CLRS value" 23 (Flow.max_flow f ~source:0 ~sink:5)
+
+let test_disconnected () =
+  let f = Flow.create 4 in
+  Flow.add_edge f 0 1 5;
+  Flow.add_edge f 2 3 5;
+  check_int "no path" 0 (Flow.max_flow f ~source:0 ~sink:3)
+
+let test_min_cut_side () =
+  let f = Flow.create 4 in
+  Flow.add_edge f 0 1 1;
+  Flow.add_edge f 1 2 10;
+  Flow.add_edge f 2 3 10;
+  let v = Flow.max_flow f ~source:0 ~sink:3 in
+  check_int "flow 1" 1 v;
+  let side = Flow.min_cut_side f ~source:0 in
+  check_true "cut after the bottleneck" (side.(0) && (not side.(1)) && not side.(3))
+
+let test_rejects_bad_input () =
+  let f = Flow.create 2 in
+  Alcotest.check_raises "negative cap" (Invalid_argument "Flow.add_edge: negative capacity")
+    (fun () -> Flow.add_edge f 0 1 (-1));
+  Alcotest.check_raises "same node" (Invalid_argument "Flow.max_flow: source = sink") (fun () ->
+      ignore (Flow.max_flow f ~source:0 ~sink:0))
+
+let test_flow_vs_bipartite_matching () =
+  (* Max flow on a unit bipartite network = max matching; K3,3 → 3. *)
+  let f = Flow.create 8 in
+  for u = 0 to 2 do
+    Flow.add_edge f 6 u 1;
+    for v = 3 to 5 do
+      Flow.add_edge f u v 1
+    done
+  done;
+  for v = 3 to 5 do
+    Flow.add_edge f v 7 1
+  done;
+  check_int "perfect matching" 3 (Flow.max_flow f ~source:6 ~sink:7)
+
+(* --- densest subgraph / exact arboricity --- *)
+
+let test_density_complete () =
+  (* K5: densest-at-offset-1 is the whole graph: 10/4. *)
+  let num, den, u = Densest.max_density (Gen.complete 5) in
+  check_int "num" 5 num;
+  check_int "den" 2 den;
+  check_int "whole graph" 5 (Bitset.cardinal u)
+
+let test_density_offset0 () =
+  (* Classic densest subgraph of K4 plus a pendant: the K4 with density 6/4. *)
+  let g = Graph.of_edges 5 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3); (3, 4) ] in
+  let num, den, u = Densest.max_density ~offset:0 g in
+  check_float "density 3/2" 1.5 (float_of_int num /. float_of_int den);
+  check_int "K4 found" 4 (Bitset.cardinal u);
+  check_true "pendant excluded" (not (Bitset.mem u 4))
+
+let test_arboricity_matches_enumeration () =
+  List.iter
+    (fun g ->
+      check_int
+        (Printf.sprintf "n=%d m=%d" (Graph.n g) (Graph.m g))
+        (Arboricity.exact g) (Densest.arboricity_exact g))
+    [
+      Gen.complete 4; Gen.complete 5; Gen.complete 6; Gen.cycle 8; Gen.path 8;
+      Gen.binary_tree 3; Gen.grid 3 4; Gen.star 9; Gen.hypercube 3;
+      Gen.complete_bipartite 3 4; Gen.torus 3 4;
+    ]
+
+let test_arboricity_random_cross_check () =
+  let r = rng ~salt:120 () in
+  for _ = 1 to 20 do
+    let g = Gen.gnp r 10 0.4 in
+    check_int "random cross-check" (Arboricity.exact g) (Densest.arboricity_exact g)
+  done
+
+let test_arboricity_large_known () =
+  (* Values where enumeration is impossible but theory is known:
+     K_n has arboricity ⌈n/2⌉; big grids are planar with arboricity 2;
+     trees are 1; hypercube Q_6 has arboricity ⌈(6·64/2)/(64−1)⌉ = ⌈192/63⌉ = ...
+     actually max density of Q_d is the whole cube: d·2^(d−1)/(2^d − 1). *)
+  check_int "K30" 15 (Densest.arboricity_exact (Gen.complete 30));
+  check_int "grid 10x10" 2 (Densest.arboricity_exact (Gen.grid 10 10));
+  check_int "tree" 1 (Densest.arboricity_exact (Gen.binary_tree 7));
+  check_int "Q6" 4 (Densest.arboricity_exact (Gen.hypercube 6));
+  check_int "cycle 500" 2 (Densest.arboricity_exact (Gen.cycle 500))
+
+let test_density_sandwich () =
+  (* peeling lower bound <= exact <= degeneracy, at a size enumeration
+     cannot reach. *)
+  let r = rng ~salt:121 () in
+  for _ = 1 to 5 do
+    let g = Gen.gnp r 60 0.1 in
+    if Graph.m g > 0 then begin
+      let ex = Densest.arboricity_exact g in
+      check_true "peeling <= exact" (Arboricity.lower_bound_peeling g <= ex);
+      check_true "exact <= degeneracy" (ex <= max 1 (Arboricity.degeneracy g))
+    end
+  done
+
+let suite =
+  [
+    Alcotest.test_case "single arc" `Quick test_single_arc;
+    Alcotest.test_case "series bottleneck" `Quick test_series_bottleneck;
+    Alcotest.test_case "parallel paths" `Quick test_parallel_paths;
+    Alcotest.test_case "classic network" `Quick test_classic_network;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    Alcotest.test_case "min cut side" `Quick test_min_cut_side;
+    Alcotest.test_case "rejects bad input" `Quick test_rejects_bad_input;
+    Alcotest.test_case "bipartite matching" `Quick test_flow_vs_bipartite_matching;
+    Alcotest.test_case "density complete" `Quick test_density_complete;
+    Alcotest.test_case "density offset 0" `Quick test_density_offset0;
+    Alcotest.test_case "arboricity = enumeration" `Quick test_arboricity_matches_enumeration;
+    Alcotest.test_case "arboricity random cross-check" `Quick test_arboricity_random_cross_check;
+    Alcotest.test_case "arboricity large known" `Quick test_arboricity_large_known;
+    Alcotest.test_case "density sandwich" `Quick test_density_sandwich;
+  ]

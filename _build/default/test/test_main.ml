@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "wireless-expanders"
+    [
+      ("rng", Test_rng.suite);
+      ("bitset", Test_bitset.suite);
+      ("stats", Test_stats.suite);
+      ("util-misc", Test_util_misc.suite);
+      ("graph", Test_graph.suite);
+      ("bipartite", Test_bipartite.suite);
+      ("traversal", Test_traversal.suite);
+      ("arboricity", Test_arboricity.suite);
+      ("spectral", Test_spectral.suite);
+      ("nbhd", Test_nbhd.suite);
+      ("measure", Test_measure.suite);
+      ("bounds", Test_bounds.suite);
+      ("spokesmen", Test_spokesmen.suite);
+      ("constructions", Test_constructions.suite);
+      ("radio", Test_radio.suite);
+      ("theorems", Test_theorems.suite);
+      ("flow", Test_flow.suite);
+      ("solvers-ext", Test_solvers_ext.suite);
+      ("extensions", Test_extensions.suite);
+      ("connectivity", Test_connectivity.suite);
+      ("properties", Test_properties.suite);
+      ("certificate", Test_certificate.suite);
+      ("trace", Test_trace.suite);
+    ]

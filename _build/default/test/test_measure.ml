@@ -1,0 +1,192 @@
+module Measure = Wx_expansion.Measure
+module Bip_measure = Wx_expansion.Bip_measure
+module Nbhd = Wx_expansion.Nbhd
+module Graph = Wx_graph.Graph
+module Gen = Wx_graph.Gen
+module Bipartite = Wx_graph.Bipartite
+module Bitset = Wx_util.Bitset
+open Common
+
+let test_max_set_size () =
+  check_int "half of 10" 5 (Measure.max_set_size (Gen.cycle 10));
+  check_int "alpha 0.3" 3 (Measure.max_set_size ~alpha:0.3 (Gen.cycle 10))
+
+let test_beta_exact_cycle () =
+  (* Cycle 10, α = 1/2: the worst set is an arc of 5 with 2 外 neighbors. *)
+  let w = Measure.beta_exact (Gen.cycle 10) in
+  check_float "beta" (2.0 /. 5.0) w.Measure.value;
+  check_int "witness size" 5 (Bitset.cardinal w.Measure.witness);
+  check_float "witness consistent" w.Measure.value
+    (Nbhd.expansion_of_set (Gen.cycle 10) w.Measure.witness)
+
+let test_beta_exact_complete () =
+  (* K8, α = 1/2: any set of size k ≤ 4 has 8−k external neighbors; min at
+     k = 4: 4/4 = 1. *)
+  let w = Measure.beta_exact (Gen.complete 8) in
+  check_float "beta" 1.0 w.Measure.value
+
+let test_beta_exact_star () =
+  (* Star n=9 (center 0): worst set = 4 leaves → only the center outside: 1/4. *)
+  let w = Measure.beta_exact (Gen.star 9) in
+  check_float "beta" 0.25 w.Measure.value
+
+let test_beta_u_exact_cycle () =
+  (* Even cycle: the alternating independent set {0,2,4,6,8} double-covers
+     every outside vertex, so βu = 0 — while the wireless expansion stays
+     positive (pick every fourth vertex). A textbook β/βu separation. *)
+  let bu = Measure.beta_u_exact (Gen.cycle 10) in
+  check_float "βu = 0 on even cycle" 0.0 bu.Measure.value;
+  let bw = Measure.beta_w_exact (Gen.cycle 10) in
+  check_true "βw > 0 on even cycle" (bw.Measure.value > 0.0)
+
+let test_beta_u_complete_graph_is_low () =
+  (* K8: a set of 2 has zero unique neighbors? Each outside vertex is
+     adjacent to both → Γ¹ = ∅. *)
+  let bu = Measure.beta_u_exact (Gen.complete 8) in
+  check_float "βu = 0" 0.0 bu.Measure.value
+
+let test_beta_w_vs_others_cplus () =
+  (* The motivating separation: on C⁺, βu is 0 (witness {x, y, s0}) but βw
+     stays positive. *)
+  let g = Wx_constructions.Cplus.create 7 in
+  let bu = Measure.beta_u_exact g in
+  let bw = Measure.beta_w_exact g in
+  check_float "βu = 0" 0.0 bu.Measure.value;
+  check_true "βw > 0" (bw.Measure.value > 0.0)
+
+let test_wireless_of_set_exact () =
+  (* C+ bad set {x, y, s0}: transmitting {x} alone uniquely covers the whole
+     remaining clique (c − 2 vertices) minus... x is adjacent to all clique
+     vertices and s0. S = {0, 1, s0}; S' = {0} covers clique \ {0,1}
+     uniquely (each has exactly one neighbor in S'). *)
+  let g = Wx_constructions.Cplus.create 8 in
+  let s = Wx_constructions.Cplus.bad_set g in
+  let w = Measure.wireless_of_set_exact g s in
+  check_float "singleton wins" (6.0 /. 3.0) w.Measure.value
+
+let test_beta_w_exact_ordering () =
+  List.iter
+    (fun (name, g) ->
+      let b = (Measure.beta_exact g).Measure.value in
+      let bw = (Measure.beta_w_exact g).Measure.value in
+      let bu = (Measure.beta_u_exact g).Measure.value in
+      check_true (name ^ ": β >= βw") (b >= bw -. 1e-9);
+      check_true (name ^ ": βw >= βu") (bw >= bu -. 1e-9))
+    [
+      ("cycle-8", Gen.cycle 8);
+      ("path-8", Gen.path 8);
+      ("grid-3x3", Gen.grid 3 3);
+      ("complete-7", Gen.complete 7);
+      ("star-8", Gen.star 8);
+      ("hypercube-3", Gen.hypercube 3);
+    ]
+
+let test_sampled_upper_bounds_exact () =
+  let r = rng ~salt:50 () in
+  List.iter
+    (fun g ->
+      let exact = (Measure.beta_exact g).Measure.value in
+      let sampled = (Measure.beta_sampled r ~samples:200 g).Measure.value in
+      check_true "sampled >= exact" (sampled >= exact -. 1e-9))
+    [ Gen.cycle 10; Gen.grid 3 4; Gen.hypercube 3 ]
+
+let test_beta_w_sampled_upper_bounds_exact () =
+  let r = rng ~salt:51 () in
+  let g = Gen.cycle 9 in
+  let exact = (Measure.beta_w_exact g).Measure.value in
+  let sampled = (Measure.beta_w_sampled r ~samples:300 g).Measure.value in
+  check_true "sampled >= exact" (sampled >= exact -. 1e-9)
+
+let test_work_limit () =
+  match Measure.beta_exact ~work_limit:100 (Gen.cycle 12) with
+  | _ -> Alcotest.fail "expected Too_large"
+  | exception Measure.Too_large _ -> ()
+
+let test_profile_beta () =
+  let profile = Measure.profile_beta (Gen.cycle 10) in
+  check_int "5 sizes" 5 (List.length profile);
+  (* Size-k arcs are worst: expansion 2/k, decreasing in k. *)
+  List.iter (fun (k, v) -> check_float "arc" (2.0 /. float_of_int k) v) profile
+
+(* --- bipartite measures --- *)
+
+let test_bip_exact_max_unique_gbad () =
+  let gb = Wx_constructions.Gbad.create ~s:6 ~delta:4 ~beta:3 in
+  let t = Wx_constructions.Gbad.bip gb in
+  let m, witness = Bip_measure.exact_max_unique t in
+  check_int "witness consistent" m (Nbhd.Bip.unique_count t witness);
+  (* Wireless lb from the remark: max{2β−∆, ∆/2} per S-vertex = max{2,2} = 2;
+     6 vertices → at least 12. *)
+  check_true "above remark lb" (m >= 12)
+
+let test_bip_ordinary_expansion_exact () =
+  (* Complete bipartite 3×4 as instance: every nonempty S' covers all 4. *)
+  let t =
+    Bipartite.of_edges ~s:3 ~n:4
+      (List.concat_map (fun u -> List.init 4 (fun w -> (u, w))) [ 0; 1; 2 ])
+  in
+  let v, witness = Bip_measure.ordinary_expansion_min_exact t in
+  check_float "4/3" (4.0 /. 3.0) v;
+  check_int "witness is full side" 3 (Bitset.cardinal witness)
+
+let test_bip_sampled_vs_exact () =
+  let r = rng ~salt:52 () in
+  let t = Gen.random_bipartite_sdeg r ~s:10 ~n:15 ~d:3 in
+  let exact, _ = Bip_measure.ordinary_expansion_min_exact t in
+  let sampled, _ = Bip_measure.ordinary_expansion_min_sampled r ~samples:500 t in
+  check_true "sampled >= exact" (sampled >= exact -. 1e-9)
+
+let test_bip_sampled_max_lower_bounds_exact () =
+  let r = rng ~salt:53 () in
+  let t = Gen.random_bipartite_sdeg r ~s:10 ~n:15 ~d:3 in
+  let exact, _ = Bip_measure.exact_max_unique t in
+  let sampled, _ = Bip_measure.sampled_max_unique r ~samples:500 t in
+  check_true "sampled <= exact" (sampled <= exact)
+
+let qcheck_tests =
+  [
+    qcheck ~count:25 "Obs 2.1 on random graphs"
+      (fun g ->
+        if Graph.n g > 10 || Graph.n g < 2 then true
+        else begin
+          let b = (Measure.beta_exact g).Measure.value in
+          let bw = (Measure.beta_w_exact g).Measure.value in
+          let bu = (Measure.beta_u_exact g).Measure.value in
+          b >= bw -. 1e-9 && bw >= bu -. 1e-9
+        end)
+      (arbitrary_graph ~lo:3 ~hi:10);
+    qcheck ~count:25 "wireless of set >= unique of set"
+      (fun g ->
+        let n = Graph.n g in
+        if n < 4 then true
+        else begin
+          let r = Wx_util.Rng.create 3 in
+          let s = Bitset.random_of_universe r n (max 1 (n / 3)) in
+          let uniq = Nbhd.unique_expansion_of_set g s in
+          let wl = (Measure.wireless_of_set_exact g s).Measure.value in
+          wl >= uniq -. 1e-9
+        end)
+      (arbitrary_graph ~lo:4 ~hi:14);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "max_set_size" `Quick test_max_set_size;
+    Alcotest.test_case "beta exact cycle" `Quick test_beta_exact_cycle;
+    Alcotest.test_case "beta exact complete" `Quick test_beta_exact_complete;
+    Alcotest.test_case "beta exact star" `Quick test_beta_exact_star;
+    Alcotest.test_case "beta_u cycle" `Quick test_beta_u_exact_cycle;
+    Alcotest.test_case "beta_u complete low" `Quick test_beta_u_complete_graph_is_low;
+    Alcotest.test_case "C+ separation" `Quick test_beta_w_vs_others_cplus;
+    Alcotest.test_case "wireless of set exact" `Quick test_wireless_of_set_exact;
+    Alcotest.test_case "ordering on zoo" `Quick test_beta_w_exact_ordering;
+    Alcotest.test_case "sampled beta bounds exact" `Quick test_sampled_upper_bounds_exact;
+    Alcotest.test_case "sampled beta_w bounds exact" `Quick test_beta_w_sampled_upper_bounds_exact;
+    Alcotest.test_case "work limit" `Quick test_work_limit;
+    Alcotest.test_case "profile beta" `Quick test_profile_beta;
+    Alcotest.test_case "bip max unique gbad" `Quick test_bip_exact_max_unique_gbad;
+    Alcotest.test_case "bip ordinary exact" `Quick test_bip_ordinary_expansion_exact;
+    Alcotest.test_case "bip sampled vs exact" `Quick test_bip_sampled_vs_exact;
+    Alcotest.test_case "bip sampled max lb" `Quick test_bip_sampled_max_lower_bounds_exact;
+  ]
+  @ qcheck_tests

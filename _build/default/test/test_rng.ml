@@ -1,0 +1,211 @@
+module Rng = Wx_util.Rng
+open Common
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check_true "same stream" (Rng.int64 a = Rng.int64 b)
+  done
+
+let test_copy () =
+  let a = Rng.create 9 in
+  let _ = Rng.int64 a in
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    check_true "copy matches" (Rng.int64 a = Rng.int64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  check_true "streams differ" (!same < 4)
+
+let test_split_independent () =
+  let a = Rng.create 3 in
+  let child = Rng.split a in
+  (* Drawing from the parent must not affect the child's stream. *)
+  let c1 = Rng.copy child in
+  let _ = Rng.int64 a in
+  for _ = 1 to 20 do
+    check_true "child unaffected" (Rng.int64 child = Rng.int64 c1)
+  done
+
+let test_int_bounds () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 7 in
+    check_true "in range" (v >= 0 && v < 7)
+  done
+
+let test_int_uniformity () =
+  let r = rng ~salt:1 () in
+  let counts = Array.make 8 0 in
+  let trials = 80_000 in
+  for _ = 1 to trials do
+    let v = Rng.int r 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = trials / 8 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d count %d far from %d" i c expected)
+    counts
+
+let test_int_in () =
+  let r = rng ~salt:2 () in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    check_true "int_in range" (v >= -5 && v <= 5)
+  done
+
+let test_float_range () =
+  let r = rng ~salt:3 () in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r in
+    check_true "[0,1)" (v >= 0.0 && v < 1.0)
+  done
+
+let test_bernoulli_mean () =
+  let r = rng ~salt:4 () in
+  let hits = ref 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let mean = float_of_int !hits /. float_of_int trials in
+  check_true "mean near 0.3" (Float.abs (mean -. 0.3) < 0.02)
+
+let test_bernoulli_edges () =
+  let r = rng ~salt:5 () in
+  check_true "p=0 never" (not (Rng.bernoulli r 0.0));
+  check_true "p=1 always" (Rng.bernoulli r 1.0)
+
+let test_geometric_mean () =
+  let r = rng ~salt:6 () in
+  let acc = ref 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    acc := !acc + Rng.geometric r 0.25
+  done;
+  (* mean of geometric(p) counting failures = (1-p)/p = 3. *)
+  let mean = float_of_int !acc /. float_of_int trials in
+  check_true "geometric mean near 3" (Float.abs (mean -. 3.0) < 0.15)
+
+let test_geometric_p1 () =
+  let r = rng ~salt:7 () in
+  for _ = 1 to 100 do
+    check_int "geometric(1) = 0" 0 (Rng.geometric r 1.0)
+  done
+
+let test_shuffle_is_permutation () =
+  let r = rng ~salt:8 () in
+  for _ = 1 to 100 do
+    let a = Array.init 30 (fun i -> i) in
+    Rng.shuffle r a;
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    check_true "permutation" (sorted = Array.init 30 (fun i -> i))
+  done
+
+let test_permutation_uniform_position () =
+  (* Element 0 should land in each slot with roughly equal frequency. *)
+  let r = rng ~salt:9 () in
+  let n = 6 in
+  let counts = Array.make n 0 in
+  let trials = 30_000 in
+  for _ = 1 to trials do
+    let p = Rng.permutation r n in
+    let pos = ref 0 in
+    Array.iteri (fun i v -> if v = 0 then pos := i) p;
+    counts.(!pos) <- counts.(!pos) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = trials / n in
+      check_true "roughly uniform" (abs (c - expected) < expected / 4))
+    counts
+
+let test_sample_without_replacement () =
+  let r = rng ~salt:10 () in
+  for _ = 1 to 500 do
+    let k = 1 + Rng.int r 20 in
+    let n = k + Rng.int r 50 in
+    let sample = Rng.sample_without_replacement r n k in
+    check_int "size" k (Array.length sample);
+    let tbl = Hashtbl.create k in
+    Array.iter
+      (fun v ->
+        check_true "range" (v >= 0 && v < n);
+        check_true "distinct" (not (Hashtbl.mem tbl v));
+        Hashtbl.add tbl v ())
+      sample
+  done
+
+let test_sample_full () =
+  let r = rng ~salt:11 () in
+  let sample = Rng.sample_without_replacement r 10 10 in
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  check_true "full sample is 0..9" (sorted = Array.init 10 (fun i -> i))
+
+let test_subset_bernoulli_bounds () =
+  let r = rng ~salt:12 () in
+  for _ = 1 to 200 do
+    let l = Rng.subset_bernoulli r 50 0.3 in
+    List.iter (fun v -> check_true "range" (v >= 0 && v < 50)) l;
+    let rec sorted = function
+      | [] | [ _ ] -> true
+      | x :: (y :: _ as rest) -> x < y && sorted rest
+    in
+    check_true "sorted strictly" (sorted l)
+  done
+
+let test_subset_bernoulli_mean () =
+  let r = rng ~salt:13 () in
+  let acc = ref 0 in
+  let trials = 5000 in
+  for _ = 1 to trials do
+    acc := !acc + List.length (Rng.subset_bernoulli r 100 0.2)
+  done;
+  let mean = float_of_int !acc /. float_of_int trials in
+  check_true "mean near 20" (Float.abs (mean -. 20.0) < 1.0)
+
+let test_subset_bernoulli_edges () =
+  let r = rng ~salt:14 () in
+  check_true "p=0 empty" (Rng.subset_bernoulli r 10 0.0 = []);
+  check_int "p=1 full" 10 (List.length (Rng.subset_bernoulli r 10 1.0))
+
+let test_pick () =
+  let r = rng ~salt:15 () in
+  let arr = [| 3; 5; 9 |] in
+  for _ = 1 to 100 do
+    check_true "member" (Array.mem (Rng.pick r arr) arr)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniformity" `Slow test_int_uniformity;
+    Alcotest.test_case "int_in" `Quick test_int_in;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bernoulli mean" `Slow test_bernoulli_mean;
+    Alcotest.test_case "bernoulli edges" `Quick test_bernoulli_edges;
+    Alcotest.test_case "geometric mean" `Slow test_geometric_mean;
+    Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "permutation uniformity" `Slow test_permutation_uniform_position;
+    Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "sample full" `Quick test_sample_full;
+    Alcotest.test_case "subset bernoulli bounds" `Quick test_subset_bernoulli_bounds;
+    Alcotest.test_case "subset bernoulli mean" `Slow test_subset_bernoulli_mean;
+    Alcotest.test_case "subset bernoulli edges" `Quick test_subset_bernoulli_edges;
+    Alcotest.test_case "pick" `Quick test_pick;
+  ]

@@ -1,0 +1,109 @@
+module Spectral_gap = Wx_spectral.Spectral_gap
+module Vec = Wx_spectral.Vec
+module Gen = Wx_graph.Gen
+module Graph = Wx_graph.Graph
+open Common
+
+let lambda2 g = Spectral_gap.lambda2_regular g (rng ~salt:40 ())
+
+let test_vec_ops () =
+  let a = [| 1.0; 2.0; 2.0 |] and b = [| 2.0; 0.0; 1.0 |] in
+  check_float "dot" 4.0 (Vec.dot a b);
+  check_float "norm" 3.0 (Vec.norm a);
+  let y = Vec.copy a in
+  Vec.axpy_inplace y 2.0 b;
+  check_true "axpy" (y = [| 5.0; 2.0; 4.0 |]);
+  Vec.normalize_inplace y;
+  check_float "unit" 1.0 (Vec.norm y)
+
+let test_vec_orthogonalize () =
+  let u = [| 1.0; 0.0 |] in
+  let v = [| 3.0; 4.0 |] in
+  Vec.orthogonalize_inplace v [ u ];
+  check_float "x killed" 0.0 v.(0);
+  check_float "y kept" 4.0 v.(1)
+
+let test_matvec () =
+  let g = Gen.path 3 in
+  let y = Array.make 3 0.0 in
+  Spectral_gap.matvec g [| 1.0; 2.0; 3.0 |] y;
+  check_true "A x" (y = [| 2.0; 4.0; 2.0 |])
+
+let test_lambda2_cycle () =
+  (* Cycle eigenvalues: 2cos(2πk/n); second largest at k = 1. *)
+  check_float ~eps:1e-6 "cycle 8" (2.0 *. cos (2.0 *. Float.pi /. 8.0)) (lambda2 (Gen.cycle 8));
+  check_float ~eps:1e-6 "cycle 12" (2.0 *. cos (2.0 *. Float.pi /. 12.0)) (lambda2 (Gen.cycle 12))
+
+let test_lambda2_complete () =
+  (* K_n: spectrum {n−1, −1, ..., −1}. *)
+  check_float ~eps:1e-6 "K6" (-1.0) (lambda2 (Gen.complete 6))
+
+let test_lambda2_hypercube () =
+  (* Q_d: eigenvalues d − 2i; λ₂ = d − 2. *)
+  check_float ~eps:1e-6 "Q3" 1.0 (lambda2 (Gen.hypercube 3));
+  check_float ~eps:1e-6 "Q4" 2.0 (lambda2 (Gen.hypercube 4))
+
+let test_lambda2_complete_bipartite () =
+  (* K_{a,a}: spectrum {a, 0, ..., 0, −a}; λ₂ = 0. *)
+  check_float ~eps:1e-6 "K44" 0.0 (lambda2 (Gen.complete_bipartite 4 4))
+
+let test_lambda2_rejects_irregular () =
+  Alcotest.check_raises "irregular"
+    (Invalid_argument "Spectral_gap.lambda2_regular: graph is not regular") (fun () ->
+      ignore (lambda2 (Gen.star 5)))
+
+let test_spectral_gap () =
+  check_float ~eps:1e-6 "K6 gap" 6.0
+    (Spectral_gap.spectral_gap_regular (Gen.complete 6) (rng ~salt:41 ()))
+
+let test_dense_eigenvalues_triangle () =
+  (* Triangle = K3: {2, −1, −1}. *)
+  let eig = Spectral_gap.eigenvalues_dense (Gen.complete 3) in
+  check_float ~eps:1e-8 "top" 2.0 eig.(0);
+  check_float ~eps:1e-8 "mid" (-1.0) eig.(1);
+  check_float ~eps:1e-8 "bot" (-1.0) eig.(2)
+
+let test_dense_eigenvalues_path () =
+  (* Path on 2 vertices: {1, −1}. *)
+  let eig = Spectral_gap.eigenvalues_dense (Gen.path 2) in
+  check_float ~eps:1e-8 "plus" 1.0 eig.(0);
+  check_float ~eps:1e-8 "minus" (-1.0) eig.(1)
+
+let test_power_vs_dense_cross_check () =
+  let r = rng ~salt:42 () in
+  for _ = 1 to 5 do
+    let g = Gen.random_regular r 12 4 in
+    if Wx_graph.Traversal.is_connected g then begin
+      let dense = Spectral_gap.eigenvalues_dense g in
+      let power = lambda2 g in
+      check_float ~eps:1e-5 "power = dense λ2" dense.(1) power
+    end
+  done
+
+let test_eigenvalue_sum_zero () =
+  (* trace(A) = 0, so eigenvalues sum to 0. *)
+  let eig = Spectral_gap.eigenvalues_dense (Gen.cycle 7) in
+  check_float ~eps:1e-8 "sum" 0.0 (Array.fold_left ( +. ) 0.0 eig)
+
+let test_alon_spencer_bound () =
+  (* K4, any 2-2 partition: cut = 4 edges; bound (d−λ)|A||B|/n = (3−(−1))·4/4 = 4. *)
+  let v = Spectral_gap.alon_spencer_cut_bound ~d:3 ~lambda2:(-1.0) ~n:4 ~a:2 in
+  check_float "tight on K4" 4.0 v
+
+let suite =
+  [
+    Alcotest.test_case "vec ops" `Quick test_vec_ops;
+    Alcotest.test_case "vec orthogonalize" `Quick test_vec_orthogonalize;
+    Alcotest.test_case "matvec" `Quick test_matvec;
+    Alcotest.test_case "lambda2 cycle" `Quick test_lambda2_cycle;
+    Alcotest.test_case "lambda2 complete" `Quick test_lambda2_complete;
+    Alcotest.test_case "lambda2 hypercube" `Quick test_lambda2_hypercube;
+    Alcotest.test_case "lambda2 complete bipartite" `Quick test_lambda2_complete_bipartite;
+    Alcotest.test_case "lambda2 rejects irregular" `Quick test_lambda2_rejects_irregular;
+    Alcotest.test_case "spectral gap" `Quick test_spectral_gap;
+    Alcotest.test_case "dense eig triangle" `Quick test_dense_eigenvalues_triangle;
+    Alcotest.test_case "dense eig path" `Quick test_dense_eigenvalues_path;
+    Alcotest.test_case "power vs dense" `Quick test_power_vs_dense_cross_check;
+    Alcotest.test_case "eig sum zero" `Quick test_eigenvalue_sum_zero;
+    Alcotest.test_case "alon-spencer bound" `Quick test_alon_spencer_bound;
+  ]

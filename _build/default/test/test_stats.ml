@@ -1,0 +1,110 @@
+module Stats = Wx_util.Stats
+open Common
+
+let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]
+
+let test_mean () = check_float "mean" 5.0 (Stats.mean xs)
+
+let test_variance () =
+  (* Sample variance with n-1: sum sq dev = 32, / 7. *)
+  check_float "variance" (32.0 /. 7.0) (Stats.variance xs)
+
+let test_stddev () = check_float "stddev" (sqrt (32.0 /. 7.0)) (Stats.stddev xs)
+let test_min_max () =
+  check_float "min" 2.0 (Stats.min xs);
+  check_float "max" 9.0 (Stats.max xs)
+
+let test_single () =
+  check_float "variance of single" 0.0 (Stats.variance [| 5.0 |]);
+  check_float "median of single" 5.0 (Stats.median [| 5.0 |])
+
+let test_median_even () = check_float "median" 4.5 (Stats.median xs)
+let test_median_odd () = check_float "median odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |])
+
+let test_percentile () =
+  check_float "p0" 2.0 (Stats.percentile xs 0.0);
+  check_float "p100" 9.0 (Stats.percentile xs 100.0);
+  check_float "p50 = median" (Stats.median xs) (Stats.percentile xs 50.0)
+
+let test_percentile_does_not_mutate () =
+  let ys = [| 3.0; 1.0; 2.0 |] in
+  let _ = Stats.percentile ys 50.0 in
+  check_true "unchanged" (ys = [| 3.0; 1.0; 2.0 |])
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean empty" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_summary () =
+  let s = Stats.summarize xs in
+  check_int "count" 8 s.Stats.count;
+  check_float "mean" 5.0 s.Stats.mean;
+  check_float "min" 2.0 s.Stats.min;
+  check_float "max" 9.0 s.Stats.max
+
+let test_welford_matches_direct () =
+  let w = Stats.Welford.create () in
+  Array.iter (Stats.Welford.add w) xs;
+  check_int "count" 8 (Stats.Welford.count w);
+  check_float "mean" (Stats.mean xs) (Stats.Welford.mean w);
+  check_float ~eps:1e-9 "variance" (Stats.variance xs) (Stats.Welford.variance w)
+
+let test_histogram () =
+  let h = Stats.histogram [| 0.0; 0.5; 1.0; 1.5; 2.0 |] ~bins:2 in
+  check_int "bins" 2 (Array.length h);
+  let _, _, c0 = h.(0) and _, _, c1 = h.(1) in
+  check_int "total" 5 (c0 + c1);
+  check_int "first bin" 2 c0
+
+let test_histogram_constant_data () =
+  let h = Stats.histogram [| 3.0; 3.0; 3.0 |] ~bins:4 in
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  check_int "all counted" 3 total
+
+let test_of_ints () = check_true "of_ints" (Stats.of_ints [| 1; 2 |] = [| 1.0; 2.0 |])
+
+let qcheck_tests =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(list_size (int_range 1 50) (float_range (-100.0) 100.0))
+  in
+  [
+    qcheck "min <= mean <= max"
+      (fun l ->
+        let a = Array.of_list l in
+        Stats.min a <= Stats.mean a +. 1e-9 && Stats.mean a <= Stats.max a +. 1e-9)
+      arb;
+    qcheck "variance nonneg" (fun l -> Stats.variance (Array.of_list l) >= -1e-9) arb;
+    qcheck "welford = direct"
+      (fun l ->
+        let a = Array.of_list l in
+        let w = Stats.Welford.create () in
+        Array.iter (Stats.Welford.add w) a;
+        Wx_util.Floatx.approx_equal ~eps:1e-6 (Stats.mean a) (Stats.Welford.mean w))
+      arb;
+    qcheck "percentiles monotone"
+      (fun l ->
+        let a = Array.of_list l in
+        Stats.percentile a 25.0 <= Stats.percentile a 75.0 +. 1e-9)
+      arb;
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "single element" `Quick test_single;
+    Alcotest.test_case "median even" `Quick test_median_even;
+    Alcotest.test_case "median odd" `Quick test_median_odd;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile pure" `Quick test_percentile_does_not_mutate;
+    Alcotest.test_case "empty raises" `Quick test_empty_raises;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "welford" `Quick test_welford_matches_direct;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram constant" `Quick test_histogram_constant_data;
+    Alcotest.test_case "of_ints" `Quick test_of_ints;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,98 @@
+module Graph = Wx_graph.Graph
+module Gen = Wx_graph.Gen
+module Traversal = Wx_graph.Traversal
+module Bitset = Wx_util.Bitset
+open Common
+
+let test_bfs_path () =
+  let g = Gen.path 5 in
+  let d = Traversal.bfs g 0 in
+  check_true "distances" (d = [| 0; 1; 2; 3; 4 |])
+
+let test_bfs_cycle () =
+  let g = Gen.cycle 6 in
+  let d = Traversal.bfs g 0 in
+  check_true "wraps" (d = [| 0; 1; 2; 3; 2; 1 |])
+
+let test_bfs_disconnected () =
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  let d = Traversal.bfs g 0 in
+  check_int "unreachable" max_int d.(2)
+
+let test_bfs_multi () =
+  let g = Gen.path 5 in
+  let d = Traversal.bfs_multi g (Bitset.of_list 5 [ 0; 4 ]) in
+  check_true "nearest source" (d = [| 0; 1; 2; 1; 0 |])
+
+let test_bfs_layers () =
+  let layers = Traversal.bfs_layers (Gen.star 5) 0 in
+  check_int "two layers" 2 (List.length layers);
+  check_int "center" 1 (Array.length (List.nth layers 0));
+  check_int "leaves" 4 (Array.length (List.nth layers 1))
+
+let test_eccentricity () =
+  check_int "path end" 4 (Traversal.eccentricity (Gen.path 5) 0);
+  check_int "path middle" 2 (Traversal.eccentricity (Gen.path 5) 2)
+
+let test_diameter () =
+  check_int "path" 4 (Traversal.diameter (Gen.path 5));
+  check_int "cycle" 3 (Traversal.diameter (Gen.cycle 6));
+  check_int "complete" 1 (Traversal.diameter (Gen.complete 5));
+  check_int "hypercube" 4 (Traversal.diameter (Gen.hypercube 4));
+  check_int "single" 0 (Traversal.diameter (Graph.of_edges 1 []));
+  check_int "disconnected" max_int (Traversal.diameter (Graph.of_edges 3 [ (0, 1) ]))
+
+let test_grid_diameter () =
+  check_int "grid 3x4" (2 + 3) (Traversal.diameter (Gen.grid 3 4))
+
+let test_components () =
+  let g = Graph.of_edges 6 [ (0, 1); (2, 3); (3, 4) ] in
+  let comp, count = Traversal.components g in
+  check_int "three components" 3 count;
+  check_true "0,1 together" (comp.(0) = comp.(1));
+  check_true "2,3,4 together" (comp.(2) = comp.(3) && comp.(3) = comp.(4));
+  check_true "separate" (comp.(0) <> comp.(2) && comp.(5) <> comp.(0))
+
+let test_is_connected () =
+  check_true "cycle" (Traversal.is_connected (Gen.cycle 5));
+  check_true "not" (not (Traversal.is_connected (Graph.of_edges 3 [ (0, 1) ])));
+  check_true "singleton" (Traversal.is_connected (Graph.of_edges 1 []))
+
+let test_distance () =
+  check_int "distance" 3 (Traversal.distance (Gen.cycle 6) 0 3)
+
+let qcheck_tests =
+  [
+    qcheck ~count:40 "bfs triangle inequality at edges"
+      (fun g ->
+        if Graph.n g = 0 then true
+        else begin
+          let d = Traversal.bfs g 0 in
+          let ok = ref true in
+          Graph.iter_edges g (fun u v ->
+              if d.(u) <> max_int && d.(v) <> max_int && abs (d.(u) - d.(v)) > 1 then ok := false);
+          !ok
+        end)
+      (arbitrary_graph ~lo:2 ~hi:25);
+    qcheck ~count:40 "component count vs connectivity"
+      (fun g ->
+        let _, c = Traversal.components g in
+        (c = 1) = Traversal.is_connected g || Graph.n g <= 1)
+      (arbitrary_graph ~lo:1 ~hi:25);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "bfs path" `Quick test_bfs_path;
+    Alcotest.test_case "bfs cycle" `Quick test_bfs_cycle;
+    Alcotest.test_case "bfs disconnected" `Quick test_bfs_disconnected;
+    Alcotest.test_case "bfs multi" `Quick test_bfs_multi;
+    Alcotest.test_case "bfs layers" `Quick test_bfs_layers;
+    Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+    Alcotest.test_case "diameter" `Quick test_diameter;
+    Alcotest.test_case "grid diameter" `Quick test_grid_diameter;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "is_connected" `Quick test_is_connected;
+    Alcotest.test_case "distance" `Quick test_distance;
+  ]
+  @ qcheck_tests
