@@ -38,6 +38,9 @@ let a1_bitset_vs_slow () =
                 if i mod 64 = 0 then ignore (Bitset.Slow.cardinal (Bitset.Slow.inter !a !b)))
               idx)
       in
+      record ~claim:"A1: bitset ≤ list-set wall clock"
+        ~instance:(Printf.sprintf "universe=%d" n)
+        ~predicted:slow ~measured:fast (fast <= slow);
       Table.add_row t
         [
           Table.fi n;
@@ -142,6 +145,9 @@ let a6_bb_vs_enumeration () =
             | r, Wx_spokesmen.Bb.Proved_optimal -> r.Solver.covered
             | _ -> -1)
       in
+      record ~claim:"A6: bb optimum = enumeration optimum"
+        ~instance:(Printf.sprintf "|S|=%d" k)
+        ~predicted:(float_of_int en) ~measured:(float_of_int bb) (en = bb);
       Table.add_row t
         [ Table.fi k; Table.ff ~dec:4 ten; Table.ff ~dec:4 tbb; Table.fb (en = bb) ])
     [ 12; 16; 20; 22 ];

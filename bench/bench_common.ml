@@ -17,6 +17,8 @@ module Nbhd = Wx_expansion.Nbhd
 module Solver = Wx_spokesmen.Solver
 module Instances = Wireless_expanders.Instances
 module Theorems = Wireless_expanders.Theorems
+module Json = Wx_obs.Json
+module Metrics = Wx_obs.Metrics
 
 type experiment = {
   id : string;  (** "e1" ... "e12", "ablation" *)
@@ -31,10 +33,50 @@ let section e =
 let seed = Instances.seed
 let rng off = Rng.create (seed + off)
 
+(* ---- structured results ----
+
+   Experiments print tables for humans; in parallel, every predicted vs
+   measured comparison is recorded here so the harness can write a
+   machine-readable BENCH_*.json per run. The collector is per-experiment:
+   the harness drains it with [take_recorded] after each [run]. *)
+
+type check_row = {
+  claim : string;
+  instance : string;
+  predicted : float;
+  measured : float;
+  holds : bool;
+}
+
+let recorded : check_row list ref = ref []
+
+let record ~claim ?(instance = "") ?(predicted = Float.nan) ?(measured = Float.nan) holds =
+  recorded := { claim; instance; predicted; measured; holds } :: !recorded
+
+let record_check (c : Theorems.check) =
+  record ~claim:c.Theorems.claim ~instance:c.Theorems.instance ~predicted:c.Theorems.predicted
+    ~measured:c.Theorems.measured c.Theorems.holds
+
+let take_recorded () =
+  let rows = List.rev !recorded in
+  recorded := [];
+  rows
+
+let row_json r =
+  Json.Obj
+    [
+      ("claim", Json.String r.claim);
+      ("instance", Json.String r.instance);
+      ("predicted", Json.Float r.predicted);
+      ("measured", Json.Float r.measured);
+      ("holds", Json.Bool r.holds);
+    ]
+
 let checks_table (checks : Theorems.check list) =
   let t = Table.create [ "claim"; "instance"; "predicted"; "measured"; "holds" ] in
   List.iter
     (fun (c : Theorems.check) ->
+      record_check c;
       Table.add_row t
         [
           c.Theorems.claim;

@@ -19,6 +19,7 @@ let run ~quick =
       let holds = b >= bw -. 1e-9 && bw >= bu -. 1e-9 in
       incr total;
       if holds then incr ok;
+      record ~claim:"Obs 2.1 (β≥βw≥βu)" ~instance:name ~predicted:bw ~measured:b holds;
       Table.add_row t
         [
           name;

@@ -21,6 +21,7 @@ let run ~quick =
       let holds = bu >= predicted -. 1e-9 in
       incr total;
       if holds then incr ok;
+      record ~claim:"Lemma 3.2" ~instance:name ~predicted ~measured:bu holds;
       Table.add_row t
         [
           name; Table.ff beta; Table.fi delta; Table.ff predicted; Table.ff bu; Table.fb holds;
@@ -43,6 +44,9 @@ let run ~quick =
       let exact = Float.abs (measured -. predicted) < 1e-9 in
       incr total;
       if exact then incr ok;
+      record ~claim:"Lemma 3.3 (βu exact)"
+        ~instance:(Printf.sprintf "Gbad(s=%d,Δ=%d)" s (Wx_constructions.Gbad.delta gb))
+        ~predicted ~measured exact;
       Table.add_row t2
         [
           Table.fi s;

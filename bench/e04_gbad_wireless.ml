@@ -32,6 +32,9 @@ let run ~quick =
       let holds = measured >= predicted -. slack in
       incr total;
       if holds then incr ok;
+      record ~claim:"Remark 3.3 (βw≥max{2β−Δ,Δ/2})"
+        ~instance:(Printf.sprintf "Gbad(s=%d,Δ=%d)" s (Gbad.delta gb))
+        ~predicted ~measured holds;
       Table.add_row t
         [
           Table.fi s;

@@ -19,6 +19,7 @@ let run ~quick =
       let checks = Theorems.lemma_4_4 cg in
       total := !total + List.length checks;
       ok := !ok + count_holds checks;
+      List.iter record_check checks;
       let inst = Core_graph.bip cg in
       let log2s = Floatx.log2 (2.0 *. float_of_int s) in
       let mins = Core_graph.dp_min_coverage cg in

@@ -26,6 +26,7 @@ let run ~quick =
           let checks = Theorems.lemma_4_6 gc in
           total := !total + List.length checks;
           ok := !ok + count_holds checks;
+          List.iter record_check checks;
           let inst = gc.Gen_core.bip in
           let m = Gen_core.max_unique_exact gc in
           let frac = float_of_int m /. float_of_int (Bipartite.n_count inst) in

@@ -28,6 +28,7 @@ let run ~quick =
         let holds = measured >= predicted -. 1e-9 in
         incr total;
         if holds then incr ok;
+        record ~claim:"Theorem 1.1 (constant 1/9)" ~instance:name ~predicted ~measured holds;
         Table.add_row t
           [
             name;

@@ -57,6 +57,11 @@ let run ~quick =
               total := !total + 2;
               if c1 then incr ok;
               if c2 then incr ok;
+              let inst_name = Printf.sprintf "%s ε=%.2f" hname eps in
+              record ~claim:"Thm 1.2: β̃ = (1−ε)β preserved" ~instance:inst_name
+                ~predicted:beta_tilde ~measured:witness c1;
+              record ~claim:"Cor 4.11: βw(S*) ≤ cap" ~instance:inst_name ~predicted:cap
+                ~measured:bw_star c2;
               Table.add_row t
                 [
                   hname;

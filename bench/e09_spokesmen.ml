@@ -24,6 +24,9 @@ let run ~quick =
           *. Bounds.spokesmen_avg_degree_fraction ~delta_s:(Bipartite.delta_s inst)
                ~delta_n:(Bipartite.delta_n inst)
         in
+        record ~claim:"§4.2.1: OPT ≥ avg-degree bound" ~instance:name ~predicted:ours
+          ~measured:(float_of_int opt)
+          (float_of_int opt >= ours -. 1e-9);
         Table.add_row t
           [
             name;
@@ -67,6 +70,8 @@ let run ~quick =
           let holds = float_of_int best.Solver.covered >= ours -. 1e-9 in
           incr total;
           if holds then incr ok;
+          record ~claim:"§4.2.1: portfolio ≥ avg-degree bound" ~instance:name ~predicted:ours
+            ~measured:(float_of_int best.Solver.covered) holds;
           let bb_opt =
             if Bipartite.s_count inst <= 40 then
               match Wx_spokesmen.Bb.optimum ~node_limit:3_000_000 inst with

@@ -52,6 +52,8 @@ let run ~quick =
         in
         incr total;
         if holds then incr ok;
+        record ~claim:"App A ladder (A.1/A.3/A.6/A.13/A.16)" ~instance:name ~predicted:b_mg
+          ~measured:best holds;
         Table.add_row t
           [
             name;

@@ -57,6 +57,11 @@ let run ~quick =
       in
       incr total;
       if holds then incr ok;
+      record ~claim:"§5: rounds ≥ D/2·log(2s)/4"
+        ~instance:(Printf.sprintf "chain(D/2=%d,s=%d)" copies s)
+        ~predicted:lb
+        ~measured:(Stats.min (arr decay))
+        holds;
       Table.add_row t
         [
           Table.fi copies;
@@ -133,6 +138,9 @@ let run ~quick =
         let holds = complete && float_of_int len >= lb && len >= bfs_lb in
         incr total;
         if holds then incr ok;
+        record ~claim:"§5: offline schedule ≥ lb"
+          ~instance:(Printf.sprintf "chain(D/2=%d,s=%d)" copies s)
+          ~predicted:lb ~measured:(float_of_int len) holds;
         Table.add_row ts
           [
             Table.fi copies; Table.fi s; Table.fi len; Table.ff ~dec:1 lb; Table.fi bfs_lb;
@@ -177,6 +185,11 @@ let run ~quick =
     let holds = d >= bound && sp >= bound in
     incr total;
     if holds then incr ok;
+    record ~claim:"Cor 5.1: rounds to 2i/log(2s) fraction"
+      ~instance:(Printf.sprintf "core(s=%d) i=%d" s i)
+      ~predicted:(float_of_int bound)
+      ~measured:(float_of_int (min d sp))
+      holds;
     Table.add_row t2
       [
         Table.fi i;

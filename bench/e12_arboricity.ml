@@ -23,6 +23,10 @@ let run ~quick =
         let factor =
           Bounds.theorem_1_1_denominator ~beta ~delta:(Graph.max_degree g)
         in
+        let predicted = beta /. (9.0 *. Float.max 1.0 factor) in
+        record ~claim:"§1.2: βw ≥ β/(9·deviation factor)" ~instance:f.Families.name
+          ~predicted ~measured:bw
+          (bw >= predicted -. 1e-9);
         Table.add_row t
           [
             f.Families.name;

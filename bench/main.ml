@@ -4,12 +4,18 @@
    dune exec bench/main.exe -- -e e5        # one experiment
    dune exec bench/main.exe -- --quick      # shrunken parameter grids
    dune exec bench/main.exe -- --list       # what exists
+   dune exec bench/main.exe -- --json       # also write BENCH_<timestamp>.json
+   dune exec bench/main.exe -- --json out.json
 
    Every experiment prints one or more predicted-vs-measured tables; the
    mapping from experiment id to paper claim is in DESIGN.md §5, and the
-   recorded outcomes live in EXPERIMENTS.md. *)
+   recorded outcomes live in EXPERIMENTS.md. Under --json the same runs
+   additionally emit a machine-readable report: one object per experiment
+   with its per-claim checks, wall time, and the wx_obs metrics snapshot
+   accumulated during that experiment. *)
 
 open Bench_common
+module Clock = Wx_obs.Clock
 
 let experiments : experiment list =
   [
@@ -28,33 +34,86 @@ let experiments : experiment list =
     Ablations.experiment;
   ]
 
-let run_one ~quick e =
+type outcome = {
+  exp : experiment;
+  wall_s : float;
+  checks : check_row list;
+  metrics : Json.t;  (** Null when metrics collection is off *)
+}
+
+let experiment_timer = Metrics.timer "bench.experiment"
+
+let run_one ~quick ~collect e =
   section e;
-  let t0 = Sys.time () in
-  e.run ~quick;
-  Printf.printf "  [%s finished in %.1fs]\n" e.id (Sys.time () -. t0)
+  if collect then Metrics.reset ();
+  ignore (take_recorded ());
+  let t0 = Clock.now_ns () in
+  Metrics.time experiment_timer (fun () -> e.run ~quick);
+  let wall_s = Clock.ns_to_s (Clock.now_ns () - t0) in
+  Printf.printf "  [%s finished in %.1fs]\n" e.id wall_s;
+  let checks = take_recorded () in
+  let metrics = if collect then Metrics.snapshot () else Json.Null in
+  { exp = e; wall_s; checks; metrics }
+
+let outcome_json o =
+  let holds = List.length (List.filter (fun (c : check_row) -> c.holds) o.checks) in
+  Json.Obj
+    [
+      ("id", Json.String o.exp.id);
+      ("title", Json.String o.exp.title);
+      ("claim", Json.String o.exp.claim);
+      ("wall_s", Json.Float o.wall_s);
+      ("holds", Json.Int holds);
+      ("total", Json.Int (List.length o.checks));
+      ("checks", Json.List (List.map row_json o.checks));
+      ("metrics", o.metrics);
+    ]
+
+let write_report ~path ~quick outcomes =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "wx-bench/1");
+        ("generated", Json.String (Clock.timestamp ()));
+        ("seed", Json.Int seed);
+        ("quick", Json.Bool quick);
+        ("experiments", Json.List (List.map outcome_json outcomes));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let list_experiments () =
   List.iter (fun e -> Printf.printf "%-9s %-55s %s\n" e.id e.title e.claim) experiments
 
-let main experiment_id quick listing skip_micro =
+let main experiment_id quick listing skip_micro json =
   Printf.printf "wireless-expanders experiment harness (seed %d)\n" seed;
   if listing then (list_experiments (); 0)
   else begin
+    let collect = json <> None in
+    if collect then Metrics.enable ();
+    let finish outcomes =
+      (match json with
+      | Some "" -> write_report ~path:("BENCH_" ^ Clock.timestamp () ^ ".json") ~quick outcomes
+      | Some path -> write_report ~path ~quick outcomes
+      | None -> ());
+      0
+    in
     match experiment_id with
     | Some id -> begin
         match List.find_opt (fun e -> e.id = id) experiments with
-        | Some e ->
-            run_one ~quick e;
-            0
+        | Some e -> finish [ run_one ~quick ~collect e ]
         | None ->
             Printf.eprintf "unknown experiment %S; try --list\n" id;
             1
       end
     | None ->
-        List.iter (run_one ~quick) experiments;
+        let outcomes = List.map (run_one ~quick ~collect) experiments in
         if not skip_micro then Micro.run ();
-        0
+        finish outcomes
   end
 
 open Cmdliner
@@ -75,9 +134,17 @@ let skip_micro_arg =
   let doc = "Skip the bechamel micro-benchmark section." in
   Arg.(value & flag & info [ "skip-micro" ] ~doc)
 
+let json_arg =
+  let doc =
+    "Write a machine-readable report to $(docv) (default: BENCH_<timestamp>.json). \
+     Enables metrics collection for the run."
+  in
+  Arg.(value & opt ~vopt:(Some "") (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "Reproduce every quantitative claim of 'Wireless Expanders' (SPAA 2018)" in
   let info = Cmd.info "wireless-expanders-bench" ~doc in
-  Cmd.v info Term.(const main $ experiment_arg $ quick_arg $ list_arg $ skip_micro_arg)
+  Cmd.v info
+    Term.(const main $ experiment_arg $ quick_arg $ list_arg $ skip_micro_arg $ json_arg)
 
 let () = exit (Cmd.eval' cmd)

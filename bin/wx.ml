@@ -8,11 +8,16 @@
      wx core      <s>                          core-graph property report
      wx arboricity <family> <size>             exact (flow) vs bounds
 
+   Every subcommand takes --json (machine-readable NDJSON events on stdout,
+   human text on stderr) and --metrics (collect the Wx_obs registry and
+   report it at exit; also enabled by WX_METRICS=1).
+
    Families are the names from Constructions.Families (cycle, grid, torus,
    hypercube, random-4-regular, margulis, ...), plus "cplus" and "chain". *)
 
 open Wireless_expanders.Api
 module T = Util.Table
+module J = Obs.Json
 
 let base_seed = Wireless_expanders.Instances.seed
 
@@ -29,76 +34,153 @@ let make_graph family size seed =
       let f = Constructions.Families.find name in
       f.Constructions.Families.make (Util.Rng.create seed) size
 
+(* Validate a family name against the registry; constructing a graph just to
+   check the name would burn RNG state and real work for large sizes. *)
+let family_names =
+  List.map (fun f -> f.Constructions.Families.name) Constructions.Families.all
+  @ [ "cplus"; "chain" ]
+
 let family_conv =
   let parse s =
-    match make_graph s 8 0 with
-    | _ -> Ok s
-    | exception Not_found ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown family %S; available: %s, cplus, chain" s
-               (String.concat ", "
-                  (List.map
-                     (fun f -> f.Constructions.Families.name)
-                     Constructions.Families.all))))
-    | exception Invalid_argument _ -> Ok s
+    if List.mem s family_names then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown family %S; available: %s" s (String.concat ", " family_names)))
   in
   Cmdliner.Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt s)
 
+(* ---- observability plumbing ---- *)
+
+type obs = { json : bool; metrics : bool }
+
+(* Under --json, stdout carries nothing but NDJSON events; all human text is
+   diverted to stderr so the stream stays parseable. *)
+let say obs fmt =
+  Printf.ksprintf (fun s -> if obs.json then output_string stderr s else print_string s) fmt
+
+let event obs name fields = if obs.json then Obs.Sink.event name fields
+
+let obs_finish obs =
+  if obs.metrics || Obs.Metrics.is_enabled () then begin
+    if obs.json then begin
+      Obs.Sink.event "metrics" [ ("snapshot", Obs.Metrics.snapshot ()) ];
+      if Obs.Span.root_spans () <> [] then Obs.Sink.event "spans" [ ("roots", Obs.Span.to_json ()) ]
+    end
+    else begin
+      (* Reached with --metrics, or with WX_METRICS=1 alone: an enabled
+         registry that nobody prints would be silent instrumentation. *)
+      print_string (Obs.Metrics.render ());
+      if Obs.Span.root_spans () <> [] then print_string (Obs.Span.render ())
+    end
+  end
+
+(* Shared wrapper: enable instruments, run the command under a root span,
+   then flush the requested reports. *)
+let run_cmd name json metrics f =
+  let obs = { json; metrics } in
+  if json || metrics then Obs.Metrics.enable ();
+  if json then Obs.Sink.install (Obs.Sink.make ~fmt:Obs.Sink.Ndjson stdout);
+  let code = Obs.Span.with_ ~name:("wx." ^ name) (fun () -> f obs) in
+  obs_finish obs;
+  code
+
 (* ---- info ---- *)
 
-let cmd_info family size seed =
+let cmd_info obs family size seed =
   let g = make_graph family size seed in
-  Printf.printf "family: %s (requested size %d, seed %d)\n" family size seed;
-  Printf.printf "n = %d, m = %d\n" (Graph.n g) (Graph.m g);
-  Printf.printf "degrees: min %d, max %d, avg %.2f%s\n" (Graph.min_degree g)
-    (Graph.max_degree g) (Graph.avg_degree g)
+  say obs "family: %s (requested size %d, seed %d)\n" family size seed;
+  say obs "n = %d, m = %d\n" (Graph.n g) (Graph.m g);
+  say obs "degrees: min %d, max %d, avg %.2f%s\n" (Graph.min_degree g) (Graph.max_degree g)
+    (Graph.avg_degree g)
     (match Graph.is_regular g with Some d -> Printf.sprintf " (regular, d = %d)" d | None -> "");
-  Printf.printf "connected: %b; bipartite: %b\n" (Traversal.is_connected g)
-    (Traversal.is_bipartite g);
-  if Graph.n g <= 400 && Traversal.is_connected g then
-    Printf.printf "diameter: %d\n" (Traversal.diameter g);
-  Printf.printf "degeneracy: %d; arboricity (exact, flow): %d\n" (Arboricity.degeneracy g)
-    (Densest.arboricity_exact g);
+  let connected = Traversal.is_connected g and bipartite = Traversal.is_bipartite g in
+  say obs "connected: %b; bipartite: %b\n" connected bipartite;
+  let diameter =
+    if Graph.n g <= 400 && connected then begin
+      let d = Traversal.diameter g in
+      say obs "diameter: %d\n" d;
+      Some d
+    end
+    else None
+  in
+  let degeneracy = Arboricity.degeneracy g and arb = Densest.arboricity_exact g in
+  say obs "degeneracy: %d; arboricity (exact, flow): %d\n" degeneracy arb;
+  event obs "graph.info"
+    ([
+       ("family", J.String family);
+       ("seed", J.Int seed);
+       ("n", J.Int (Graph.n g));
+       ("m", J.Int (Graph.m g));
+       ("min_degree", J.Int (Graph.min_degree g));
+       ("max_degree", J.Int (Graph.max_degree g));
+       ("avg_degree", J.Float (Graph.avg_degree g));
+       ("connected", J.Bool connected);
+       ("bipartite", J.Bool bipartite);
+       ("degeneracy", J.Int degeneracy);
+       ("arboricity", J.Int arb);
+     ]
+    @ match diameter with Some d -> [ ("diameter", J.Int d) ] | None -> []);
   0
 
 (* ---- expansion ---- *)
 
-let cmd_expansion family size seed alpha =
+let cmd_expansion obs family size seed alpha =
   let g = make_graph family size seed in
-  Printf.printf "%s (n = %d, α = %.2f)\n" family (Graph.n g) alpha;
+  say obs "%s (n = %d, α = %.2f)\n" family (Graph.n g) alpha;
   let exact_possible = Graph.n g <= 14 in
+  let emit mode b bw bu =
+    event obs "expansion.result"
+      ([
+         ("family", J.String family);
+         ("n", J.Int (Graph.n g));
+         ("alpha", J.Float alpha);
+         ("mode", J.String mode);
+         ("beta", J.Float b);
+       ]
+      @ (match bw with Some v -> [ ("beta_w", J.Float v) ] | None -> [])
+      @ [ ("beta_u", J.Float bu) ])
+  in
   if exact_possible then begin
     let b = Expansion.Measure.beta_exact ~alpha g in
     let bw = Expansion.Measure.beta_w_exact ~alpha g in
     let bu = Expansion.Measure.beta_u_exact ~alpha g in
-    Printf.printf "β  = %.4f (exact)  witness %s\n" b.Expansion.Measure.value
+    say obs "β  = %.4f (exact)  witness %s\n" b.Expansion.Measure.value
       (Util.Bitset.to_string b.Expansion.Measure.witness);
-    Printf.printf "βw = %.4f (exact)\n" bw.Expansion.Measure.value;
-    Printf.printf "βu = %.4f (exact)  witness %s\n" bu.Expansion.Measure.value
-      (Util.Bitset.to_string bu.Expansion.Measure.witness)
+    say obs "βw = %.4f (exact)\n" bw.Expansion.Measure.value;
+    say obs "βu = %.4f (exact)  witness %s\n" bu.Expansion.Measure.value
+      (Util.Bitset.to_string bu.Expansion.Measure.witness);
+    emit "exact" b.Expansion.Measure.value (Some bw.Expansion.Measure.value)
+      bu.Expansion.Measure.value
   end
   else begin
     let r = Util.Rng.create (seed + 1) in
     let b = Expansion.Measure.beta_sampled ~alpha r ~samples:2000 g in
     let bu = Expansion.Measure.beta_u_sampled ~alpha r ~samples:2000 g in
-    Printf.printf "β  <= %.4f (witness certificate, 2000 samples)\n" b.Expansion.Measure.value;
-    Printf.printf "βu <= %.4f (witness certificate)\n" bu.Expansion.Measure.value;
-    match Expansion.Measure.beta_w_sampled ~alpha r ~samples:300 g with
-    | bw -> Printf.printf "βw <= %.4f (witness certificate)\n" bw.Expansion.Measure.value
-    | exception _ -> print_endline "βw: sets too large for the inner exact maximization"
+    say obs "β  <= %.4f (witness certificate, 2000 samples)\n" b.Expansion.Measure.value;
+    say obs "βu <= %.4f (witness certificate)\n" bu.Expansion.Measure.value;
+    let bw =
+      match Expansion.Measure.beta_w_sampled ~alpha r ~samples:300 g with
+      | bw ->
+          say obs "βw <= %.4f (witness certificate)\n" bw.Expansion.Measure.value;
+          Some bw.Expansion.Measure.value
+      | exception _ ->
+          say obs "βw: sets too large for the inner exact maximization\n";
+          None
+    in
+    emit "sampled" b.Expansion.Measure.value bw bu.Expansion.Measure.value
   end;
   0
 
 (* ---- spokesmen ---- *)
 
-let cmd_spokesmen family size seed solver =
+let cmd_spokesmen obs family size seed solver =
   let g = make_graph family size seed in
   let r = Util.Rng.create (seed + 2) in
   let k = max 1 (Graph.n g / 4) in
   let s = Util.Bitset.random_of_universe r (Graph.n g) k in
   let inst, _, _ = Bipartite.of_set_neighborhood g s in
-  Format.printf "frontier instance from %s: %a@." family Bipartite.pp inst;
+  say obs "frontier instance from %s: %s\n" family (Format.asprintf "%a" Bipartite.pp inst);
   let results =
     match solver with
     | "all" -> Spokesmen.Portfolio.solve_each ~reps:48 r inst
@@ -112,22 +194,30 @@ let cmd_spokesmen family size seed solver =
   let t = T.create [ "solver"; "covered"; "of |N|" ] in
   List.iter
     (fun (name, res) ->
-      T.add_row t
+      let frac =
+        100.0
+        *. float_of_int res.Spokesmen.Solver.covered
+        /. float_of_int (max 1 (Bipartite.n_count inst))
+      in
+      event obs "spokesmen.solver"
         [
-          name;
-          T.fi res.Spokesmen.Solver.covered;
-          Printf.sprintf "%.1f%%"
-            (100.0
-            *. float_of_int res.Spokesmen.Solver.covered
-            /. float_of_int (max 1 (Bipartite.n_count inst)));
-        ])
+          ("solver", J.String name);
+          ("covered", J.Int res.Spokesmen.Solver.covered);
+          ("of_n", J.Float (frac /. 100.0));
+        ];
+      T.add_row t
+        [ name; T.fi res.Spokesmen.Solver.covered; Printf.sprintf "%.1f%%" frac ])
     results;
-  T.print t;
+  say obs "%s" (T.render t);
   (match Spokesmen.Bb.solve ~node_limit:2_000_000 inst with
   | r, Spokesmen.Bb.Proved_optimal ->
-      Printf.printf "optimum (branch-and-bound): %d\n" r.Spokesmen.Solver.covered
+      event obs "spokesmen.optimum"
+        [ ("covered", J.Int r.Spokesmen.Solver.covered); ("proved", J.Bool true) ];
+      say obs "optimum (branch-and-bound): %d\n" r.Spokesmen.Solver.covered
   | r, Spokesmen.Bb.Budget_exhausted ->
-      Printf.printf "best proven-so-far (budget hit): %d\n" r.Spokesmen.Solver.covered);
+      event obs "spokesmen.optimum"
+        [ ("covered", J.Int r.Spokesmen.Solver.covered); ("proved", J.Bool false) ];
+      say obs "best proven-so-far (budget hit): %d\n" r.Spokesmen.Solver.covered);
   0
 
 (* ---- broadcast ---- *)
@@ -142,23 +232,51 @@ let protocol_of_name = function
       Printf.eprintf "unknown protocol %S (flood | decay | spokesmen | uniform-<p>)\n" s;
       exit 1
 
-let cmd_broadcast family size seed protocol seeds =
+let cmd_broadcast obs family size seed protocol seeds =
   let g = make_graph family size seed in
   let p = protocol_of_name protocol in
-  Printf.printf "broadcast on %s (n = %d) with %s, %d seeds\n" family (Graph.n g)
+  say obs "broadcast on %s (n = %d) with %s, %d seeds\n" family (Graph.n g)
     p.Radio.Protocol.name seeds;
   let seed_list = List.init seeds (fun i -> seed + 100 + i) in
-  let _, outs = Radio.Sim.monte_carlo ~max_rounds:100_000 g ~source:0 p ~seeds:seed_list in
+  (* Run each seed explicitly so the NDJSON stream can carry a run boundary
+     around the simulator's own per-round "radio.round" events. *)
+  let outs =
+    List.map
+      (fun sd ->
+        event obs "broadcast.start"
+          [ ("seed", J.Int sd); ("protocol", J.String p.Radio.Protocol.name) ];
+        let o = Radio.Sim.run ~max_rounds:100_000 g ~source:0 p (Util.Rng.create sd) in
+        event obs "broadcast.run"
+          [
+            ("seed", J.Int sd);
+            ("rounds", J.Int o.Radio.Sim.rounds);
+            ("completed", J.Bool o.Radio.Sim.completed);
+            ("informed", J.Int o.Radio.Sim.informed_final);
+            ("collisions", J.Int o.Radio.Sim.collisions);
+          ];
+        o)
+      seed_list
+  in
   let rounds = Util.Stats.of_ints (Array.of_list (List.map (fun o -> o.Radio.Sim.rounds) outs)) in
   let completed = List.length (List.filter (fun o -> o.Radio.Sim.completed) outs) in
-  Printf.printf "completed: %d/%d\n" completed seeds;
-  if completed > 0 then
-    Format.printf "rounds: %a@." Util.Stats.pp_summary (Util.Stats.summarize rounds);
+  say obs "completed: %d/%d\n" completed seeds;
+  if completed > 0 then begin
+    let s = Util.Stats.summarize rounds in
+    say obs "rounds: %s\n" (Format.asprintf "%a" Util.Stats.pp_summary s);
+    event obs "broadcast.summary"
+      [
+        ("completed", J.Int completed);
+        ("seeds", J.Int seeds);
+        ("rounds_mean", J.Float (Util.Stats.mean rounds));
+        ("rounds_min", J.Float (Util.Stats.min rounds));
+        ("rounds_max", J.Float (Util.Stats.max rounds));
+      ]
+  end;
   0
 
 (* ---- core ---- *)
 
-let cmd_core s =
+let cmd_core obs s =
   if not (Util.Floatx.is_pow2 s) then begin
     Printf.eprintf "s must be a power of two\n";
     1
@@ -166,81 +284,130 @@ let cmd_core s =
   else begin
     let cg = Constructions.Core_graph.create s in
     let inst = Constructions.Core_graph.bip cg in
-    Format.printf "core graph: %a@." Bipartite.pp inst;
+    say obs "core graph: %s\n" (Format.asprintf "%a" Bipartite.pp inst);
     let log2s = Util.Floatx.log2 (2.0 *. float_of_int s) in
     let mins = Constructions.Core_graph.dp_min_coverage cg in
     let worst = ref infinity in
     for k = 1 to s do
       worst := Float.min !worst (float_of_int mins.(k) /. float_of_int k)
     done;
-    Printf.printf "ordinary expansion (exact): %.3f  [Lemma 4.4 promises >= %.3f]\n" !worst log2s;
+    say obs "ordinary expansion (exact): %.3f  [Lemma 4.4 promises >= %.3f]\n" !worst log2s;
     let cap = Constructions.Core_graph.dp_max_unique cg in
-    Printf.printf "max unique coverage (exact): %d  [Lemma 4.4 caps at %d]\n" cap (2 * s);
-    Printf.printf "wireless/ordinary ratio: %.3f  [paper: 2/log 2s = %.3f]\n"
+    say obs "max unique coverage (exact): %d  [Lemma 4.4 caps at %d]\n" cap (2 * s);
+    say obs "wireless/ordinary ratio: %.3f  [paper: 2/log 2s = %.3f]\n"
       (float_of_int cap /. float_of_int s /. !worst)
       (2.0 /. log2s);
+    event obs "core.report"
+      [
+        ("s", J.Int s);
+        ("ordinary_expansion", J.Float !worst);
+        ("lemma_4_4_lb", J.Float log2s);
+        ("max_unique", J.Int cap);
+        ("max_unique_cap", J.Int (2 * s));
+        ("ratio", J.Float (float_of_int cap /. float_of_int s /. !worst));
+        ("paper_ratio", J.Float (2.0 /. log2s));
+      ];
     0
   end
 
 (* ---- schedule ---- *)
 
-let cmd_schedule family size seed =
+let cmd_schedule obs family size seed =
   let g = make_graph family size seed in
   let r = Util.Rng.create (seed + 3) in
-  Printf.printf "synthesizing offline broadcast schedule on %s (n = %d)...\n" family (Graph.n g);
+  say obs "synthesizing offline broadcast schedule on %s (n = %d)...\n" family (Graph.n g);
   (match Radio.Schedule.synthesize r g ~source:0 with
   | sch ->
       let ok, informed = Radio.Schedule.replay g sch in
-      Printf.printf "rounds: %d (BFS lower bound %d)\n" (Radio.Schedule.length sch)
-        (Radio.Schedule.lower_bound_rounds g ~source:0);
-      Printf.printf "replay: %s (%d/%d informed)\n"
+      let len = Radio.Schedule.length sch in
+      let bfs_lb = Radio.Schedule.lower_bound_rounds g ~source:0 in
+      say obs "rounds: %d (BFS lower bound %d)\n" len bfs_lb;
+      say obs "replay: %s (%d/%d informed)\n"
         (if ok then "complete" else "INCOMPLETE")
         informed (Graph.n g);
       Array.iteri
         (fun i tx ->
           if i < 10 then
-            Printf.printf "  round %2d: %d transmitters\n" (i + 1) (Util.Bitset.cardinal tx))
+            say obs "  round %2d: %d transmitters\n" (i + 1) (Util.Bitset.cardinal tx))
         sch.Radio.Schedule.rounds;
-      if Radio.Schedule.length sch > 10 then print_endline "  ..."
-  | exception Failure msg -> Printf.printf "failed: %s\n" msg);
+      if len > 10 then say obs "  ...\n";
+      event obs "schedule.result"
+        [
+          ("family", J.String family);
+          ("n", J.Int (Graph.n g));
+          ("rounds", J.Int len);
+          ("bfs_lower_bound", J.Int bfs_lb);
+          ("complete", J.Bool ok);
+          ("informed", J.Int informed);
+        ]
+  | exception Failure msg ->
+      say obs "failed: %s\n" msg;
+      event obs "schedule.result" [ ("family", J.String family); ("error", J.String msg) ]);
   0
 
 (* ---- arboricity ---- *)
 
-let cmd_arboricity family size seed =
+let cmd_arboricity obs family size seed =
   let g = make_graph family size seed in
-  Printf.printf "%s: n = %d, m = %d\n" family (Graph.n g) (Graph.m g);
+  say obs "%s: n = %d, m = %d\n" family (Graph.n g) (Graph.m g);
   let num, den, u = Densest.max_density g in
-  Printf.printf "max density |E(U)|/(|U|−1) = %d/%d = %.3f at |U| = %d\n" num den
+  say obs "max density |E(U)|/(|U|−1) = %d/%d = %.3f at |U| = %d\n" num den
     (float_of_int num /. float_of_int den)
     (Util.Bitset.cardinal u);
-  Printf.printf "exact arboricity: %d\n" (Densest.arboricity_exact g);
-  Printf.printf "peeling lower bound: %d, degeneracy upper-ish bound: %d\n"
-    (Arboricity.lower_bound_peeling g) (Arboricity.degeneracy g);
+  let exact = Densest.arboricity_exact g in
+  let peel = Arboricity.lower_bound_peeling g and degen = Arboricity.degeneracy g in
+  say obs "exact arboricity: %d\n" exact;
+  say obs "peeling lower bound: %d, degeneracy upper-ish bound: %d\n" peel degen;
+  event obs "arboricity.result"
+    [
+      ("family", J.String family);
+      ("n", J.Int (Graph.n g));
+      ("m", J.Int (Graph.m g));
+      ("density_num", J.Int num);
+      ("density_den", J.Int den);
+      ("exact", J.Int exact);
+      ("peeling_lb", J.Int peel);
+      ("degeneracy", J.Int degen);
+    ];
   0
 
 (* ---- dot ---- *)
 
-let cmd_dot family size seed =
+let cmd_dot obs family size seed =
   let g = make_graph family size seed in
-  print_string (Graph_io.to_dot g);
+  if obs.json then event obs "graph.dot" [ ("dot", J.String (Graph_io.to_dot g)) ]
+  else print_string (Graph_io.to_dot g);
   0
 
 (* ---- verify-paper ---- *)
 
-let cmd_verify_paper quick seed =
+let cmd_verify_paper obs quick seed =
   let rng = Util.Rng.create seed in
-  Printf.printf "verifying every claim of the paper on the curated instances (seed %d%s)...\n"
-    seed (if quick then ", quick" else "");
+  say obs "verifying every claim of the paper on the curated instances (seed %d%s)...\n" seed
+    (if quick then ", quick" else "");
   let checks = Wireless_expanders.Theorems.run_all ~quick rng in
-  let failures =
-    List.filter (fun c -> not c.Wireless_expanders.Theorems.holds) checks
-  in
+  if obs.json then
+    List.iter
+      (fun c ->
+        event obs "claim.check"
+          [
+            ("claim", J.String c.Wireless_expanders.Theorems.claim);
+            ("instance", J.String c.Wireless_expanders.Theorems.instance);
+            ("predicted", J.Float c.Wireless_expanders.Theorems.predicted);
+            ("measured", J.Float c.Wireless_expanders.Theorems.measured);
+            ("holds", J.Bool c.Wireless_expanders.Theorems.holds);
+          ])
+      checks;
+  let failures = List.filter (fun c -> not c.Wireless_expanders.Theorems.holds) checks in
   List.iter
-    (fun c -> Format.printf "  %a@." Wireless_expanders.Theorems.pp_check c)
+    (fun c -> say obs "  %s\n" (Format.asprintf "%a" Wireless_expanders.Theorems.pp_check c))
     failures;
-  Printf.printf "%d/%d claims hold\n" (List.length checks - List.length failures)
-    (List.length checks);
+  say obs "%d/%d claims hold\n" (List.length checks - List.length failures) (List.length checks);
+  event obs "claim.summary"
+    [
+      ("holds", J.Int (List.length checks - List.length failures));
+      ("total", J.Int (List.length checks));
+    ];
   if failures = [] then 0 else 1
 
 (* ---- cmdliner wiring ---- *)
@@ -255,43 +422,75 @@ let solver_arg = Arg.(value & opt string "all" & info [ "solver" ] ~docv:"SOLVER
 let protocol_arg = Arg.(value & opt string "decay" & info [ "protocol" ] ~docv:"PROTOCOL")
 let seeds_arg = Arg.(value & opt int 10 & info [ "seeds" ] ~docv:"K")
 
+let json_arg =
+  let doc = "Emit machine-readable NDJSON events on stdout; human text moves to stderr." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let metrics_arg =
+  let doc = "Collect library metrics (counters, timers, spans) and report them at exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Lift a command body (a term producing [obs -> int]) into one that carries
+   the observability flags and runs under the shared wrapper. *)
+let with_obs cmd_name term =
+  let open Term in
+  const (fun json metrics f -> run_cmd cmd_name json metrics f) $ json_arg $ metrics_arg $ term
+
 let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Graph statistics for a generated instance")
-    Term.(const cmd_info $ family_arg $ size_arg $ seed_arg)
+    (with_obs "info"
+       Term.(const (fun family size seed obs -> cmd_info obs family size seed)
+             $ family_arg $ size_arg $ seed_arg))
 
 let expansion_cmd =
   Cmd.v (Cmd.info "expansion" ~doc:"Compute β, βw, βu (exact or witness certificates)")
-    Term.(const cmd_expansion $ family_arg $ size_arg $ seed_arg $ alpha_arg)
+    (with_obs "expansion"
+       Term.(const (fun family size seed alpha obs -> cmd_expansion obs family size seed alpha)
+             $ family_arg $ size_arg $ seed_arg $ alpha_arg))
 
 let spokesmen_cmd =
   Cmd.v (Cmd.info "spokesmen" ~doc:"Run spokesmen-election solvers on a random frontier")
-    Term.(const cmd_spokesmen $ family_arg $ size_arg $ seed_arg $ solver_arg)
+    (with_obs "spokesmen"
+       Term.(const (fun family size seed solver obs -> cmd_spokesmen obs family size seed solver)
+             $ family_arg $ size_arg $ seed_arg $ solver_arg))
 
 let broadcast_cmd =
   Cmd.v (Cmd.info "broadcast" ~doc:"Simulate radio broadcast (Monte-Carlo)")
-    Term.(const cmd_broadcast $ family_arg $ size_arg $ seed_arg $ protocol_arg $ seeds_arg)
+    (with_obs "broadcast"
+       Term.(const (fun family size seed protocol seeds obs ->
+                 cmd_broadcast obs family size seed protocol seeds)
+             $ family_arg $ size_arg $ seed_arg $ protocol_arg $ seeds_arg))
 
 let core_cmd =
   Cmd.v (Cmd.info "core" ~doc:"Core-graph property report (Lemma 4.4)")
-    Term.(const cmd_core $ Arg.(value & pos 0 int 64 & info [] ~docv:"S"))
+    (with_obs "core"
+       Term.(const (fun s obs -> cmd_core obs s) $ Arg.(value & pos 0 int 64 & info [] ~docv:"S")))
 
 let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Emit the generated graph as Graphviz DOT on stdout")
-    Term.(const cmd_dot $ family_arg $ size_arg $ seed_arg)
+    (with_obs "dot"
+       Term.(const (fun family size seed obs -> cmd_dot obs family size seed)
+             $ family_arg $ size_arg $ seed_arg))
 
 let verify_paper_cmd =
   let quick = Arg.(value & flag & info [ "quick" ]) in
   Cmd.v
-    (Cmd.info "verify-paper" ~doc:"Re-check every quantitative claim of the paper; exit 1 on any violation")
-    Term.(const cmd_verify_paper $ quick $ seed_arg)
+    (Cmd.info "verify-paper"
+       ~doc:"Re-check every quantitative claim of the paper; exit 1 on any violation")
+    (with_obs "verify-paper"
+       Term.(const (fun quick seed obs -> cmd_verify_paper obs quick seed) $ quick $ seed_arg))
 
 let schedule_cmd =
   Cmd.v (Cmd.info "schedule" ~doc:"Synthesize and certify an offline broadcast schedule")
-    Term.(const cmd_schedule $ family_arg $ size_arg $ seed_arg)
+    (with_obs "schedule"
+       Term.(const (fun family size seed obs -> cmd_schedule obs family size seed)
+             $ family_arg $ size_arg $ seed_arg))
 
 let arboricity_cmd =
   Cmd.v (Cmd.info "arboricity" ~doc:"Exact arboricity via parametric flow")
-    Term.(const cmd_arboricity $ family_arg $ size_arg $ seed_arg)
+    (with_obs "arboricity"
+       Term.(const (fun family size seed obs -> cmd_arboricity obs family size seed)
+             $ family_arg $ size_arg $ seed_arg))
 
 let () =
   let doc = "wireless-expanders command-line tool" in

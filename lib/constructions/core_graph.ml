@@ -60,8 +60,12 @@ let neg_inf = min_int / 4
 
 let combine_class a b = if a + b >= 2 then 2 else a + b
 
+let m_dp_nodes = Wx_obs.Metrics.counter "core.dp_nodes"
+let m_dp_cells = Wx_obs.Metrics.counter "core.dp_cells"
+
 let dp_tables t =
   let nodes = node_count t in
+  Wx_obs.Metrics.add m_dp_nodes nodes;
   let value = Array.make_matrix (nodes + 1) 3 neg_inf in
   (* Process nodes bottom-up: heap order reversed. *)
   for v = nodes downto 1 do
@@ -150,6 +154,7 @@ let dp_min_coverage t =
       let l = 2 * v and r = (2 * v) + 1 in
       let gl = g.(l) and gr = g.(r) in
       let out = Array.make (lb + 1) max_int in
+      Wx_obs.Metrics.add m_dp_cells (Array.length gl * Array.length gr);
       for kl = 0 to Array.length gl - 1 do
         for kr = 0 to Array.length gr - 1 do
           if gl.(kl) < max_int && gr.(kr) < max_int then begin

@@ -68,3 +68,11 @@ module Radio = struct
   module Trace = Wx_radio.Trace
   module Sim = Wx_radio.Sim
 end
+
+module Obs = struct
+  module Json = Wx_obs.Json
+  module Clock = Wx_obs.Clock
+  module Metrics = Wx_obs.Metrics
+  module Span = Wx_obs.Span
+  module Sink = Wx_obs.Sink
+end

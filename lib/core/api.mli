@@ -78,3 +78,11 @@ module Radio : sig
   module Trace = Wx_radio.Trace
   module Sim = Wx_radio.Sim
 end
+
+module Obs : sig
+  module Json = Wx_obs.Json
+  module Clock = Wx_obs.Clock
+  module Metrics = Wx_obs.Metrics
+  module Span = Wx_obs.Span
+  module Sink = Wx_obs.Sink
+end

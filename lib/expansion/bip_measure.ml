@@ -1,17 +1,24 @@
 module Bitset = Wx_util.Bitset
 module Bipartite = Wx_graph.Bipartite
 module Rng = Wx_util.Rng
+module Metrics = Wx_obs.Metrics
+
+let m_bip_sets = Metrics.counter "expansion.bip_sets_scored"
+let m_bip_rejected = Metrics.counter "expansion.bip_work_rejected"
 
 exception Too_large of string
 
 let exact_max_unique ?(work_limit = 1 lsl 24) t =
   let s = Bipartite.s_count t in
-  if s > 30 || 1 lsl s > work_limit then
-    raise (Too_large (Printf.sprintf "Bip_measure.exact_max_unique: 2^%d subsets" s));
+  if s > 30 || 1 lsl s > work_limit then begin
+    Metrics.incr m_bip_rejected;
+    raise (Too_large (Printf.sprintf "Bip_measure.exact_max_unique: 2^%d subsets" s))
+  end;
   let elts = Array.init s (fun i -> i) in
   let best = ref 0 in
   let best_set = ref (Bitset.create s) in
   Nbhd.Bip.iter_gray_unique t elts (fun s' count ->
+      Metrics.incr m_bip_sets;
       if count > !best then begin
         best := count;
         best_set := Bitset.copy s'

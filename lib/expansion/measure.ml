@@ -2,6 +2,15 @@ module Bitset = Wx_util.Bitset
 module Graph = Wx_graph.Graph
 module Combi = Wx_util.Combi
 module Rng = Wx_util.Rng
+module Metrics = Wx_obs.Metrics
+module Span = Wx_obs.Span
+
+let m_sets_scored = Metrics.counter "expansion.sets_scored"
+let m_sampled_sets = Metrics.counter "expansion.sampled_sets"
+let m_gray_flips = Metrics.counter "expansion.gray_flips"
+let m_improvements = Metrics.counter "expansion.witness_improvements"
+let m_work_rejected = Metrics.counter "expansion.work_rejected"
+let m_inner_pruned = Metrics.counter "expansion.sampled_inner_pruned"
 
 type witnessed = { value : float; witness : Bitset.t }
 
@@ -12,10 +21,12 @@ let max_set_size ?(alpha = 0.5) g =
   int_of_float (Float.floor (alpha *. float_of_int (Graph.n g)))
 
 let check_work name actual limit =
-  if actual > limit then
+  if actual > limit then begin
+    Metrics.incr m_work_rejected;
     raise
       (Too_large
          (Printf.sprintf "%s: enumeration of %d sets exceeds work limit %d" name actual limit))
+  end
 
 (* Generic exact minimum of [score] over non-empty subsets of size <= kmax. *)
 let min_over_sets name ?(work_limit = 1 lsl 24) g kmax score =
@@ -27,10 +38,12 @@ let min_over_sets name ?(work_limit = 1 lsl 24) g kmax score =
   let best_set = ref (Bitset.create n) in
   let buf = Bitset.create n in
   Combi.iter_subsets_le n kmax (fun idxs ->
+      Metrics.incr m_sets_scored;
       Bitset.clear_inplace buf;
       Array.iter (Bitset.add_inplace buf) idxs;
       let v = score buf in
       if v < !best then begin
+        Metrics.incr m_improvements;
         best := v;
         best_set := Bitset.copy buf
       end);
@@ -42,10 +55,12 @@ let min_over_sampled_sets g kmax rng samples score =
   let best = ref infinity in
   let best_set = ref (Bitset.create n) in
   for _ = 1 to samples do
+    Metrics.incr m_sampled_sets;
     let k = 1 + Rng.int rng kmax in
     let s = Bitset.random_of_universe rng n k in
     let v = score s in
     if v < !best then begin
+      Metrics.incr m_improvements;
       best := v;
       best_set := s
     end
@@ -53,18 +68,23 @@ let min_over_sampled_sets g kmax rng samples score =
   { value = !best; witness = !best_set }
 
 let beta_exact ?alpha ?work_limit g =
-  min_over_sets "Measure.beta_exact" ?work_limit g (max_set_size ?alpha g)
-    (Nbhd.expansion_of_set g)
+  Span.with_ ~name:"measure.beta_exact" (fun () ->
+      min_over_sets "Measure.beta_exact" ?work_limit g (max_set_size ?alpha g)
+        (Nbhd.expansion_of_set g))
 
 let beta_sampled ?alpha rng ~samples g =
-  min_over_sampled_sets g (max_set_size ?alpha g) rng samples (Nbhd.expansion_of_set g)
+  Span.with_ ~name:"measure.beta_sampled" (fun () ->
+      min_over_sampled_sets g (max_set_size ?alpha g) rng samples (Nbhd.expansion_of_set g))
 
 let beta_u_exact ?alpha ?work_limit g =
-  min_over_sets "Measure.beta_u_exact" ?work_limit g (max_set_size ?alpha g)
-    (Nbhd.unique_expansion_of_set g)
+  Span.with_ ~name:"measure.beta_u_exact" (fun () ->
+      min_over_sets "Measure.beta_u_exact" ?work_limit g (max_set_size ?alpha g)
+        (Nbhd.unique_expansion_of_set g))
 
 let beta_u_sampled ?alpha rng ~samples g =
-  min_over_sampled_sets g (max_set_size ?alpha g) rng samples (Nbhd.unique_expansion_of_set g)
+  Span.with_ ~name:"measure.beta_u_sampled" (fun () ->
+      min_over_sampled_sets g (max_set_size ?alpha g) rng samples
+        (Nbhd.unique_expansion_of_set g))
 
 (* Exact max over S' of |Γ¹_S(S')| for a fixed S, returning (max, argmax).
    Gray-code enumeration with incremental per-vertex neighbor counts. *)
@@ -108,6 +128,7 @@ let max_unique_over_subsets ?(work_limit = 1 lsl 24) g s =
       go 0
     in
     flip elts.(bit);
+    Metrics.incr m_gray_flips;
     if !uniq > !best then begin
       best := !uniq;
       best_set := Bitset.copy cur
@@ -120,52 +141,60 @@ let wireless_of_set_exact ?work_limit g s =
   { value = float_of_int m /. float_of_int (Bitset.cardinal s); witness = s' }
 
 let beta_w_exact ?alpha ?(work_limit = 1 lsl 26) g =
-  let kmax = max_set_size ?alpha g in
-  let n = Graph.n g in
-  if n = 0 || kmax = 0 then invalid_arg "Measure.beta_w_exact: no feasible sets";
-  (* Total work is sum over sets S of 2^|S| = Θ(3^n) when kmax = n; check
-     before enumerating. *)
-  let work = ref 0.0 in
-  for k = 1 to kmax do
-    work := !work +. (float_of_int (Combi.binomial n k) *. float_of_int (1 lsl k))
-  done;
-  if !work > float_of_int work_limit then
-    raise (Too_large "Measure.beta_w_exact: 3^n-style enumeration exceeds work limit");
-  let best = ref infinity in
-  let best_set = ref (Bitset.create n) in
-  let buf = Bitset.create n in
-  Combi.iter_subsets_le n kmax (fun idxs ->
-      Bitset.clear_inplace buf;
-      Array.iter (Bitset.add_inplace buf) idxs;
-      let m, _ = max_unique_over_subsets ~work_limit:max_int g buf in
-      let v = float_of_int m /. float_of_int (Array.length idxs) in
-      if v < !best then begin
-        best := v;
-        best_set := Bitset.copy buf
-      end);
-  { value = !best; witness = !best_set }
+  Span.with_ ~name:"measure.beta_w_exact" (fun () ->
+      let kmax = max_set_size ?alpha g in
+      let n = Graph.n g in
+      if n = 0 || kmax = 0 then invalid_arg "Measure.beta_w_exact: no feasible sets";
+      (* Total work is sum over sets S of 2^|S| = Θ(3^n) when kmax = n; check
+         before enumerating. *)
+      let work = ref 0.0 in
+      for k = 1 to kmax do
+        work := !work +. (float_of_int (Combi.binomial n k) *. float_of_int (1 lsl k))
+      done;
+      if !work > float_of_int work_limit then begin
+        Metrics.incr m_work_rejected;
+        raise (Too_large "Measure.beta_w_exact: 3^n-style enumeration exceeds work limit")
+      end;
+      let best = ref infinity in
+      let best_set = ref (Bitset.create n) in
+      let buf = Bitset.create n in
+      Combi.iter_subsets_le n kmax (fun idxs ->
+          Metrics.incr m_sets_scored;
+          Bitset.clear_inplace buf;
+          Array.iter (Bitset.add_inplace buf) idxs;
+          let m, _ = max_unique_over_subsets ~work_limit:max_int g buf in
+          let v = float_of_int m /. float_of_int (Array.length idxs) in
+          if v < !best then begin
+            Metrics.incr m_improvements;
+            best := v;
+            best_set := Bitset.copy buf
+          end);
+      { value = !best; witness = !best_set })
 
 let beta_w_sampled ?alpha ?(inner_work_limit = 1 lsl 22) rng ~samples g =
-  let kmax = max_set_size ?alpha g in
-  let n = Graph.n g in
-  if n = 0 || kmax = 0 then invalid_arg "Measure.beta_w_sampled: no feasible sets";
-  let best = ref infinity in
-  let best_set = ref (Bitset.create n) in
-  for _ = 1 to samples do
-    let k = 1 + Rng.int rng kmax in
-    if k <= 22 then begin
-      let s = Bitset.random_of_universe rng n k in
-      match max_unique_over_subsets ~work_limit:inner_work_limit g s with
-      | m, _ ->
-          let v = float_of_int m /. float_of_int k in
-          if v < !best then begin
-            best := v;
-            best_set := s
-          end
-      | exception Too_large _ -> ()
-    end
-  done;
-  { value = !best; witness = !best_set }
+  Span.with_ ~name:"measure.beta_w_sampled" (fun () ->
+      let kmax = max_set_size ?alpha g in
+      let n = Graph.n g in
+      if n = 0 || kmax = 0 then invalid_arg "Measure.beta_w_sampled: no feasible sets";
+      let best = ref infinity in
+      let best_set = ref (Bitset.create n) in
+      for _ = 1 to samples do
+        Metrics.incr m_sampled_sets;
+        let k = 1 + Rng.int rng kmax in
+        if k <= 22 then begin
+          let s = Bitset.random_of_universe rng n k in
+          match max_unique_over_subsets ~work_limit:inner_work_limit g s with
+          | m, _ ->
+              let v = float_of_int m /. float_of_int k in
+              if v < !best then begin
+                Metrics.incr m_improvements;
+                best := v;
+                best_set := s
+              end
+          | exception Too_large _ -> Metrics.incr m_inner_pruned
+        end
+      done;
+      { value = !best; witness = !best_set })
 
 let profile_beta ?alpha ?(work_limit = 1 lsl 24) g =
   let kmax = max_set_size ?alpha g in

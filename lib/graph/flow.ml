@@ -1,5 +1,13 @@
 (* Arc storage: parallel arrays, arcs come in pairs (arc i's reverse is
    i lxor 1). *)
+
+module Metrics = Wx_obs.Metrics
+
+let m_bfs_phases = Metrics.counter "flow.bfs_phases"
+let m_aug_paths = Metrics.counter "flow.augmenting_paths"
+let m_flow_calls = Metrics.counter "flow.max_flow_calls"
+let t_max_flow = Metrics.timer "flow.max_flow"
+
 type t = {
   n : int;
   mutable head : int array; (* head.(v) = first arc index out of v, -1 none *)
@@ -95,14 +103,19 @@ let max_flow t ~source ~sink =
     end
   in
   let flow = ref 0 in
+  Metrics.incr m_flow_calls;
+  let stamp = Metrics.start () in
   while bfs () do
+    Metrics.incr m_bfs_phases;
     Array.blit t.head 0 it 0 t.n;
     let d = ref (dfs source infinite) in
     while !d > 0 do
+      Metrics.incr m_aug_paths;
       flow := !flow + !d;
       d := dfs source infinite
     done
   done;
+  Metrics.stop t_max_flow stamp;
   !flow
 
 let min_cut_side t ~source =

@@ -1,0 +1,19 @@
+(* Nanosecond-resolution monotonic wall clock.
+
+   Backed by the clock_gettime(CLOCK_MONOTONIC) stub that ships with
+   bechamel's monotonic_clock sub-library, so timers are immune to NTP slews
+   and gettimeofday jumps. Values are nanoseconds since an arbitrary epoch;
+   only differences are meaningful. *)
+
+let now_ns () : int = Int64.to_int (Monotonic_clock.now ())
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+let ns_to_s ns = float_of_int ns /. 1e9
+
+(* Wall time for timestamps in filenames / reports (not monotonic). *)
+let epoch_s () = Unix.gettimeofday ()
+
+let timestamp () =
+  let tm = Unix.gmtime (epoch_s ()) in
+  Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec

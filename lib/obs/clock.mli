@@ -1,0 +1,15 @@
+(** Nanosecond-resolution monotonic clock (CLOCK_MONOTONIC via bechamel's
+    stub), plus wall-clock timestamps for report filenames. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since an arbitrary epoch; only differences are
+    meaningful. *)
+
+val ns_to_ms : int -> float
+val ns_to_s : int -> float
+
+val epoch_s : unit -> float
+(** Wall-clock seconds since the Unix epoch (not monotonic). *)
+
+val timestamp : unit -> string
+(** UTC wall-clock timestamp like [20260806T143501Z], filename-safe. *)

@@ -1,0 +1,269 @@
+(* Minimal JSON: a value type, a renderer, and a recursive-descent parser.
+
+   The renderer is the single place that knows how to produce valid JSON for
+   the whole observability stack (NDJSON events, metric snapshots, bench
+   reports); the parser exists so tests can round-trip what we emit without
+   an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- rendering ---- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string x =
+  if Float.is_nan x then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else if Float.abs x = Float.infinity then if x > 0.0 then "1e999" else "-1e999"
+  else Printf.sprintf "%.17g" x
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> Buffer.add_string buf (float_to_string x)
+  | String s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* Multi-line renderer for human-facing files (bench reports). *)
+let to_string_pretty v =
+  let buf = Buffer.create 1024 in
+  let pad d = Buffer.add_string buf (String.make (2 * d) ' ') in
+  let rec go d = function
+    | (Null | Bool _ | Int _ | Float _ | String _) as v -> write buf v
+    | List [] -> Buffer.add_string buf "[]"
+    | List xs ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (d + 1);
+            go (d + 1) x)
+          xs;
+        Buffer.add_char buf '\n';
+        pad d;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (d + 1);
+            escape_to buf k;
+            Buffer.add_string buf ": ";
+            go (d + 1) v)
+          kvs;
+        Buffer.add_char buf '\n';
+        pad d;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word v =
+  let k = String.length word in
+  if c.pos + k <= String.length c.src && String.sub c.src c.pos k = word then begin
+    c.pos <- c.pos + k;
+    v
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' ->
+        c.pos <- c.pos + 1;
+        (match peek c with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'u' ->
+            if c.pos + 4 >= String.length c.src then fail c "bad \\u escape";
+            let hex = String.sub c.src (c.pos + 1) 4 in
+            let code = int_of_string ("0x" ^ hex) in
+            (* Only BMP codepoints we emit ourselves (control chars): keep it
+               simple and store the raw byte for < 0x80, else a '?'. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_char buf '?';
+            c.pos <- c.pos + 4
+        | _ -> fail c "bad escape");
+        c.pos <- c.pos + 1;
+        go ()
+    | Some ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while c.pos < String.length c.src && is_num_char c.src.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some x -> Float x
+      | None -> fail c (Printf.sprintf "bad number %S" s))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> fail c "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail c "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+let of_string_opt s = match of_string s with v -> Some v | exception Parse_error _ -> None
+
+(* ---- accessors (used by tests and the bench gate) ---- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float x -> Some x
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_list_opt = function List xs -> Some xs | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None

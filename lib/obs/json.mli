@@ -1,0 +1,38 @@
+(** Minimal JSON value type, renderer and parser.
+
+    The single source of valid JSON for the observability stack: NDJSON
+    events, metric snapshots and bench reports all render through [to_string]
+    / [to_string_pretty]; tests round-trip through [of_string]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (what NDJSON wants). NaN renders as
+    [null], infinities as out-of-range literals ([1e999]). *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented multi-line rendering for report files. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete JSON document; raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+
+val of_string_opt : string -> t option
+
+(** Accessors for drilling into parsed values (tests, bench gate). *)
+
+val member : string -> t -> t option
+val to_float_opt : t -> float option
+val to_int_opt : t -> int option
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option

@@ -1,0 +1,227 @@
+(* Process-wide metrics registry: counters, gauges, timers and log-scale
+   histograms with quantile estimates.
+
+   Zero-cost-when-disabled contract: instruments are registered once at
+   module-init time (a handle is a mutable record, not a name lookup), and
+   every hot-path operation starts with a single load of [enabled]. No
+   string formatting, no allocation, no clock read happens while disabled —
+   safe to leave in the innermost loops of the solvers and the simulator. *)
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "WX_METRICS" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | _ -> false)
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float; mutable g_set : bool }
+
+(* Histogram over positive values with power-of-two buckets: bucket [i]
+   holds observations v with 2^i <= v < 2^(i+1) (v < 1 lands in bucket 0).
+   63 buckets cover anything an int-nanosecond timer can produce. *)
+let hist_buckets = 63
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type timer = { t_name : string; hist : histogram }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
+
+let intern tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some x -> x
+  | None ->
+      let x = make () in
+      Hashtbl.replace tbl name x;
+      x
+
+let counter name = intern counters name (fun () -> { c_name = name; count = 0 })
+let gauge name = intern gauges name (fun () -> { g_name = name; value = 0.0; g_set = false })
+
+let make_histogram name =
+  {
+    h_name = name;
+    buckets = Array.make hist_buckets 0;
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = infinity;
+    h_max = neg_infinity;
+  }
+
+let histogram name = intern histograms name (fun () -> make_histogram name)
+
+let timer name =
+  intern timers name (fun () -> { t_name = name; hist = make_histogram (name ^ ".ns") })
+
+(* ---- hot-path operations ---- *)
+
+let incr c = if !enabled then c.count <- c.count + 1
+let add c n = if !enabled then c.count <- c.count + n
+let set g v =
+  if !enabled then begin
+    g.value <- v;
+    g.g_set <- true
+  end
+
+let bucket_of v =
+  if v < 2.0 then 0
+  else begin
+    let i = int_of_float (Float.floor (Float.log2 v)) in
+    if i >= hist_buckets then hist_buckets - 1 else i
+  end
+
+let observe_always h v =
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let observe h v = if !enabled then observe_always h v
+
+(* Timers: [start] reads the clock only when enabled and returns the raw ns
+   stamp (0 when disabled); [stop] is a no-op on a 0 stamp. *)
+let start () = if !enabled then Clock.now_ns () else 0
+
+let stop t stamp =
+  if stamp <> 0 && !enabled then
+    observe_always t.hist (float_of_int (Clock.now_ns () - stamp))
+
+let time t f =
+  if !enabled then begin
+    let stamp = Clock.now_ns () in
+    Fun.protect ~finally:(fun () -> observe_always t.hist (float_of_int (Clock.now_ns () - stamp))) f
+  end
+  else f ()
+
+(* ---- reading ---- *)
+
+let quantile h q =
+  if h.h_count = 0 then Float.nan
+  else begin
+    let rank = Float.max 1.0 (Float.ceil (q *. float_of_int h.h_count)) in
+    let acc = ref 0 and idx = ref (hist_buckets - 1) in
+    (try
+       for i = 0 to hist_buckets - 1 do
+         acc := !acc + h.buckets.(i);
+         if float_of_int !acc >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* Geometric midpoint of the winning bucket, clamped to observed range. *)
+    let est = Float.pow 2.0 (float_of_int !idx +. 0.5) in
+    Float.min h.h_max (Float.max h.h_min est)
+  end
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.value <- 0.0;
+      g.g_set <- false)
+    gauges;
+  let reset_h h =
+    Array.fill h.buckets 0 hist_buckets 0;
+    h.h_count <- 0;
+    h.h_sum <- 0.0;
+    h.h_min <- infinity;
+    h.h_max <- neg_infinity
+  in
+  Hashtbl.iter (fun _ h -> reset_h h) histograms;
+  Hashtbl.iter (fun _ t -> reset_h t.hist) timers
+
+let sorted_bindings tbl =
+  List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let hist_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Float h.h_sum);
+      ("min", Json.Float (if h.h_count = 0 then Float.nan else h.h_min));
+      ("max", Json.Float (if h.h_count = 0 then Float.nan else h.h_max));
+      ("p50", Json.Float (quantile h 0.50));
+      ("p90", Json.Float (quantile h 0.90));
+      ("p99", Json.Float (quantile h 0.99));
+    ]
+
+(* Snapshot of every instrument that has recorded anything. *)
+let snapshot () =
+  let cs =
+    List.filter_map
+      (fun (k, c) -> if c.count = 0 then None else Some (k, Json.Int c.count))
+      (sorted_bindings counters)
+  in
+  let gs =
+    List.filter_map
+      (fun (k, g) -> if g.g_set then Some (k, Json.Float g.value) else None)
+      (sorted_bindings gauges)
+  in
+  let hs =
+    List.filter_map
+      (fun (k, h) -> if h.h_count = 0 then None else Some (k, hist_json h))
+      (sorted_bindings histograms)
+  in
+  let ts =
+    List.filter_map
+      (fun (k, t) ->
+        if t.hist.h_count = 0 then None
+        else
+          Some
+            ( k,
+              match hist_json t.hist with
+              | Json.Obj fields ->
+                  Json.Obj (fields @ [ ("total_ms", Json.Float (t.hist.h_sum /. 1e6)) ])
+              | j -> j ))
+      (sorted_bindings timers)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj cs);
+      ("gauges", Json.Obj gs);
+      ("histograms", Json.Obj hs);
+      ("timers", Json.Obj ts);
+    ]
+
+let render () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "-- metrics --\n";
+  List.iter
+    (fun (k, c) ->
+      if c.count <> 0 then Buffer.add_string buf (Printf.sprintf "  %-44s %d\n" k c.count))
+    (sorted_bindings counters);
+  List.iter
+    (fun (k, g) ->
+      if g.g_set then Buffer.add_string buf (Printf.sprintf "  %-44s %g\n" k g.value))
+    (sorted_bindings gauges);
+  let render_h k h =
+    if h.h_count <> 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "  %-44s n=%d sum=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g\n" k h.h_count
+           h.h_sum (quantile h 0.50) (quantile h 0.90) (quantile h 0.99) h.h_max)
+  in
+  List.iter (fun (k, h) -> render_h k h) (sorted_bindings histograms);
+  List.iter
+    (fun (k, t) ->
+      if t.hist.h_count <> 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-44s n=%d total=%.2fms p50=%.3gns p99=%.3gns\n" k t.hist.h_count
+             (t.hist.h_sum /. 1e6) (quantile t.hist 0.50) (quantile t.hist 0.99)))
+    (sorted_bindings timers);
+  Buffer.contents buf

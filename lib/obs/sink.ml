@@ -1,0 +1,50 @@
+(* Structured event sink: named events with typed fields, rendered either as
+   one-line pretty text or as NDJSON (one JSON object per line).
+
+   A process-wide current sink can be installed (wx --json does this);
+   library code guards emission with [active ()] so that building the field
+   list costs nothing when no one is listening. *)
+
+type format = Pretty | Ndjson
+
+type t = { oc : out_channel; fmt : format; mutable events : int }
+
+let make ?(fmt = Ndjson) oc = { oc; fmt; events = 0 }
+
+let current : t option ref = ref None
+let install s = current := Some s
+let uninstall () = current := None
+let active () = !current <> None
+let installed () = !current
+
+let render_pretty name fields =
+  let buf = Buffer.create 96 in
+  Buffer.add_char buf '[';
+  Buffer.add_string buf name;
+  Buffer.add_char buf ']';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (match v with Json.String s -> s | v -> Json.to_string v))
+    fields;
+  Buffer.contents buf
+
+let emit_to s name fields =
+  s.events <- s.events + 1;
+  (match s.fmt with
+  | Ndjson ->
+      output_string s.oc (Json.to_string (Json.Obj (("event", Json.String name) :: fields)))
+  | Pretty -> output_string s.oc (render_pretty name fields));
+  output_char s.oc '\n';
+  flush s.oc
+
+(* Emit to the installed sink, if any. Call sites on hot paths should still
+   check [active ()] first to avoid building [fields]. *)
+let event name fields = match !current with None -> () | Some s -> emit_to s name fields
+
+let with_sink s f =
+  let prev = !current in
+  current := Some s;
+  Fun.protect ~finally:(fun () -> current := prev) f

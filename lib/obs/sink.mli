@@ -1,0 +1,28 @@
+(** Structured event sink: named events with JSON fields, rendered as
+    pretty one-liners or NDJSON (one JSON object per line, flushed).
+
+    One process-wide sink can be installed; library emitters must guard with
+    [if Sink.active () then Sink.event ...] so field lists are never built
+    when nobody listens. *)
+
+type format = Pretty | Ndjson
+
+type t
+
+val make : ?fmt:format -> out_channel -> t
+(** Default format is [Ndjson]. *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val active : unit -> bool
+val installed : unit -> t option
+
+val event : string -> (string * Json.t) list -> unit
+(** Emit to the installed sink, if any. NDJSON lines carry the event name
+    as an ["event"] field. *)
+
+val emit_to : t -> string -> (string * Json.t) list -> unit
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Install [t] for the duration of the callback, restoring the previous
+    sink afterwards. *)

@@ -1,0 +1,93 @@
+(* Span-based hierarchical tracing.
+
+   [with_ ~name f] times [f] on the monotonic clock and records the span as
+   a child of the innermost live span (or as a root). Disabled-mode cost is
+   one flag load and a direct call to [f]. Spans survive exceptions: the
+   span is closed and re-raised via Fun.protect. *)
+
+type t = {
+  name : string;
+  mutable dur_ns : int;
+  mutable calls : int;
+  mutable children : t list; (* newest first; reversed on read *)
+}
+
+let roots : t list ref = ref [] (* newest first *)
+let stack : t list ref = ref []
+
+let reset () =
+  roots := [];
+  stack := []
+
+let find_child parent name = List.find_opt (fun c -> c.name = name) parent.children
+
+let with_ ~name f =
+  if not (Metrics.is_enabled ()) then f ()
+  else begin
+    (* Re-entering the same name under the same parent accumulates into one
+       node (calls + total time) instead of growing an unbounded sibling
+       list — loops over a timed region stay readable. *)
+    let span =
+      let existing =
+        match !stack with
+        | parent :: _ -> find_child parent name
+        | [] -> List.find_opt (fun s -> s.name = name) !roots
+      in
+      match existing with
+      | Some s -> s
+      | None ->
+          let s = { name; dur_ns = 0; calls = 0; children = [] } in
+          (match !stack with
+          | parent :: _ -> parent.children <- s :: parent.children
+          | [] -> roots := s :: !roots);
+          s
+    in
+    stack := span :: !stack;
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        span.dur_ns <- span.dur_ns + (Clock.now_ns () - t0);
+        span.calls <- span.calls + 1;
+        match !stack with s :: rest when s == span -> stack := rest | _ -> ())
+      f
+  end
+
+let children s = List.rev s.children
+let rollup_ns s = List.fold_left (fun acc c -> acc + c.dur_ns) 0 s.children
+
+(* Time spent in the span itself, outside any recorded child. *)
+let self_ns s = max 0 (s.dur_ns - rollup_ns s)
+
+let root_spans () = List.rev !roots
+
+let rec to_json_one s =
+  Json.Obj
+    ([
+       ("name", Json.String s.name);
+       ("calls", Json.Int s.calls);
+       ("wall_ms", Json.Float (Clock.ns_to_ms s.dur_ns));
+       ("self_ms", Json.Float (Clock.ns_to_ms (self_ns s)));
+     ]
+    @
+    match children s with
+    | [] -> []
+    | cs -> [ ("children", Json.List (List.map to_json_one cs)) ])
+
+let to_json () = Json.List (List.map to_json_one (root_spans ()))
+
+let render () =
+  let buf = Buffer.create 512 in
+  let rec go depth s =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-*s %8.3fms  (self %8.3fms, %d call%s)\n"
+         (String.make (2 * depth) ' ')
+         (max 1 (36 - (2 * depth)))
+         s.name (Clock.ns_to_ms s.dur_ns)
+         (Clock.ns_to_ms (self_ns s))
+         s.calls
+         (if s.calls = 1 then "" else "s"));
+    List.iter (go (depth + 1)) (children s)
+  in
+  Buffer.add_string buf "-- spans --\n";
+  List.iter (go 1) (root_spans ());
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Span-based hierarchical tracing on the monotonic clock.
+
+    [with_ ~name f] records wall time for [f] as a child of the innermost
+    live span. Re-entering the same name under the same parent accumulates
+    calls and time into one node, so loops stay readable. Disabled-mode cost
+    (see {!Metrics.is_enabled}) is one flag load. *)
+
+type t = {
+  name : string;
+  mutable dur_ns : int;
+  mutable calls : int;
+  mutable children : t list;  (** newest first; use {!children} for order *)
+}
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** Time [f] under span [name]; exception-safe. *)
+
+val reset : unit -> unit
+val root_spans : unit -> t list
+val children : t -> t list
+
+val self_ns : t -> int
+(** Time inside the span but outside any recorded child (child rollup). *)
+
+val rollup_ns : t -> int
+val to_json : unit -> Json.t
+val render : unit -> string

@@ -1,5 +1,9 @@
 module Bitset = Wx_util.Bitset
 module Rng = Wx_util.Rng
+module Metrics = Wx_obs.Metrics
+
+let m_coin_flips = Metrics.counter "radio.decay.coin_flips"
+let m_transmit_decisions = Metrics.counter "radio.decay.transmit_decisions"
 
 let phase_length n = Wx_util.Floatx.log2i_ceil (max 2 n) + 1
 
@@ -18,7 +22,11 @@ let make name k_opt =
             let t0 = Network.informed_since net v in
             let slot = (round - t0) mod k in
             let p = 1.0 /. float_of_int (1 lsl slot) in
-            if Rng.bernoulli rng p then Bitset.add_inplace out v)
+            Metrics.incr m_coin_flips;
+            if Rng.bernoulli rng p then begin
+              Metrics.incr m_transmit_decisions;
+              Bitset.add_inplace out v
+            end)
           (Network.informed net);
         out);
   }
@@ -38,7 +46,12 @@ let globally_phased =
         let p = 1.0 /. float_of_int (1 lsl slot) in
         let out = Bitset.create (Wx_graph.Graph.n g) in
         Bitset.iter
-          (fun v -> if Rng.bernoulli rng p then Bitset.add_inplace out v)
+          (fun v ->
+            Metrics.incr m_coin_flips;
+            if Rng.bernoulli rng p then begin
+              Metrics.incr m_transmit_decisions;
+              Bitset.add_inplace out v
+            end)
           (Network.informed net);
         out);
   }

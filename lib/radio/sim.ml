@@ -1,6 +1,16 @@
 module Bitset = Wx_util.Bitset
 module Graph = Wx_graph.Graph
 module Rng = Wx_util.Rng
+module Metrics = Wx_obs.Metrics
+module Sink = Wx_obs.Sink
+
+let m_runs = Metrics.counter "radio.runs"
+let m_rounds = Metrics.counter "radio.rounds"
+let m_transmissions = Metrics.counter "radio.transmissions"
+let m_collisions = Metrics.counter "radio.collisions"
+let m_newly_informed = Metrics.counter "radio.newly_informed"
+let m_collision_rounds = Metrics.counter "radio.collision_rounds"
+let m_stalled_rounds = Metrics.counter "radio.stalled_rounds"
 
 type outcome = {
   rounds : int;
@@ -10,17 +20,62 @@ type outcome = {
   frontier_history : int array;
 }
 
+(* Everything the simulator knows about one completed round. This is the
+   single per-round record: metrics, the NDJSON sink and Trace all feed off
+   it, so the three views can never disagree. *)
+type round_info = {
+  index : int; (* 1-based *)
+  transmitters : int;
+  newly_informed : int;
+  informed_total : int;
+  collisions_this_round : int;
+}
+
 let default_limit g = (64 * Graph.n g) + 1024
 
-let run_until ?max_rounds g ~source protocol rng ~stop =
+let run_until ?max_rounds ?on_round g ~source protocol rng ~stop =
   let limit = match max_rounds with Some m -> m | None -> default_limit g in
   let net = Network.create g source in
   let history = ref [] in
   let finished = ref (stop net) in
+  Metrics.incr m_runs;
+  (* Per-round bookkeeping costs a few cardinals; pay for it only when
+     someone is watching (metrics, sink or an explicit callback). *)
+  let observing () = Metrics.is_enabled () || Sink.active () || on_round <> None in
   while (not !finished) && Network.round net < limit do
+    let coll_before = Network.collisions net in
     let tx = protocol.Protocol.choose net rng in
-    let _newly = Network.step net tx in
+    let newly = Network.step net tx in
     history := Network.informed_count net :: !history;
+    if observing () then begin
+      let info =
+        {
+          index = Network.round net;
+          transmitters = Bitset.cardinal tx;
+          newly_informed = Bitset.cardinal newly;
+          informed_total = Network.informed_count net;
+          collisions_this_round = Network.collisions net - coll_before;
+        }
+      in
+      if Metrics.is_enabled () then begin
+        Metrics.incr m_rounds;
+        Metrics.add m_transmissions info.transmitters;
+        Metrics.add m_collisions info.collisions_this_round;
+        Metrics.add m_newly_informed info.newly_informed;
+        if info.collisions_this_round > 0 then Metrics.incr m_collision_rounds;
+        if info.transmitters > 0 && info.newly_informed = 0 then Metrics.incr m_stalled_rounds
+      end;
+      if Sink.active () then
+        Sink.event "radio.round"
+          [
+            ("round", Wx_obs.Json.Int info.index);
+            ("tx", Wx_obs.Json.Int info.transmitters);
+            ("newly", Wx_obs.Json.Int info.newly_informed);
+            ("informed", Wx_obs.Json.Int info.informed_total);
+            ("collisions", Wx_obs.Json.Int info.collisions_this_round);
+          ];
+      match on_round with Some f -> f info | None -> ()
+    end;
     finished := stop net
   done;
   ( net,
@@ -32,8 +87,8 @@ let run_until ?max_rounds g ~source protocol rng ~stop =
       frontier_history = Array.of_list (List.rev !history);
     } )
 
-let run ?max_rounds g ~source protocol rng =
-  let _, o = run_until ?max_rounds g ~source protocol rng ~stop:Network.all_informed in
+let run ?max_rounds ?on_round g ~source protocol rng =
+  let _, o = run_until ?max_rounds ?on_round g ~source protocol rng ~stop:Network.all_informed in
   { o with completed = o.informed_final = Graph.n g }
 
 let rounds_to_inform ?max_rounds g ~source ~target protocol rng =

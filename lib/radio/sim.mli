@@ -15,8 +15,37 @@ type outcome = {
   frontier_history : int array;  (** informed count after each round, index 0 = round 1 *)
 }
 
+type round_info = {
+  index : int;  (** 1-based round number *)
+  transmitters : int;
+  newly_informed : int;
+  informed_total : int;
+  collisions_this_round : int;
+}
+(** The simulator's per-round record. When metrics are enabled these feed
+    the [radio.*] counters; when an NDJSON sink is installed each round is
+    emitted as a ["radio.round"] event; [Trace] accumulates them. *)
+
+val run_until :
+  ?max_rounds:int ->
+  ?on_round:(round_info -> unit) ->
+  Graph.t ->
+  source:int ->
+  Protocol.t ->
+  Wx_util.Rng.t ->
+  stop:(Network.t -> bool) ->
+  Network.t * outcome
+(** The shared simulation loop: run [protocol] until [stop] or the round
+    limit, invoking [on_round] after every executed round. *)
+
 val run :
-  ?max_rounds:int -> Graph.t -> source:int -> Protocol.t -> Wx_util.Rng.t -> outcome
+  ?max_rounds:int ->
+  ?on_round:(round_info -> unit) ->
+  Graph.t ->
+  source:int ->
+  Protocol.t ->
+  Wx_util.Rng.t ->
+  outcome
 (** Run until everyone is informed or the limit (default [64·n + 1024])
     is hit. *)
 

@@ -11,25 +11,23 @@ type round = {
 
 type t = { rounds : round list; completed : bool; population : int }
 
+(* Tracing is a view over the simulator's own per-round records: run the
+   shared Sim loop with an [on_round] accumulator rather than duplicating
+   the collision/frontier bookkeeping here. *)
 let run ?(max_rounds = 4096) g ~source protocol rng =
-  let net = Network.create g source in
   let rounds = ref [] in
-  let i = ref 0 in
-  while (not (Network.all_informed net)) && !i < max_rounds do
-    incr i;
-    let coll_before = Network.collisions net in
-    let tx = protocol.Protocol.choose net rng in
-    let newly = Network.step net tx in
+  let on_round (r : Sim.round_info) =
     rounds :=
       {
-        index = !i;
-        transmitters = Bitset.cardinal tx;
-        newly_informed = Bitset.cardinal newly;
-        informed_total = Network.informed_count net;
-        collisions_this_round = Network.collisions net - coll_before;
+        index = r.Sim.index;
+        transmitters = r.Sim.transmitters;
+        newly_informed = r.Sim.newly_informed;
+        informed_total = r.Sim.informed_total;
+        collisions_this_round = r.Sim.collisions_this_round;
       }
       :: !rounds
-  done;
+  in
+  let net, _ = Sim.run_until ~max_rounds ~on_round g ~source protocol rng ~stop:Network.all_informed in
   { rounds = List.rev !rounds; completed = Network.all_informed net; population = Graph.n g }
 
 let render ?(width = 24) t =

@@ -1,6 +1,11 @@
 module Bitset = Wx_util.Bitset
 module Bipartite = Wx_graph.Bipartite
 module Rng = Wx_util.Rng
+module Metrics = Wx_obs.Metrics
+
+let m_steps = Metrics.counter "spokesmen.anneal.steps"
+let m_accepted = Metrics.counter "spokesmen.anneal.accepted"
+let m_improvements = Metrics.counter "spokesmen.anneal.improvements"
 
 let solve ?steps ?(t0 = 2.0) ?cooling rng t =
   let s = Bipartite.s_count t in
@@ -52,6 +57,7 @@ let solve ?steps ?(t0 = 2.0) ?cooling rng t =
   let best_set = ref (Bitset.copy chosen) in
   let temp = ref t0 in
   for _ = 1 to steps do
+    Metrics.incr m_steps;
     let u = Rng.int rng s in
     let g = flip_gain u in
     let accept =
@@ -59,8 +65,10 @@ let solve ?steps ?(t0 = 2.0) ?cooling rng t =
       || (!temp > 1e-9 && Rng.float rng < exp (float_of_int g /. !temp))
     in
     if accept then begin
+      Metrics.incr m_accepted;
       apply_flip u;
       if !uniq > !best then begin
+        Metrics.incr m_improvements;
         best := !uniq;
         best_set := Bitset.copy chosen
       end

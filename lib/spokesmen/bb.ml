@@ -1,5 +1,11 @@
 module Bitset = Wx_util.Bitset
 module Bipartite = Wx_graph.Bipartite
+module Metrics = Wx_obs.Metrics
+
+let m_nodes = Metrics.counter "spokesmen.bb.nodes"
+let m_tightenings = Metrics.counter "spokesmen.bb.tightenings"
+let m_prunes = Metrics.counter "spokesmen.bb.prunes"
+let m_exhausted = Metrics.counter "spokesmen.bb.budget_exhausted"
 
 type outcome = Proved_optimal | Budget_exhausted
 
@@ -68,16 +74,19 @@ let solve ?(node_limit = 20_000_000) t =
   in
   let record () =
     if !uniq > !best then begin
+      Metrics.incr m_tightenings;
       best := !uniq;
       best_set := Bitset.copy chosen
     end
   in
   let rec go i =
     incr nodes;
+    Metrics.incr m_nodes;
     if !nodes > node_limit then exhausted := true
     else begin
       record ();
       if i < s && not !exhausted then begin
+        if !uniq + !potential <= !best then Metrics.incr m_prunes;
         if !uniq + !potential > !best then begin
           let u = order.(i) in
           retire u;
@@ -95,6 +104,7 @@ let solve ?(node_limit = 20_000_000) t =
     end
   in
   go 0;
+  if !exhausted then Metrics.incr m_exhausted;
   let result = Solver.make t "branch-and-bound" !best_set in
   (result, if !exhausted then Budget_exhausted else Proved_optimal)
 

@@ -2,6 +2,10 @@ module Bitset = Wx_util.Bitset
 module Bipartite = Wx_graph.Bipartite
 module Rng = Wx_util.Rng
 module Nbhd = Wx_expansion.Nbhd
+module Metrics = Wx_obs.Metrics
+
+let m_samples = Metrics.counter "spokesmen.decay.samples"
+let m_restarts = Metrics.counter "spokesmen.decay.restarts"
 
 let bucket_of_degree d =
   if d < 1 then invalid_arg "Decay.bucket_of_degree";
@@ -45,7 +49,9 @@ let solve_direct ?(reps = 32) ?(all_buckets = false) rng t =
   let best = ref (Solver.make t "decay" (Bitset.create s)) in
   Array.iter
     (fun j ->
+      Metrics.incr m_restarts;
       for _ = 1 to reps do
+        Metrics.incr m_samples;
         let cand = sample_candidate rng t j in
         let r = Solver.make t "decay" cand in
         best := Solver.best !best r

@@ -1,5 +1,9 @@
 module Bitset = Wx_util.Bitset
 module Bipartite = Wx_graph.Bipartite
+module Metrics = Wx_obs.Metrics
+
+let m_steps = Metrics.counter "spokesmen.partition.steps"
+let m_runs = Metrics.counter "spokesmen.partition.runs"
 
 type state = {
   s_uni : Bitset.t;
@@ -65,6 +69,8 @@ let run ?restrict_n t =
         (Bipartite.neighbors_s t v)
     end
   done;
+  Metrics.incr m_runs;
+  Metrics.add m_steps !steps;
   { s_uni; s_tmp; n_uni; n_many; n_tmp; steps = !steps }
 
 let gain t st v = gain_of t ~n_tmp:st.n_tmp ~n_uni:st.n_uni v

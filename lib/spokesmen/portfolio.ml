@@ -15,14 +15,25 @@ let solvers =
     ("anneal", fun rng t -> Anneal.solve ~steps:(50 * Wx_graph.Bipartite.s_count t) rng t);
   ]
 
+(* One timer per solver: the portfolio is where every solver runs under a
+   common harness, so this is the single place that gives all of them a
+   latency distribution. *)
+let solver_timers =
+  List.map (fun (name, _) -> (name, Wx_obs.Metrics.timer ("spokesmen.solver." ^ name))) solvers
+
 let solve_each ?reps rng t =
   List.map
     (fun (name, f) ->
-      let r =
+      let run () =
         match name with
         | "decay" -> Decay.solve ?reps rng t
         | "decay-all-buckets" -> Decay.solve ?reps ~all_buckets:true rng t
         | _ -> f rng t
+      in
+      let r =
+        match List.assoc_opt name solver_timers with
+        | Some tm -> Wx_obs.Metrics.time tm run
+        | None -> run ()
       in
       (name, r))
     solvers

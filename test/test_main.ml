@@ -24,4 +24,5 @@ let () =
       ("properties", Test_properties.suite);
       ("certificate", Test_certificate.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
     ]
