@@ -6,6 +6,7 @@
    dune exec bench/main.exe -- --list       # what exists
    dune exec bench/main.exe -- --json       # also write BENCH_<timestamp>.json
    dune exec bench/main.exe -- --json out.json
+   dune exec bench/main.exe -- --jobs 4     # worker domains for exact measures
 
    Every experiment prints one or more predicted-vs-measured tables; the
    mapping from experiment id to paper claim is in DESIGN.md §5, and the
@@ -16,6 +17,7 @@
 
 open Bench_common
 module Clock = Wx_obs.Clock
+module Pool = Wx_par.Pool
 
 let experiments : experiment list =
   [
@@ -77,6 +79,7 @@ let write_report ~path ~quick outcomes =
         ("generated", Json.String (Clock.timestamp ()));
         ("seed", Json.Int seed);
         ("quick", Json.Bool quick);
+        ("jobs", Json.Int (Pool.default_jobs ()));
         ("experiments", Json.List (List.map outcome_json outcomes));
       ]
   in
@@ -89,8 +92,10 @@ let write_report ~path ~quick outcomes =
 let list_experiments () =
   List.iter (fun e -> Printf.printf "%-9s %-55s %s\n" e.id e.title e.claim) experiments
 
-let main experiment_id quick listing skip_micro json =
-  Printf.printf "wireless-expanders experiment harness (seed %d)\n" seed;
+let main experiment_id quick listing skip_micro json jobs =
+  (match jobs with Some n -> Pool.set_default_jobs n | None -> ());
+  Printf.printf "wireless-expanders experiment harness (seed %d, jobs %d)\n" seed
+    (Pool.default_jobs ());
   if listing then (list_experiments (); 0)
   else begin
     let collect = json <> None in
@@ -141,10 +146,19 @@ let json_arg =
   in
   Arg.(value & opt ~vopt:(Some "") (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel expansion measures (default: $(b,WX_JOBS) if set, else \
+     the runtime's recommended domain count). Per-experiment results are identical at any \
+     value; the report records the jobs used so wall-time speedups are attributable."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "Reproduce every quantitative claim of 'Wireless Expanders' (SPAA 2018)" in
   let info = Cmd.info "wireless-expanders-bench" ~doc in
   Cmd.v info
-    Term.(const main $ experiment_arg $ quick_arg $ list_arg $ skip_micro_arg $ json_arg)
+    Term.(
+      const main $ experiment_arg $ quick_arg $ list_arg $ skip_micro_arg $ json_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,8 +9,9 @@
      wx arboricity <family> <size>             exact (flow) vs bounds
 
    Every subcommand takes --json (machine-readable NDJSON events on stdout,
-   human text on stderr) and --metrics (collect the Wx_obs registry and
-   report it at exit; also enabled by WX_METRICS=1).
+   human text on stderr), --metrics (collect the Wx_obs registry and
+   report it at exit; also enabled by WX_METRICS=1) and --jobs N (worker
+   domains for the parallel expansion measures; WX_JOBS sets the default).
 
    Families are the names from Constructions.Families (cycle, grid, torus,
    hypercube, random-4-regular, margulis, ...), plus "cplus" and "chain". *)
@@ -75,9 +76,10 @@ let obs_finish obs =
     end
   end
 
-(* Shared wrapper: enable instruments, run the command under a root span,
-   then flush the requested reports. *)
-let run_cmd name json metrics f =
+(* Shared wrapper: set the parallelism level, enable instruments, run the
+   command under a root span, then flush the requested reports. *)
+let run_cmd name json metrics jobs f =
+  (match jobs with Some n -> Par.Pool.set_default_jobs n | None -> ());
   let obs = { json; metrics } in
   if json || metrics then Obs.Metrics.enable ();
   if json then Obs.Sink.install (Obs.Sink.make ~fmt:Obs.Sink.Ndjson stdout);
@@ -430,11 +432,20 @@ let metrics_arg =
   let doc = "Collect library metrics (counters, timers, spans) and report them at exit." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel expansion measures (default: $(b,WX_JOBS) if set, else \
+     the runtime's recommended domain count). Results are identical at any value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 (* Lift a command body (a term producing [obs -> int]) into one that carries
-   the observability flags and runs under the shared wrapper. *)
+   the observability and parallelism flags and runs under the shared
+   wrapper. *)
 let with_obs cmd_name term =
   let open Term in
-  const (fun json metrics f -> run_cmd cmd_name json metrics f) $ json_arg $ metrics_arg $ term
+  const (fun json metrics jobs f -> run_cmd cmd_name json metrics jobs f)
+  $ json_arg $ metrics_arg $ jobs_arg $ term
 
 let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Graph statistics for a generated instance")

@@ -76,3 +76,7 @@ module Obs = struct
   module Span = Wx_obs.Span
   module Sink = Wx_obs.Sink
 end
+
+module Par = struct
+  module Pool = Wx_par.Pool
+end

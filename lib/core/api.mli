@@ -86,3 +86,7 @@ module Obs : sig
   module Span = Wx_obs.Span
   module Sink = Wx_obs.Sink
 end
+
+module Par : sig
+  module Pool = Wx_par.Pool
+end

@@ -2,6 +2,7 @@ module Bitset = Wx_util.Bitset
 module Graph = Wx_graph.Graph
 module Combi = Wx_util.Combi
 module Rng = Wx_util.Rng
+module Pool = Wx_par.Pool
 module Metrics = Wx_obs.Metrics
 module Span = Wx_obs.Span
 
@@ -11,6 +12,7 @@ let m_gray_flips = Metrics.counter "expansion.gray_flips"
 let m_improvements = Metrics.counter "expansion.witness_improvements"
 let m_work_rejected = Metrics.counter "expansion.work_rejected"
 let m_inner_pruned = Metrics.counter "expansion.sampled_inner_pruned"
+let m_sampled_clamped = Metrics.counter "expansion.sampled_clamped"
 
 type witnessed = { value : float; witness : Bitset.t }
 
@@ -20,6 +22,40 @@ let max_set_size ?(alpha = 0.5) g =
   if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Measure: alpha must be in (0, 1]";
   int_of_float (Float.floor (alpha *. float_of_int (Graph.n g)))
 
+(* ---- deterministic minimisation ----
+
+   The exact measures shard their enumeration over domains (one shard per
+   smallest element), so "first set attaining the minimum" is no longer a
+   well-defined witness. Instead the canonical witness is the
+   lexicographically smallest minimiser (elements compared as sorted
+   lists): [consider] applies the tiebreak within a shard and [better]
+   applies it across shards, making the reported witness a pure function of
+   the graph — independent of job count, chunking and scheduling. *)
+
+let lex_less a b = compare (Bitset.elements a) (Bitset.elements b) < 0
+
+let better a b =
+  if b.value < a.value then b
+  else if a.value < b.value then a
+  else if lex_less b.witness a.witness then b
+  else a
+
+let better_opt a b =
+  match (a, b) with None, x | x, None -> x | Some a, Some b -> Some (better a b)
+
+(* Fold one candidate into a shard-local best. [copy] when [w] is a reused
+   enumeration buffer rather than an owned set. *)
+let consider best v w ~copy =
+  let improved =
+    match !best with None -> true | Some b -> v < b.value || (v = b.value && lex_less w b.witness)
+  in
+  if improved then begin
+    Metrics.incr m_improvements;
+    best := Some { value = v; witness = (if copy then Bitset.copy w else w) }
+  end
+
+(* ---- work guards ---- *)
+
 let check_work name actual limit =
   if actual > limit then begin
     Metrics.incr m_work_rejected;
@@ -28,62 +64,120 @@ let check_work name actual limit =
          (Printf.sprintf "%s: enumeration of %d sets exceeds work limit %d" name actual limit))
   end
 
-(* Generic exact minimum of [score] over non-empty subsets of size <= kmax. *)
-let min_over_sets name ?(work_limit = 1 lsl 24) g kmax score =
+(* [Combi.subsets_count_le] raises a bare [Overflow] when the count does not
+   fit an int; translate it here so callers only ever see the documented
+   [Too_large] (an overflowing count certainly exceeds any work limit). *)
+let count_sets_le name g kmax =
+  try Combi.subsets_count_le (Graph.n g) kmax
+  with Combi.Overflow ->
+    Metrics.incr m_work_rejected;
+    raise
+      (Too_large
+         (Printf.sprintf "%s: more than max_int candidate sets (n = %d, kmax = %d)" name
+            (Graph.n g) kmax))
+
+(* Σ_k C(n,k)·2^k Gray-code steps for the wireless measures. The 2^k factor
+   is computed as [ldexp 1.0 k]: the previous [float_of_int (1 lsl k)]
+   overflowed the OCaml int at k >= 62 and silently defeated the guard.
+   A binomial overflow means the work certainly exceeds any limit. *)
+let check_wireless_work name g kmax work_limit =
+  let n = Graph.n g in
+  let work =
+    try
+      let acc = ref 0.0 in
+      for k = 1 to kmax do
+        acc := !acc +. (float_of_int (Combi.binomial n k) *. ldexp 1.0 k)
+      done;
+      !acc
+    with Combi.Overflow -> infinity
+  in
+  if work > float_of_int work_limit then begin
+    Metrics.incr m_work_rejected;
+    raise
+      (Too_large
+         (Printf.sprintf "%s: 3^n-style enumeration (n = %d, kmax = %d) exceeds work limit %d"
+            name n kmax work_limit))
+  end
+
+(* ---- exact minima, sharded by smallest element ---- *)
+
+(* Generic exact minimum of [score] over non-empty subsets of size <= kmax.
+   Shard a = all subsets whose smallest element is a; shards are
+   independent, similar in cost, and jointly exhaustive. *)
+let min_over_sets name ?(work_limit = 1 lsl 24) ?jobs g kmax score =
   let n = Graph.n g in
   if n = 0 || kmax = 0 then invalid_arg (name ^ ": no feasible sets");
-  let count = Combi.subsets_count_le n kmax in
+  let count = count_sets_le name g kmax in
   check_work name count work_limit;
-  let best = ref infinity in
-  let best_set = ref (Bitset.create n) in
-  let buf = Bitset.create n in
-  Combi.iter_subsets_le n kmax (fun idxs ->
-      Metrics.incr m_sets_scored;
-      Bitset.clear_inplace buf;
-      Array.iter (Bitset.add_inplace buf) idxs;
-      let v = score buf in
-      if v < !best then begin
-        Metrics.incr m_improvements;
-        best := v;
-        best_set := Bitset.copy buf
-      end);
-  { value = !best; witness = !best_set }
+  let shard a =
+    let buf = Bitset.create n in
+    let best = ref None in
+    Combi.iter_subsets_le_with_min n kmax a (fun idxs ->
+        Metrics.incr m_sets_scored;
+        Bitset.clear_inplace buf;
+        Array.iter (Bitset.add_inplace buf) idxs;
+        consider best (score buf) buf ~copy:true);
+    !best
+  in
+  match Pool.parallel_reduce ?jobs ~n ~init:None ~map:shard ~combine:better_opt () with
+  | Some w -> w
+  | None -> invalid_arg (name ^ ": no feasible sets")
 
-let min_over_sampled_sets g kmax rng samples score =
+(* ---- sampled minima, sharded by sample block ----
+
+   Each fixed-size block of samples draws from its own [Rng.split] child
+   stream, split off in block order before any parallelism starts. The
+   result is therefore a function of (seed, samples) alone: job count and
+   scheduling cannot change which sets are drawn or which witness wins. *)
+
+let sample_block = 32
+
+let split_streams rng nblocks =
+  let streams = Array.make nblocks rng in
+  for b = 0 to nblocks - 1 do
+    streams.(b) <- Rng.split rng
+  done;
+  streams
+
+let min_over_sampled_sets ?jobs g kmax rng samples score =
   let n = Graph.n g in
   if n = 0 || kmax = 0 then invalid_arg "Measure: no feasible sets";
-  let best = ref infinity in
-  let best_set = ref (Bitset.create n) in
-  for _ = 1 to samples do
-    Metrics.incr m_sampled_sets;
-    let k = 1 + Rng.int rng kmax in
-    let s = Bitset.random_of_universe rng n k in
-    let v = score s in
-    if v < !best then begin
-      Metrics.incr m_improvements;
-      best := v;
-      best_set := s
-    end
-  done;
-  { value = !best; witness = !best_set }
+  if samples <= 0 then invalid_arg "Measure: samples must be positive";
+  let nblocks = (samples + sample_block - 1) / sample_block in
+  let streams = split_streams rng nblocks in
+  let shard b =
+    let r = streams.(b) in
+    let best = ref None in
+    for _ = 1 to min sample_block (samples - (b * sample_block)) do
+      Metrics.incr m_sampled_sets;
+      let k = 1 + Rng.int r kmax in
+      let s = Bitset.random_of_universe r n k in
+      consider best (score s) s ~copy:false
+    done;
+    !best
+  in
+  match Pool.parallel_reduce ?jobs ~n:nblocks ~init:None ~map:shard ~combine:better_opt () with
+  | Some w -> w
+  | None -> assert false
 
-let beta_exact ?alpha ?work_limit g =
+let beta_exact ?alpha ?work_limit ?jobs g =
   Span.with_ ~name:"measure.beta_exact" (fun () ->
-      min_over_sets "Measure.beta_exact" ?work_limit g (max_set_size ?alpha g)
+      min_over_sets "Measure.beta_exact" ?work_limit ?jobs g (max_set_size ?alpha g)
         (Nbhd.expansion_of_set g))
 
-let beta_sampled ?alpha rng ~samples g =
+let beta_sampled ?alpha ?jobs rng ~samples g =
   Span.with_ ~name:"measure.beta_sampled" (fun () ->
-      min_over_sampled_sets g (max_set_size ?alpha g) rng samples (Nbhd.expansion_of_set g))
+      min_over_sampled_sets ?jobs g (max_set_size ?alpha g) rng samples
+        (Nbhd.expansion_of_set g))
 
-let beta_u_exact ?alpha ?work_limit g =
+let beta_u_exact ?alpha ?work_limit ?jobs g =
   Span.with_ ~name:"measure.beta_u_exact" (fun () ->
-      min_over_sets "Measure.beta_u_exact" ?work_limit g (max_set_size ?alpha g)
+      min_over_sets "Measure.beta_u_exact" ?work_limit ?jobs g (max_set_size ?alpha g)
         (Nbhd.unique_expansion_of_set g))
 
-let beta_u_sampled ?alpha rng ~samples g =
+let beta_u_sampled ?alpha ?jobs rng ~samples g =
   Span.with_ ~name:"measure.beta_u_sampled" (fun () ->
-      min_over_sampled_sets g (max_set_size ?alpha g) rng samples
+      min_over_sampled_sets ?jobs g (max_set_size ?alpha g) rng samples
         (Nbhd.unique_expansion_of_set g))
 
 (* Exact max over S' of |Γ¹_S(S')| for a fixed S, returning (max, argmax).
@@ -140,111 +234,113 @@ let wireless_of_set_exact ?work_limit g s =
   let m, s' = max_unique_over_subsets ?work_limit g s in
   { value = float_of_int m /. float_of_int (Bitset.cardinal s); witness = s' }
 
-let beta_w_exact ?alpha ?(work_limit = 1 lsl 26) g =
+let beta_w_exact ?alpha ?(work_limit = 1 lsl 26) ?jobs g =
   Span.with_ ~name:"measure.beta_w_exact" (fun () ->
       let kmax = max_set_size ?alpha g in
       let n = Graph.n g in
       if n = 0 || kmax = 0 then invalid_arg "Measure.beta_w_exact: no feasible sets";
-      (* Total work is sum over sets S of 2^|S| = Θ(3^n) when kmax = n; check
-         before enumerating. *)
-      let work = ref 0.0 in
-      for k = 1 to kmax do
-        work := !work +. (float_of_int (Combi.binomial n k) *. float_of_int (1 lsl k))
-      done;
-      if !work > float_of_int work_limit then begin
-        Metrics.incr m_work_rejected;
-        raise (Too_large "Measure.beta_w_exact: 3^n-style enumeration exceeds work limit")
-      end;
-      let best = ref infinity in
-      let best_set = ref (Bitset.create n) in
-      let buf = Bitset.create n in
-      Combi.iter_subsets_le n kmax (fun idxs ->
-          Metrics.incr m_sets_scored;
-          Bitset.clear_inplace buf;
-          Array.iter (Bitset.add_inplace buf) idxs;
-          let m, _ = max_unique_over_subsets ~work_limit:max_int g buf in
-          let v = float_of_int m /. float_of_int (Array.length idxs) in
-          if v < !best then begin
-            Metrics.incr m_improvements;
-            best := v;
-            best_set := Bitset.copy buf
-          end);
-      { value = !best; witness = !best_set })
+      check_wireless_work "Measure.beta_w_exact" g kmax work_limit;
+      let shard a =
+        let buf = Bitset.create n in
+        let best = ref None in
+        Combi.iter_subsets_le_with_min n kmax a (fun idxs ->
+            Metrics.incr m_sets_scored;
+            Bitset.clear_inplace buf;
+            Array.iter (Bitset.add_inplace buf) idxs;
+            let m, _ = max_unique_over_subsets ~work_limit:max_int g buf in
+            consider best (float_of_int m /. float_of_int (Array.length idxs)) buf ~copy:true);
+        !best
+      in
+      match Pool.parallel_reduce ?jobs ~n ~init:None ~map:shard ~combine:better_opt () with
+      | Some w -> w
+      | None -> assert false)
 
-let beta_w_sampled ?alpha ?(inner_work_limit = 1 lsl 22) rng ~samples g =
+(* Largest sampled |S| for which the inner 2^|S| maximisation is viable;
+   matches the default [inner_work_limit] of 2^22 Gray-code steps. *)
+let wireless_sample_cap = 22
+
+let beta_w_sampled ?alpha ?(inner_work_limit = 1 lsl 22) ?jobs rng ~samples g =
   Span.with_ ~name:"measure.beta_w_sampled" (fun () ->
       let kmax = max_set_size ?alpha g in
       let n = Graph.n g in
       if n = 0 || kmax = 0 then invalid_arg "Measure.beta_w_sampled: no feasible sets";
-      let best = ref infinity in
-      let best_set = ref (Bitset.create n) in
-      for _ = 1 to samples do
-        Metrics.incr m_sampled_sets;
-        let k = 1 + Rng.int rng kmax in
-        if k <= 22 then begin
-          let s = Bitset.random_of_universe rng n k in
+      if samples <= 0 then invalid_arg "Measure.beta_w_sampled: samples must be positive";
+      let nblocks = (samples + sample_block - 1) / sample_block in
+      let streams = split_streams rng nblocks in
+      let shard b =
+        let r = streams.(b) in
+        let best = ref None in
+        for _ = 1 to min sample_block (samples - (b * sample_block)) do
+          Metrics.incr m_sampled_sets;
+          let k = 1 + Rng.int r kmax in
+          (* Draws above the inner-enumeration cap used to be discarded
+             with no replacement, silently wasting the sample budget
+             whenever kmax > 22; clamp them to the cap instead and account
+             for the distortion. *)
+          let k =
+            if k > wireless_sample_cap then begin
+              Metrics.incr m_sampled_clamped;
+              wireless_sample_cap
+            end
+            else k
+          in
+          let s = Bitset.random_of_universe r n k in
           match max_unique_over_subsets ~work_limit:inner_work_limit g s with
-          | m, _ ->
-              let v = float_of_int m /. float_of_int k in
-              if v < !best then begin
-                Metrics.incr m_improvements;
-                best := v;
-                best_set := s
-              end
+          | m, _ -> consider best (float_of_int m /. float_of_int k) s ~copy:false
           | exception Too_large _ -> Metrics.incr m_inner_pruned
-        end
-      done;
-      { value = !best; witness = !best_set })
+        done;
+        !best
+      in
+      match Pool.parallel_reduce ?jobs ~n:nblocks ~init:None ~map:shard ~combine:better_opt () with
+      | Some w -> w
+      | None ->
+          (* Every sample hit the inner work limit: keep the historical
+             "no certificate" result rather than raising. *)
+          { value = infinity; witness = Bitset.create n })
 
-let profile_beta ?alpha ?(work_limit = 1 lsl 24) g =
-  let kmax = max_set_size ?alpha g in
+(* ---- per-size profiles ----
+
+   Values only (no witness), so plain [Float.min] is the combine: it is
+   associative and commutative, and scores are never NaN, so the profile is
+   deterministic without any tiebreak. *)
+
+let profile_sizes ?jobs g kmax score =
   let n = Graph.n g in
-  let count = Combi.subsets_count_le n kmax in
+  let out = ref [] in
+  for k = kmax downto 1 do
+    let shard a =
+      let buf = Bitset.create n in
+      let best = ref infinity in
+      Combi.iter_subsets_of_size_with_min n k a (fun idxs ->
+          Metrics.incr m_sets_scored;
+          Bitset.clear_inplace buf;
+          Array.iter (Bitset.add_inplace buf) idxs;
+          let v = score buf in
+          if v < !best then best := v);
+      !best
+    in
+    let best =
+      Pool.parallel_reduce ?jobs ~n:(n - k + 1) ~init:infinity ~map:shard ~combine:Float.min ()
+    in
+    out := (k, best) :: !out
+  done;
+  !out
+
+let profile_beta ?alpha ?(work_limit = 1 lsl 24) ?jobs g =
+  let kmax = max_set_size ?alpha g in
+  let count = count_sets_le "Measure.profile_beta" g kmax in
   check_work "Measure.profile_beta" count work_limit;
-  let buf = Bitset.create n in
-  let out = ref [] in
-  for k = kmax downto 1 do
-    let best = ref infinity in
-    Combi.iter_subsets_of_size n k (fun idxs ->
-        Bitset.clear_inplace buf;
-        Array.iter (Bitset.add_inplace buf) idxs;
-        let v = Nbhd.expansion_of_set g buf in
-        if v < !best then best := v);
-    out := (k, !best) :: !out
-  done;
-  !out
+  profile_sizes ?jobs g kmax (Nbhd.expansion_of_set g)
 
-let profile_generic ?alpha ?(work_limit = 1 lsl 24) name g score =
+let profile_beta_u ?alpha ?(work_limit = 1 lsl 24) ?jobs g =
   let kmax = max_set_size ?alpha g in
-  let n = Graph.n g in
-  let count = Combi.subsets_count_le n kmax in
-  check_work name count work_limit;
-  let buf = Bitset.create n in
-  let out = ref [] in
-  for k = kmax downto 1 do
-    let best = ref infinity in
-    Combi.iter_subsets_of_size n k (fun idxs ->
-        Bitset.clear_inplace buf;
-        Array.iter (Bitset.add_inplace buf) idxs;
-        let v = score buf in
-        if v < !best then best := v);
-    out := (k, !best) :: !out
-  done;
-  !out
+  let count = count_sets_le "Measure.profile_beta_u" g kmax in
+  check_work "Measure.profile_beta_u" count work_limit;
+  profile_sizes ?jobs g kmax (Nbhd.unique_expansion_of_set g)
 
-let profile_beta_u ?alpha ?work_limit g =
-  profile_generic ?alpha ?work_limit "Measure.profile_beta_u" g (Nbhd.unique_expansion_of_set g)
-
-let profile_beta_w ?alpha ?(work_limit = 1 lsl 26) g =
-  (* Work is Σ_k C(n,k)·2^k; bound it before enumerating. *)
+let profile_beta_w ?alpha ?(work_limit = 1 lsl 26) ?jobs g =
   let kmax = max_set_size ?alpha g in
-  let n = Graph.n g in
-  let work = ref 0.0 in
-  for k = 1 to kmax do
-    work := !work +. (float_of_int (Combi.binomial n k) *. float_of_int (1 lsl k))
-  done;
-  if !work > float_of_int work_limit then
-    raise (Too_large "Measure.profile_beta_w: enumeration exceeds work limit");
-  profile_generic ?alpha ~work_limit:max_int "Measure.profile_beta_w" g (fun s ->
+  check_wireless_work "Measure.profile_beta_w" g kmax work_limit;
+  profile_sizes ?jobs g kmax (fun s ->
       let m, _ = max_unique_over_subsets ~work_limit:max_int g s in
       float_of_int m /. float_of_int (Bitset.cardinal s))

@@ -10,7 +10,20 @@
 
     The wireless measure additionally needs, per set S, a maximum over
     subsets S′ ⊆ S; [wireless_of_set_exact] enumerates S′ in Gray-code
-    order with incremental unique-count maintenance. *)
+    order with incremental unique-count maintenance.
+
+    {2 Parallelism and determinism}
+
+    Every enumeration and sampling loop is sharded over a {!Wx_par.Pool}
+    of OCaml 5 domains ([?jobs], default {!Wx_par.Pool.default_jobs} —
+    settable via [--jobs] or [WX_JOBS]). Results are deterministic at any
+    job count:
+    - exact measures partition the subset space by smallest element and
+      report the {e lexicographically smallest} minimising witness, so
+      values and witnesses are identical at [jobs = 1] and [jobs = 64];
+    - sampled measures pre-split one [Rng.split] child stream per
+      fixed-size sample block, so for a fixed seed the drawn sets — and
+      hence the certificate — do not depend on the job count. *)
 
 module Bitset = Wx_util.Bitset
 module Graph = Wx_graph.Graph
@@ -19,49 +32,63 @@ type witnessed = { value : float; witness : Bitset.t }
 (** A measure value together with the set attaining it. *)
 
 exception Too_large of string
-(** Raised when an exact enumeration would exceed its work limit. *)
+(** Raised when an exact enumeration would exceed its work limit (including
+    when the candidate-set count itself overflows the native int). *)
 
 val max_set_size : ?alpha:float -> Graph.t -> int
 (** [⌊α·n⌋], default [α = 1/2]. *)
 
 (** {1 Ordinary expansion} *)
 
-val beta_exact : ?alpha:float -> ?work_limit:int -> Graph.t -> witnessed
+val beta_exact : ?alpha:float -> ?work_limit:int -> ?jobs:int -> Graph.t -> witnessed
 (** Minimum of [|Γ⁻(S)|/|S|] over non-empty [S], [|S| ≤ αn]. The work limit
     (default [2^24]) bounds the number of sets enumerated. *)
 
-val beta_sampled : ?alpha:float -> Wx_util.Rng.t -> samples:int -> Graph.t -> witnessed
+val beta_sampled :
+  ?alpha:float -> ?jobs:int -> Wx_util.Rng.t -> samples:int -> Graph.t -> witnessed
 
 (** {1 Unique-neighbor expansion} *)
 
-val beta_u_exact : ?alpha:float -> ?work_limit:int -> Graph.t -> witnessed
-val beta_u_sampled : ?alpha:float -> Wx_util.Rng.t -> samples:int -> Graph.t -> witnessed
+val beta_u_exact : ?alpha:float -> ?work_limit:int -> ?jobs:int -> Graph.t -> witnessed
+
+val beta_u_sampled :
+  ?alpha:float -> ?jobs:int -> Wx_util.Rng.t -> samples:int -> Graph.t -> witnessed
 
 (** {1 Wireless expansion} *)
 
 val wireless_of_set_exact : ?work_limit:int -> Graph.t -> Bitset.t -> witnessed
 (** [max_{S′ ⊆ S} |Γ¹_S(S′)| / |S|] with the maximizing [S′] as witness.
-    Cost 2^|S|; the work limit (default 2^24) rejects larger sets. *)
+    Cost 2^|S|; the work limit (default 2^24) rejects larger sets. The
+    Gray-code walk is inherently sequential and runs on the calling
+    domain. *)
 
-val beta_w_exact : ?alpha:float -> ?work_limit:int -> Graph.t -> witnessed
+val beta_w_exact : ?alpha:float -> ?work_limit:int -> ?jobs:int -> Graph.t -> witnessed
 (** Exact wireless expansion: min over S of max over S′. Cost ~3^n; the
     work limit (default 2^26 elementary steps) keeps this to [n ≲ 16].
     The witness is the minimizing [S]. *)
 
 val beta_w_sampled :
-  ?alpha:float -> ?inner_work_limit:int -> Wx_util.Rng.t -> samples:int -> Graph.t -> witnessed
+  ?alpha:float ->
+  ?inner_work_limit:int ->
+  ?jobs:int ->
+  Wx_util.Rng.t ->
+  samples:int ->
+  Graph.t ->
+  witnessed
 (** Upper-bound certificate: min over sampled S of the {e exact} inner max.
-    Sets larger than the inner work limit allows are skipped. *)
+    Sampled sizes are clamped to [min kmax 22] so the inner enumeration
+    stays within the default inner work limit — clamped draws are counted
+    in the [expansion.sampled_clamped] metric rather than discarded. *)
 
 (** {1 Per-size profiles} *)
 
-val profile_beta : ?alpha:float -> ?work_limit:int -> Graph.t -> (int * float) list
+val profile_beta : ?alpha:float -> ?work_limit:int -> ?jobs:int -> Graph.t -> (int * float) list
 (** [(k, min expansion over |S| = k)] for each feasible size k — the data
     behind "expansion as a function of set size" plots. *)
 
-val profile_beta_u : ?alpha:float -> ?work_limit:int -> Graph.t -> (int * float) list
+val profile_beta_u : ?alpha:float -> ?work_limit:int -> ?jobs:int -> Graph.t -> (int * float) list
 (** Per-size unique-neighbor expansion profile. *)
 
-val profile_beta_w : ?alpha:float -> ?work_limit:int -> Graph.t -> (int * float) list
+val profile_beta_w : ?alpha:float -> ?work_limit:int -> ?jobs:int -> Graph.t -> (int * float) list
 (** Per-size wireless expansion profile (exact inner maximization per set);
     work limit counts elementary Gray-code steps, default 2^26. *)

@@ -2,36 +2,52 @@
    histograms with quantile estimates.
 
    Zero-cost-when-disabled contract: instruments are registered once at
-   module-init time (a handle is a mutable record, not a name lookup), and
-   every hot-path operation starts with a single load of [enabled]. No
-   string formatting, no allocation, no clock read happens while disabled —
-   safe to leave in the innermost loops of the solvers and the simulator. *)
+   module-init time (a handle is a record, not a name lookup), and every
+   hot-path operation starts with a single load of [enabled]. No string
+   formatting, no allocation, no clock read happens while disabled — safe
+   to leave in the innermost loops of the solvers and the simulator.
+
+   Domain-safety contract (the exact expansion measures shard their
+   enumeration over Wx_par domains): counters and gauges are [Atomic.t], so
+   concurrent increments never lose updates; histograms keep one shard per
+   observing domain (domain-local storage, registered under a mutex on
+   first touch) and merge the shards at snapshot/quantile time, so the hot
+   [observe] path stays lock-free and contention-free. *)
 
 let enabled =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "WX_METRICS" with
     | Some ("1" | "true" | "on" | "yes") -> true
     | _ -> false)
 
-let enable () = enabled := true
-let disable () = enabled := false
-let is_enabled () = !enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
 
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable value : float; mutable g_set : bool }
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; value : float Atomic.t; g_set : bool Atomic.t }
 
 (* Histogram over positive values with power-of-two buckets: bucket [i]
    holds observations v with 2^i <= v < 2^(i+1) (v < 1 lands in bucket 0).
    63 buckets cover anything an int-nanosecond timer can produce. *)
 let hist_buckets = 63
 
+(* One shard per observing domain. Only its owner writes a shard, so the
+   mutable fields need no synchronization; readers merge under the
+   registration lock after the workers have been joined. *)
+type shard = {
+  buckets : int array;
+  mutable s_count : int;
+  mutable s_sum : float;
+  mutable s_min : float;
+  mutable s_max : float;
+}
+
 type histogram = {
   h_name : string;
-  buckets : int array;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
+  h_lock : Mutex.t;
+  h_shards : shard list ref;
+  h_key : shard Domain.DLS.key;
 }
 
 type timer = { t_name : string; hist : histogram }
@@ -41,26 +57,52 @@ let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
 
-let intern tbl name make =
-  match Hashtbl.find_opt tbl name with
-  | Some x -> x
-  | None ->
-      let x = make () in
-      Hashtbl.replace tbl name x;
-      x
+(* Registration happens at module init in practice, but guard it anyway so
+   a worker-domain registration cannot corrupt the tables. *)
+let registry_lock = Mutex.create ()
 
-let counter name = intern counters name (fun () -> { c_name = name; count = 0 })
-let gauge name = intern gauges name (fun () -> { g_name = name; value = 0.0; g_set = false })
+let intern tbl name make =
+  Mutex.lock registry_lock;
+  let x =
+    match Hashtbl.find_opt tbl name with
+    | Some x -> x
+    | None ->
+        let x = make () in
+        Hashtbl.replace tbl name x;
+        x
+  in
+  Mutex.unlock registry_lock;
+  x
+
+let counter name = intern counters name (fun () -> { c_name = name; count = Atomic.make 0 })
+
+let gauge name =
+  intern gauges name (fun () ->
+      { g_name = name; value = Atomic.make 0.0; g_set = Atomic.make false })
+
+let fresh_shard () =
+  {
+    buckets = Array.make hist_buckets 0;
+    s_count = 0;
+    s_sum = 0.0;
+    s_min = infinity;
+    s_max = neg_infinity;
+  }
 
 let make_histogram name =
-  {
-    h_name = name;
-    buckets = Array.make hist_buckets 0;
-    h_count = 0;
-    h_sum = 0.0;
-    h_min = infinity;
-    h_max = neg_infinity;
-  }
+  let lock = Mutex.create () in
+  let shards = ref [] in
+  let key =
+    (* Lazily give each domain its own shard; creation also publishes the
+       shard to the histogram's merge list. *)
+    Domain.DLS.new_key (fun () ->
+        let s = fresh_shard () in
+        Mutex.lock lock;
+        shards := s :: !shards;
+        Mutex.unlock lock;
+        s)
+  in
+  { h_name = name; h_lock = lock; h_shards = shards; h_key = key }
 
 let histogram name = intern histograms name (fun () -> make_histogram name)
 
@@ -69,12 +111,14 @@ let timer name =
 
 (* ---- hot-path operations ---- *)
 
-let incr c = if !enabled then c.count <- c.count + 1
-let add c n = if !enabled then c.count <- c.count + n
+let incr c = if Atomic.get enabled then Atomic.incr c.count
+
+let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.count n)
+
 let set g v =
-  if !enabled then begin
-    g.value <- v;
-    g.g_set <- true
+  if Atomic.get enabled then begin
+    Atomic.set g.value v;
+    Atomic.set g.g_set true
   end
 
 let bucket_of v =
@@ -85,24 +129,25 @@ let bucket_of v =
   end
 
 let observe_always h v =
-  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v
+  let s = Domain.DLS.get h.h_key in
+  s.buckets.(bucket_of v) <- s.buckets.(bucket_of v) + 1;
+  s.s_count <- s.s_count + 1;
+  s.s_sum <- s.s_sum +. v;
+  if v < s.s_min then s.s_min <- v;
+  if v > s.s_max then s.s_max <- v
 
-let observe h v = if !enabled then observe_always h v
+let observe h v = if Atomic.get enabled then observe_always h v
 
 (* Timers: [start] reads the clock only when enabled and returns the raw ns
    stamp (0 when disabled); [stop] is a no-op on a 0 stamp. *)
-let start () = if !enabled then Clock.now_ns () else 0
+let start () = if Atomic.get enabled then Clock.now_ns () else 0
 
 let stop t stamp =
-  if stamp <> 0 && !enabled then
+  if stamp <> 0 && Atomic.get enabled then
     observe_always t.hist (float_of_int (Clock.now_ns () - stamp))
 
 let time t f =
-  if !enabled then begin
+  if Atomic.get enabled then begin
     let stamp = Clock.now_ns () in
     Fun.protect ~finally:(fun () -> observe_always t.hist (float_of_int (Clock.now_ns () - stamp))) f
   end
@@ -110,14 +155,46 @@ let time t f =
 
 (* ---- reading ---- *)
 
-let quantile h q =
-  if h.h_count = 0 then Float.nan
+(* Merged view of a histogram's per-domain shards. Taken after parallel
+   sections have joined, so the single-writer shard fields are stable. *)
+type hview = {
+  v_buckets : int array;
+  v_count : int;
+  v_sum : float;
+  v_min : float;
+  v_max : float;
+}
+
+let merged h =
+  Mutex.lock h.h_lock;
+  let shards = !(h.h_shards) in
+  Mutex.unlock h.h_lock;
+  let v =
+    { v_buckets = Array.make hist_buckets 0; v_count = 0; v_sum = 0.0; v_min = infinity;
+      v_max = neg_infinity }
+  in
+  List.fold_left
+    (fun acc s ->
+      for i = 0 to hist_buckets - 1 do
+        acc.v_buckets.(i) <- acc.v_buckets.(i) + s.buckets.(i)
+      done;
+      {
+        acc with
+        v_count = acc.v_count + s.s_count;
+        v_sum = acc.v_sum +. s.s_sum;
+        v_min = Float.min acc.v_min s.s_min;
+        v_max = Float.max acc.v_max s.s_max;
+      })
+    v shards
+
+let quantile_of_view v q =
+  if v.v_count = 0 then Float.nan
   else begin
-    let rank = Float.max 1.0 (Float.ceil (q *. float_of_int h.h_count)) in
+    let rank = Float.max 1.0 (Float.ceil (q *. float_of_int v.v_count)) in
     let acc = ref 0 and idx = ref (hist_buckets - 1) in
     (try
        for i = 0 to hist_buckets - 1 do
-         acc := !acc + h.buckets.(i);
+         acc := !acc + v.v_buckets.(i);
          if float_of_int !acc >= rank then begin
            idx := i;
            raise Exit
@@ -126,68 +203,81 @@ let quantile h q =
      with Exit -> ());
     (* Geometric midpoint of the winning bucket, clamped to observed range. *)
     let est = Float.pow 2.0 (float_of_int !idx +. 0.5) in
-    Float.min h.h_max (Float.max h.h_min est)
+    Float.min v.v_max (Float.max v.v_min est)
   end
 
+let quantile h q = quantile_of_view (merged h) q
+
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.count 0) counters;
   Hashtbl.iter
     (fun _ g ->
-      g.value <- 0.0;
-      g.g_set <- false)
+      Atomic.set g.value 0.0;
+      Atomic.set g.g_set false)
     gauges;
   let reset_h h =
-    Array.fill h.buckets 0 hist_buckets 0;
-    h.h_count <- 0;
-    h.h_sum <- 0.0;
-    h.h_min <- infinity;
-    h.h_max <- neg_infinity
+    Mutex.lock h.h_lock;
+    List.iter
+      (fun s ->
+        Array.fill s.buckets 0 hist_buckets 0;
+        s.s_count <- 0;
+        s.s_sum <- 0.0;
+        s.s_min <- infinity;
+        s.s_max <- neg_infinity)
+      !(h.h_shards);
+    Mutex.unlock h.h_lock
   in
   Hashtbl.iter (fun _ h -> reset_h h) histograms;
-  Hashtbl.iter (fun _ t -> reset_h t.hist) timers
+  Hashtbl.iter (fun _ t -> reset_h t.hist) timers;
+  Mutex.unlock registry_lock
 
 let sorted_bindings tbl =
   List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
-let hist_json h =
+let hist_json v =
   Json.Obj
     [
-      ("count", Json.Int h.h_count);
-      ("sum", Json.Float h.h_sum);
-      ("min", Json.Float (if h.h_count = 0 then Float.nan else h.h_min));
-      ("max", Json.Float (if h.h_count = 0 then Float.nan else h.h_max));
-      ("p50", Json.Float (quantile h 0.50));
-      ("p90", Json.Float (quantile h 0.90));
-      ("p99", Json.Float (quantile h 0.99));
+      ("count", Json.Int v.v_count);
+      ("sum", Json.Float v.v_sum);
+      ("min", Json.Float (if v.v_count = 0 then Float.nan else v.v_min));
+      ("max", Json.Float (if v.v_count = 0 then Float.nan else v.v_max));
+      ("p50", Json.Float (quantile_of_view v 0.50));
+      ("p90", Json.Float (quantile_of_view v 0.90));
+      ("p99", Json.Float (quantile_of_view v 0.99));
     ]
 
 (* Snapshot of every instrument that has recorded anything. *)
 let snapshot () =
   let cs =
     List.filter_map
-      (fun (k, c) -> if c.count = 0 then None else Some (k, Json.Int c.count))
+      (fun (k, c) ->
+        let n = Atomic.get c.count in
+        if n = 0 then None else Some (k, Json.Int n))
       (sorted_bindings counters)
   in
   let gs =
     List.filter_map
-      (fun (k, g) -> if g.g_set then Some (k, Json.Float g.value) else None)
+      (fun (k, g) -> if Atomic.get g.g_set then Some (k, Json.Float (Atomic.get g.value)) else None)
       (sorted_bindings gauges)
   in
   let hs =
     List.filter_map
-      (fun (k, h) -> if h.h_count = 0 then None else Some (k, hist_json h))
+      (fun (k, h) ->
+        let v = merged h in
+        if v.v_count = 0 then None else Some (k, hist_json v))
       (sorted_bindings histograms)
   in
   let ts =
     List.filter_map
       (fun (k, t) ->
-        if t.hist.h_count = 0 then None
+        let v = merged t.hist in
+        if v.v_count = 0 then None
         else
           Some
             ( k,
-              match hist_json t.hist with
-              | Json.Obj fields ->
-                  Json.Obj (fields @ [ ("total_ms", Json.Float (t.hist.h_sum /. 1e6)) ])
+              match hist_json v with
+              | Json.Obj fields -> Json.Obj (fields @ [ ("total_ms", Json.Float (v.v_sum /. 1e6)) ])
               | j -> j ))
       (sorted_bindings timers)
   in
@@ -204,24 +294,28 @@ let render () =
   Buffer.add_string buf "-- metrics --\n";
   List.iter
     (fun (k, c) ->
-      if c.count <> 0 then Buffer.add_string buf (Printf.sprintf "  %-44s %d\n" k c.count))
+      let n = Atomic.get c.count in
+      if n <> 0 then Buffer.add_string buf (Printf.sprintf "  %-44s %d\n" k n))
     (sorted_bindings counters);
   List.iter
     (fun (k, g) ->
-      if g.g_set then Buffer.add_string buf (Printf.sprintf "  %-44s %g\n" k g.value))
+      if Atomic.get g.g_set then
+        Buffer.add_string buf (Printf.sprintf "  %-44s %g\n" k (Atomic.get g.value)))
     (sorted_bindings gauges);
-  let render_h k h =
-    if h.h_count <> 0 then
+  let render_h k v =
+    if v.v_count <> 0 then
       Buffer.add_string buf
-        (Printf.sprintf "  %-44s n=%d sum=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g\n" k h.h_count
-           h.h_sum (quantile h 0.50) (quantile h 0.90) (quantile h 0.99) h.h_max)
+        (Printf.sprintf "  %-44s n=%d sum=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g\n" k v.v_count
+           v.v_sum (quantile_of_view v 0.50) (quantile_of_view v 0.90) (quantile_of_view v 0.99)
+           v.v_max)
   in
-  List.iter (fun (k, h) -> render_h k h) (sorted_bindings histograms);
+  List.iter (fun (k, h) -> render_h k (merged h)) (sorted_bindings histograms);
   List.iter
     (fun (k, t) ->
-      if t.hist.h_count <> 0 then
+      let v = merged t.hist in
+      if v.v_count <> 0 then
         Buffer.add_string buf
-          (Printf.sprintf "  %-44s n=%d total=%.2fms p50=%.3gns p99=%.3gns\n" k t.hist.h_count
-             (t.hist.h_sum /. 1e6) (quantile t.hist 0.50) (quantile t.hist 0.99)))
+          (Printf.sprintf "  %-44s n=%d total=%.2fms p50=%.3gns p99=%.3gns\n" k v.v_count
+             (v.v_sum /. 1e6) (quantile_of_view v 0.50) (quantile_of_view v 0.99)))
     (sorted_bindings timers);
   Buffer.contents buf

@@ -4,7 +4,14 @@
     Zero-cost-when-disabled: handles are registered once (module init) and
     every hot-path operation is a single flag load when the registry is off —
     no allocation, no formatting, no clock read. Enable with {!enable} or by
-    setting [WX_METRICS=1] in the environment. *)
+    setting [WX_METRICS=1] in the environment.
+
+    Domain-safe: counters and gauges are atomics (concurrent {!incr}/{!add}
+    from Wx_par worker domains never lose updates), and each histogram keeps
+    a lock-free per-domain shard, merged when read ({!snapshot},
+    {!quantile}, {!render}). Read and {!reset} after parallel sections have
+    joined; a snapshot raced against live workers is memory-safe but may
+    miss in-flight observations. *)
 
 val enable : unit -> unit
 val disable : unit -> unit

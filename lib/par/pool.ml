@@ -1,0 +1,98 @@
+(* Domain pool: chunked index-range stealing over stdlib Domain + Atomic.
+
+   Work distribution is dynamic (domains race on an atomic chunk cursor),
+   but the combine tree is static: per-chunk results land in a slot array
+   and the calling domain folds them in chunk order. Determinism therefore
+   never depends on which domain ran which chunk. *)
+
+let max_domains = 128
+
+let recommended_jobs () = max 1 (min max_domains (Domain.recommended_domain_count ()))
+
+let env_jobs () =
+  match Sys.getenv_opt "WX_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (min n max_domains)
+      | _ -> None)
+
+(* 0 = "unset": fall through to WX_JOBS, then the runtime's recommendation.
+   An Atomic so --jobs plumbing is safe even if set from a worker. *)
+let default = Atomic.make 0
+
+let default_jobs () =
+  match Atomic.get default with
+  | 0 -> ( match env_jobs () with Some n -> n | None -> recommended_jobs ())
+  | n -> n
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  Atomic.set default (min n max_domains)
+
+let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
+  if chunk < 1 then invalid_arg "Pool.parallel_reduce: chunk must be >= 1";
+  if n < 0 then invalid_arg "Pool.parallel_reduce: n must be >= 0";
+  if n = 0 then init
+  else begin
+    let nchunks = (n + chunk - 1) / chunk in
+    let jobs =
+      match jobs with
+      | Some j when j >= 1 -> min j max_domains
+      | Some _ -> invalid_arg "Pool.parallel_reduce: jobs must be >= 1"
+      | None -> default_jobs ()
+    in
+    let jobs = min jobs nchunks in
+    (* Left fold of [map] over one chunk's indices — the innermost loop of
+       every exact measure, so no per-index allocation beyond [map]'s own. *)
+    let chunk_result c =
+      let lo = c * chunk in
+      let hi = min n (lo + chunk) in
+      let acc = ref (map lo) in
+      for i = lo + 1 to hi - 1 do
+        acc := combine !acc (map i)
+      done;
+      !acc
+    in
+    if jobs <= 1 then begin
+      let acc = ref init in
+      for c = 0 to nchunks - 1 do
+        acc := combine !acc (chunk_result c)
+      done;
+      !acc
+    end
+    else begin
+      let results = Array.make nchunks None in
+      let cursor = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker () =
+        let continue_ = ref true in
+        while !continue_ do
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c >= nchunks || Atomic.get failure <> None then continue_ := false
+          else
+            match chunk_result c with
+            | r -> results.(c) <- Some r
+            | exception e ->
+                ignore (Atomic.compare_and_set failure None (Some e));
+                continue_ := false
+        done
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      (match Atomic.get failure with Some e -> raise e | None -> ());
+      (* All chunks completed (no failure), so every slot is filled; the
+         joins above publish the workers' writes to this domain. *)
+      let acc = ref init in
+      for c = 0 to nchunks - 1 do
+        match results.(c) with
+        | Some r -> acc := combine !acc r
+        | None -> assert false
+      done;
+      !acc
+    end
+  end
+
+let parallel_for ?jobs ?chunk ~n f =
+  parallel_reduce ?jobs ?chunk ~n ~init:() ~map:f ~combine:(fun () () -> ()) ()

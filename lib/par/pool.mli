@@ -1,0 +1,60 @@
+(** Stdlib-only domain pool for data-parallel reductions.
+
+    The exact expansion measures enumerate an exponential combination space;
+    this module lets them shard that space over OCaml 5 domains with nothing
+    beyond [Domain] and [Atomic] — no domainslib dependency.
+
+    {2 Execution model}
+
+    A call to {!parallel_reduce} splits the index range [0, n) into
+    fixed-size chunks. Worker domains (the caller plus [jobs - 1] spawned
+    domains) claim chunks by a single [Atomic.fetch_and_add] on a shared
+    cursor — cheap dynamic load balancing for irregular per-index work.
+    Each chunk is folded locally with [combine]; the per-chunk results are
+    stored into a slot array and finally folded {e in chunk order} by the
+    calling domain.
+
+    {2 Determinism}
+
+    Because chunk boundaries depend only on [n] and [chunk] (never on
+    [jobs] or on scheduling), and the final fold walks chunks in index
+    order, the result is a deterministic function of the inputs whenever
+    [combine] is associative with [init] as a neutral element. Callers that
+    need a canonical witness under ties (e.g. min-with-lexicographic-
+    tiebreak) get scheduling-independent answers at any job count,
+    including [jobs = 1].
+
+    Exceptions raised by [map]/[combine] in any worker cancel the
+    remaining chunks and are re-raised in the calling domain. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count], clamped to [1, 128]. *)
+
+val default_jobs : unit -> int
+(** The pool-wide default parallelism: the last value passed to
+    {!set_default_jobs} if any, else the [WX_JOBS] environment variable if
+    set to a positive integer, else {!recommended_jobs}. *)
+
+val set_default_jobs : int -> unit
+(** Override the default ([--jobs] plumbing). Raises [Invalid_argument] on
+    non-positive values; clamped to 128 (the runtime's domain ceiling). *)
+
+val parallel_reduce :
+  ?jobs:int ->
+  ?chunk:int ->
+  n:int ->
+  init:'a ->
+  map:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  unit ->
+  'a
+(** [parallel_reduce ~n ~init ~map ~combine ()] is
+    [fold_left combine init (List.map map [0; ...; n-1])] computed on
+    [jobs] domains (default {!default_jobs}) in chunks of [chunk]
+    (default 1) indices. Requires [combine] associative and [init]
+    neutral for a deterministic result; see the module preamble. *)
+
+val parallel_for : ?jobs:int -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~n f] runs [f i] for [i] in [0, n) across the pool.
+    Iterations must be independent; completion of all iterations
+    happens-before the return. *)

@@ -49,6 +49,25 @@ let iter_all_subsets n f =
     f mask
   done
 
+let iter_subsets_of_size_with_min n k a f =
+  if k < 1 || a < 0 || a >= n || a + k > n then ()
+  else if k = 1 then f [| a |]
+  else begin
+    (* Fix [a] in slot 0 and enumerate the remaining k-1 slots over the
+       suffix universe {a+1..n-1}, shifted back up on the way out. *)
+    let out = Array.make k a in
+    iter_subsets_of_size (n - a - 1) (k - 1) (fun idxs ->
+        for i = 0 to k - 2 do
+          out.(i + 1) <- idxs.(i) + a + 1
+        done;
+        f out)
+  end
+
+let iter_subsets_le_with_min n k a f =
+  for size = 1 to min k (n - a) do
+    iter_subsets_of_size_with_min n size a f
+  done
+
 let subsets_count_le n k =
   let acc = ref 0 in
   for size = 1 to min k n do

@@ -22,6 +22,23 @@ val iter_all_subsets : int -> (int -> unit) -> unit
 (** [iter_all_subsets n f] calls [f mask] for every [mask] in
     [0 .. 2^n - 1]. Requires [n <= 30]. *)
 
+(** {2 Sharded enumeration}
+
+    The parallel exact measures partition the subset space by smallest
+    element: the subsets with minimum [a] form an independent shard that one
+    domain can enumerate without coordination, and the shards for
+    [a = 0..n-1] cover every non-empty subset exactly once. *)
+
+val iter_subsets_of_size_with_min : int -> int -> int -> (int array -> unit) -> unit
+(** [iter_subsets_of_size_with_min n k a f] calls [f] on each size-[k]
+    subset of [0..n-1] whose smallest element is [a], in lexicographic
+    order. The array is reused between calls — copy it if you keep it.
+    No-op when the shard is empty ([a + k > n]). *)
+
+val iter_subsets_le_with_min : int -> int -> int -> (int array -> unit) -> unit
+(** Subsets with smallest element [a] of size 1 up to [k], by increasing
+    size. Same buffer-reuse caveat. *)
+
 val subsets_count_le : int -> int -> int
 (** Number of non-empty subsets of size at most [k] — used to refuse
     enumerations that would not terminate in reasonable time. *)

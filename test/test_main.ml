@@ -25,4 +25,5 @@ let () =
       ("certificate", Test_certificate.suite);
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
     ]

@@ -102,6 +102,30 @@ let test_work_limit () =
   | _ -> Alcotest.fail "expected Too_large"
   | exception Measure.Too_large _ -> ()
 
+(* Regressions for the work-guard overflow bugs: each of these used to
+   either escape as a bare [Combi.Overflow] or, with [1 lsl k] overflowing
+   at k >= 62, start an enumeration that would never finish. All must
+   reject promptly with the documented exception. *)
+let test_work_guard_overflow_is_too_large () =
+  let expect_too_large name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Too_large" name
+    | exception Measure.Too_large _ -> ()
+    | exception e -> Alcotest.failf "%s: expected Too_large, got %s" name (Printexc.to_string e)
+  in
+  (* Candidate-set count overflows the native int inside subsets_count_le. *)
+  expect_too_large "beta_exact n=200" (fun () -> Measure.beta_exact (Gen.cycle 200));
+  expect_too_large "profile_beta n=200" (fun () -> Measure.profile_beta (Gen.cycle 200));
+  (* Wireless work estimator: binomial overflow folds into infinite work. *)
+  expect_too_large "beta_w_exact n=200" (fun () -> Measure.beta_w_exact (Gen.cycle 200));
+  expect_too_large "profile_beta_w n=200" (fun () -> Measure.profile_beta_w (Gen.cycle 200));
+  (* kmax >= 62: the per-size factor 2^k no longer fits an int; the ldexp
+     estimator must still reject instead of silently passing the guard. *)
+  expect_too_large "beta_w_exact kmax=63" (fun () ->
+      Measure.beta_w_exact ~alpha:1.0 (Gen.cycle 63));
+  expect_too_large "profile_beta_w kmax=63" (fun () ->
+      Measure.profile_beta_w ~alpha:1.0 (Gen.cycle 63))
+
 let test_profile_beta () =
   let profile = Measure.profile_beta (Gen.cycle 10) in
   check_int "5 sizes" 5 (List.length profile);
@@ -183,6 +207,8 @@ let suite =
     Alcotest.test_case "sampled beta bounds exact" `Quick test_sampled_upper_bounds_exact;
     Alcotest.test_case "sampled beta_w bounds exact" `Quick test_beta_w_sampled_upper_bounds_exact;
     Alcotest.test_case "work limit" `Quick test_work_limit;
+    Alcotest.test_case "work guard overflow is Too_large" `Quick
+      test_work_guard_overflow_is_too_large;
     Alcotest.test_case "profile beta" `Quick test_profile_beta;
     Alcotest.test_case "bip max unique gbad" `Quick test_bip_exact_max_unique_gbad;
     Alcotest.test_case "bip ordinary exact" `Quick test_bip_ordinary_expansion_exact;

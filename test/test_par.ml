@@ -1,0 +1,229 @@
+(* The Wx_par domain pool and the determinism contract of the parallel
+   expansion measures: pool reductions must equal the sequential fold on
+   adversarial chunk geometries, exact measures must report byte-identical
+   values and witnesses at any job count, sampled measures must be a pure
+   function of the seed, and the metrics registry must not lose updates
+   under concurrent increments. *)
+
+module Pool = Wx_par.Pool
+module Measure = Wx_expansion.Measure
+module Metrics = Wx_obs.Metrics
+module Json = Wx_obs.Json
+module Gen = Wx_graph.Gen
+module Graph = Wx_graph.Graph
+module Bitset = Wx_util.Bitset
+module Rng = Wx_util.Rng
+open Common
+
+(* ---- pool semantics ---- *)
+
+let test_reduce_order_is_sequential () =
+  (* combine = list append with [] neutral: the result is exactly the index
+     sequence, so any reordering, dropped chunk or double-claimed chunk
+     shows up verbatim. Chunk sizes straddle every boundary case: unit,
+     non-dividing, equal to n, larger than n. *)
+  List.iter
+    (fun (n, chunk) ->
+      let expected = List.init n Fun.id in
+      List.iter
+        (fun jobs ->
+          let got =
+            Pool.parallel_reduce ~jobs ~chunk ~n ~init:[] ~map:(fun i -> [ i ])
+              ~combine:(fun a b -> a @ b) ()
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "n=%d chunk=%d jobs=%d" n chunk jobs)
+            expected got)
+        [ 1; 2; 3; 8 ])
+    [ (0, 1); (1, 1); (7, 1); (7, 3); (7, 7); (7, 100); (64, 5); (100, 1); (100, 17) ]
+
+let test_reduce_matches_fold () =
+  let n = 1000 in
+  let expected = n * (n - 1) / 2 in
+  List.iter
+    (fun (jobs, chunk) ->
+      check_int
+        (Printf.sprintf "sum jobs=%d chunk=%d" jobs chunk)
+        expected
+        (Pool.parallel_reduce ~jobs ~chunk ~n ~init:0 ~map:Fun.id ~combine:( + ) ()))
+    [ (1, 1); (2, 7); (8, 13); (4, 1000); (3, 999); (8, 1) ]
+
+let test_parallel_for_covers_each_index_once () =
+  let n = 257 in
+  let hits = Array.make n 0 in
+  Pool.parallel_for ~jobs:4 ~chunk:3 ~n (fun i -> hits.(i) <- hits.(i) + 1);
+  Array.iteri (fun i h -> check_int (Printf.sprintf "index %d" i) 1 h) hits
+
+let test_worker_exception_propagates () =
+  match
+    Pool.parallel_reduce ~jobs:4 ~n:100 ~init:0
+      ~map:(fun i -> if i = 57 then failwith "boom" else i)
+      ~combine:( + ) ()
+  with
+  | _ -> Alcotest.fail "expected the worker exception to re-raise"
+  | exception Failure m -> check_true "original exception" (m = "boom")
+
+(* ---- exact measures: values and witnesses identical at any job count ---- *)
+
+let exact_zoo () =
+  [
+    ("cycle-10", Gen.cycle 10);
+    ("grid-3x4", Gen.grid 3 4);
+    ("hypercube-3", Gen.hypercube 3);
+    ("gnp-11", Gen.gnp (rng ~salt:77 ()) 11 0.35);
+  ]
+
+let check_witnessed name (base : Measure.witnessed) (w : Measure.witnessed) =
+  check_float (name ^ " value") base.Measure.value w.Measure.value;
+  Alcotest.check bitset_testable (name ^ " witness") base.Measure.witness w.Measure.witness
+
+let test_exact_job_independent () =
+  List.iter
+    (fun (name, g) ->
+      let base_b = Measure.beta_exact ~jobs:1 g in
+      let base_u = Measure.beta_u_exact ~jobs:1 g in
+      let base_w = Measure.beta_w_exact ~jobs:1 g in
+      List.iter
+        (fun jobs ->
+          check_witnessed
+            (Printf.sprintf "%s beta jobs=%d" name jobs)
+            base_b (Measure.beta_exact ~jobs g);
+          check_witnessed
+            (Printf.sprintf "%s beta_u jobs=%d" name jobs)
+            base_u (Measure.beta_u_exact ~jobs g);
+          check_witnessed
+            (Printf.sprintf "%s beta_w jobs=%d" name jobs)
+            base_w (Measure.beta_w_exact ~jobs g))
+        [ 2; 8 ])
+    (exact_zoo ())
+
+let test_profiles_job_independent () =
+  List.iter
+    (fun (name, g) ->
+      let base = Measure.profile_beta ~jobs:1 g in
+      let base_w = Measure.profile_beta_w ~jobs:1 g in
+      List.iter
+        (fun jobs ->
+          check_true
+            (Printf.sprintf "%s profile jobs=%d" name jobs)
+            (Measure.profile_beta ~jobs g = base);
+          check_true
+            (Printf.sprintf "%s profile_w jobs=%d" name jobs)
+            (Measure.profile_beta_w ~jobs g = base_w))
+        [ 2; 8 ])
+    [ ("cycle-10", Gen.cycle 10); ("grid-3x3", Gen.grid 3 3) ]
+
+(* The parallel witness is canonical — the lexicographically smallest
+   minimiser — not merely consistent across job counts. On an even cycle
+   every arc of kmax vertices attains β; the tiebreak must pick {0..4}. *)
+let test_witness_is_lex_smallest () =
+  let w = Measure.beta_exact ~jobs:3 (Gen.cycle 10) in
+  check_true "lex-smallest arc" (Bitset.elements w.Measure.witness = [ 0; 1; 2; 3; 4 ])
+
+(* ---- sampled measures: pure function of the seed ---- *)
+
+let test_sampled_job_independent () =
+  let g = Gen.grid 4 5 in
+  (* 100 samples does not divide the 32-sample block, so the last block is
+     short — the partial-block path must not disturb determinism. *)
+  let run jobs =
+    let r = Rng.create 2024 in
+    Measure.beta_sampled ~jobs r ~samples:100 g
+  in
+  let base = run 1 in
+  List.iter (fun jobs -> check_witnessed (Printf.sprintf "beta jobs=%d" jobs) base (run jobs)) [ 2; 8 ];
+  let run_u jobs =
+    let r = Rng.create 55 in
+    Measure.beta_u_sampled ~jobs r ~samples:100 g
+  in
+  let base_u = run_u 1 in
+  List.iter
+    (fun jobs -> check_witnessed (Printf.sprintf "beta_u jobs=%d" jobs) base_u (run_u jobs))
+    [ 2; 8 ];
+  let run_w jobs =
+    let r = Rng.create 99 in
+    Measure.beta_w_sampled ~jobs r ~samples:48 g
+  in
+  let base_w = run_w 1 in
+  List.iter
+    (fun jobs -> check_witnessed (Printf.sprintf "beta_w jobs=%d" jobs) base_w (run_w jobs))
+    [ 2; 8 ]
+
+(* ---- sampled clamping (the k > 22 silent-discard bugfix) ---- *)
+
+let counter_value name snap =
+  match Json.member "counters" snap with
+  | Some cs -> ( match Json.member name cs with Some j -> Json.to_int_opt j | None -> None)
+  | None -> None
+
+let with_metrics f =
+  Metrics.enable ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.reset ();
+      Metrics.disable ())
+    f
+
+let test_sampled_clamp_counts_draws () =
+  with_metrics (fun () ->
+      (* kmax = 25 > 22, so some draws must clamp; a tight inner work limit
+         keeps the test fast (clamped draws then prune, small ones score). *)
+      let g = Gen.cycle 50 in
+      let r = Rng.create 7 in
+      let w = Measure.beta_w_sampled ~inner_work_limit:1024 r ~samples:200 g in
+      let snap = Metrics.snapshot () in
+      let get name = Option.value ~default:0 (counter_value name snap) in
+      check_int "every sample drawn" 200 (get "expansion.sampled_sets");
+      check_true "clamped draws counted" (get "expansion.sampled_clamped" > 0);
+      check_true "small draws still score" (Float.is_finite w.Measure.value);
+      check_true "witness non-empty" (not (Bitset.is_empty w.Measure.witness)))
+
+(* ---- metrics under concurrency ---- *)
+
+let test_counters_race_free () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test.par.counter" in
+      let tasks = 32 and per = 10_000 in
+      Pool.parallel_for ~jobs:8 ~n:tasks (fun _ ->
+          for _ = 1 to per do
+            Metrics.incr c
+          done);
+      check_int "no lost increments"
+        (tasks * per)
+        (Option.value ~default:(-1) (counter_value "test.par.counter" (Metrics.snapshot ()))))
+
+let test_histogram_shards_merge () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.par.hist" in
+      let tasks = 16 and per = 500 in
+      Pool.parallel_for ~jobs:4 ~n:tasks (fun _ ->
+          for _ = 1 to per do
+            Metrics.observe h 4.0
+          done);
+      let snap = Metrics.snapshot () in
+      let hj =
+        match Json.member "histograms" snap with
+        | Some hs -> Option.get (Json.member "test.par.hist" hs)
+        | None -> Alcotest.fail "no histograms section"
+      in
+      check_int "merged count" (tasks * per)
+        (Option.get (Json.to_int_opt (Option.get (Json.member "count" hj))));
+      check_float "merged sum"
+        (4.0 *. float_of_int (tasks * per))
+        (Option.get (Json.to_float_opt (Option.get (Json.member "sum" hj)))))
+
+let suite =
+  [
+    Alcotest.test_case "reduce preserves fold order" `Quick test_reduce_order_is_sequential;
+    Alcotest.test_case "reduce matches fold" `Quick test_reduce_matches_fold;
+    Alcotest.test_case "for covers every index once" `Quick test_parallel_for_covers_each_index_once;
+    Alcotest.test_case "worker exception propagates" `Quick test_worker_exception_propagates;
+    Alcotest.test_case "exact values+witnesses job-independent" `Quick test_exact_job_independent;
+    Alcotest.test_case "profiles job-independent" `Quick test_profiles_job_independent;
+    Alcotest.test_case "witness is lex-smallest" `Quick test_witness_is_lex_smallest;
+    Alcotest.test_case "sampled reproducible across jobs" `Quick test_sampled_job_independent;
+    Alcotest.test_case "sampled clamp counts draws" `Quick test_sampled_clamp_counts_draws;
+    Alcotest.test_case "counters race-free" `Quick test_counters_race_free;
+    Alcotest.test_case "histogram shards merge" `Quick test_histogram_shards_merge;
+  ]
