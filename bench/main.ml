@@ -7,118 +7,52 @@
    dune exec bench/main.exe -- --json       # also write BENCH_<timestamp>.json
    dune exec bench/main.exe -- --json out.json
    dune exec bench/main.exe -- --jobs 4     # worker domains for exact measures
+   dune exec bench/main.exe -- --repeats 3  # median-of-3 wall times in the report
 
    Every experiment prints one or more predicted-vs-measured tables; the
    mapping from experiment id to paper claim is in DESIGN.md §5, and the
    recorded outcomes live in EXPERIMENTS.md. Under --json the same runs
-   additionally emit a machine-readable report: one object per experiment
-   with its per-claim checks, wall time, and the wx_obs metrics snapshot
-   accumulated during that experiment. *)
+   additionally emit a machine-readable wx-bench/2 report (Wx_obs.Report):
+   per-experiment wall-time samples, per-claim checks, the wx_obs metrics
+   snapshot, and run provenance. The experiment zoo itself lives in the
+   wx_bench library (bench/runner.ml) so `wx bench record` shares it. *)
 
-open Bench_common
+module Runner = Wx_bench.Runner
+module Report = Wx_obs.Report
+module Metrics = Wx_obs.Metrics
 module Clock = Wx_obs.Clock
 module Pool = Wx_par.Pool
 
-let experiments : experiment list =
-  [
-    E01_relations.experiment;
-    E02_spectral.experiment;
-    E03_unique_tightness.experiment;
-    E04_gbad_wireless.experiment;
-    E05_core_graph.experiment;
-    E06_gen_core.experiment;
-    E07_positive.experiment;
-    E08_worst_case.experiment;
-    E09_spokesmen.experiment;
-    E10_appendix_ladder.experiment;
-    E11_broadcast.experiment;
-    E12_arboricity.experiment;
-    Ablations.experiment;
-  ]
-
-type outcome = {
-  exp : experiment;
-  wall_s : float;
-  checks : check_row list;
-  metrics : Json.t;  (** Null when metrics collection is off *)
-}
-
-let experiment_timer = Metrics.timer "bench.experiment"
-
-let run_one ~quick ~collect e =
-  section e;
-  if collect then Metrics.reset ();
-  ignore (take_recorded ());
-  let t0 = Clock.now_ns () in
-  Metrics.time experiment_timer (fun () -> e.run ~quick);
-  let wall_s = Clock.ns_to_s (Clock.now_ns () - t0) in
-  Printf.printf "  [%s finished in %.1fs]\n" e.id wall_s;
-  let checks = take_recorded () in
-  let metrics = if collect then Metrics.snapshot () else Json.Null in
-  { exp = e; wall_s; checks; metrics }
-
-let outcome_json o =
-  let holds = List.length (List.filter (fun (c : check_row) -> c.holds) o.checks) in
-  Json.Obj
-    [
-      ("id", Json.String o.exp.id);
-      ("title", Json.String o.exp.title);
-      ("claim", Json.String o.exp.claim);
-      ("wall_s", Json.Float o.wall_s);
-      ("holds", Json.Int holds);
-      ("total", Json.Int (List.length o.checks));
-      ("checks", Json.List (List.map row_json o.checks));
-      ("metrics", o.metrics);
-    ]
-
-let write_report ~path ~quick outcomes =
-  let doc =
-    Json.Obj
-      [
-        ("schema", Json.String "wx-bench/1");
-        ("generated", Json.String (Clock.timestamp ()));
-        ("seed", Json.Int seed);
-        ("quick", Json.Bool quick);
-        ("jobs", Json.Int (Pool.default_jobs ()));
-        ("experiments", Json.List (List.map outcome_json outcomes));
-      ]
-  in
-  let oc = open_out path in
-  output_string oc (Json.to_string_pretty doc);
-  output_char oc '\n';
-  close_out oc;
+let write_report ~path ~quick ~repeats outcomes =
+  Report.save path (Runner.report ~quick ~repeats outcomes);
   Printf.printf "\nwrote %s\n" path
 
 let list_experiments () =
-  List.iter (fun e -> Printf.printf "%-9s %-55s %s\n" e.id e.title e.claim) experiments
+  List.iter
+    (fun (e : Wx_bench.Bench_common.experiment) ->
+      Printf.printf "%-9s %-55s %s\n" e.id e.title e.claim)
+    Runner.experiments
 
-let main experiment_id quick listing skip_micro json jobs =
+let main experiment_id quick listing skip_micro json jobs repeats =
   (match jobs with Some n -> Pool.set_default_jobs n | None -> ());
-  Printf.printf "wireless-expanders experiment harness (seed %d, jobs %d)\n" seed
-    (Pool.default_jobs ());
+  Printf.printf "wireless-expanders experiment harness (seed %d, jobs %d)\n"
+    Wx_bench.Bench_common.seed (Pool.default_jobs ());
   if listing then (list_experiments (); 0)
   else begin
     let collect = json <> None in
     if collect then Metrics.enable ();
-    let finish outcomes =
-      (match json with
-      | Some "" -> write_report ~path:("BENCH_" ^ Clock.timestamp () ^ ".json") ~quick outcomes
-      | Some path -> write_report ~path ~quick outcomes
-      | None -> ());
-      0
-    in
-    match experiment_id with
-    | Some id -> begin
-        match List.find_opt (fun e -> e.id = id) experiments with
-        | Some e -> finish [ run_one ~quick ~collect e ]
-        | None ->
-            Printf.eprintf "unknown experiment %S; try --list\n" id;
-            1
-      end
-    | None ->
-        let outcomes = List.map (run_one ~quick ~collect) experiments in
-        if not skip_micro then Micro.run ();
-        finish outcomes
+    match Runner.run ?only:experiment_id ~repeats ~quick ~collect () with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        1
+    | Ok outcomes ->
+        if experiment_id = None && not skip_micro then Micro.run ();
+        (match json with
+        | Some "" ->
+            write_report ~path:("BENCH_" ^ Clock.timestamp () ^ ".json") ~quick ~repeats outcomes
+        | Some path -> write_report ~path ~quick ~repeats outcomes
+        | None -> ());
+        0
   end
 
 open Cmdliner
@@ -141,7 +75,7 @@ let skip_micro_arg =
 
 let json_arg =
   let doc =
-    "Write a machine-readable report to $(docv) (default: BENCH_<timestamp>.json). \
+    "Write a machine-readable wx-bench/2 report to $(docv) (default: BENCH_<timestamp>.json). \
      Enables metrics collection for the run."
   in
   Arg.(value & opt ~vopt:(Some "") (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
@@ -154,11 +88,19 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let repeats_arg =
+  let doc =
+    "Run every experiment $(docv) times; the report records all wall-time samples and \
+     `wx bench diff` compares medians against the spread."
+  in
+  Arg.(value & opt int 1 & info [ "repeats"; "r" ] ~docv:"K" ~doc)
+
 let cmd =
   let doc = "Reproduce every quantitative claim of 'Wireless Expanders' (SPAA 2018)" in
   let info = Cmd.info "wireless-expanders-bench" ~doc in
   Cmd.v info
     Term.(
-      const main $ experiment_arg $ quick_arg $ list_arg $ skip_micro_arg $ json_arg $ jobs_arg)
+      const main $ experiment_arg $ quick_arg $ list_arg $ skip_micro_arg $ json_arg $ jobs_arg
+      $ repeats_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,98 @@
+(* Experiment registry and repeat-aware runner.
+
+   This used to live inside bench/main.ml, which made the experiment zoo
+   reachable only through one executable; as a library module, `wx bench
+   record` can regenerate the committed baseline and CI can rerun the exact
+   same code path. Each experiment runs [repeats] times (median-of-k is
+   what the regression gate compares), with checks drained after every
+   repeat so only one copy lands in the report. *)
+
+open Bench_common
+module Clock = Wx_obs.Clock
+module Pool = Wx_par.Pool
+module Report = Wx_obs.Report
+
+let experiments : experiment list =
+  [
+    E01_relations.experiment;
+    E02_spectral.experiment;
+    E03_unique_tightness.experiment;
+    E04_gbad_wireless.experiment;
+    E05_core_graph.experiment;
+    E06_gen_core.experiment;
+    E07_positive.experiment;
+    E08_worst_case.experiment;
+    E09_spokesmen.experiment;
+    E10_appendix_ladder.experiment;
+    E11_broadcast.experiment;
+    E12_arboricity.experiment;
+    Ablations.experiment;
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) experiments
+
+type outcome = {
+  exp : experiment;
+  wall_s : float list;  (** one sample per repeat, in run order *)
+  checks : check_row list;
+  metrics : Json.t;  (** Null when metrics collection is off *)
+}
+
+(* Testing hook for the regression gate itself: WX_BENCH_HANDICAP_MS adds a
+   fixed sleep to every experiment repeat, so "wx bench diff detects an
+   injected slowdown" is checkable without de-optimizing real code. *)
+let handicap_s () =
+  match Sys.getenv_opt "WX_BENCH_HANDICAP_MS" with
+  | None -> 0.0
+  | Some s -> ( match float_of_string_opt s with Some ms when ms > 0.0 -> ms /. 1e3 | _ -> 0.0)
+
+let experiment_timer = Metrics.timer "bench.experiment"
+
+let run_one ?(repeats = 1) ~quick ~collect e =
+  section e;
+  if collect then Metrics.reset ();
+  let repeats = max 1 repeats in
+  let handicap = handicap_s () in
+  let wall_rev = ref [] and last_checks = ref [] in
+  for rep = 1 to repeats do
+    ignore (take_recorded ());
+    let t0 = Clock.now_ns () in
+    Metrics.time experiment_timer (fun () -> e.run ~quick);
+    if handicap > 0.0 then Unix.sleepf handicap;
+    let wall_s = Clock.ns_to_s (Clock.now_ns () - t0) in
+    wall_rev := wall_s :: !wall_rev;
+    (* Every repeat records the same checks; keep the latest drain. *)
+    last_checks := take_recorded ();
+    if repeats > 1 then Printf.printf "  [%s repeat %d/%d: %.1fs]\n" e.id rep repeats wall_s
+    else Printf.printf "  [%s finished in %.1fs]\n" e.id wall_s
+  done;
+  let metrics = if collect then Metrics.snapshot () else Json.Null in
+  { exp = e; wall_s = List.rev !wall_rev; checks = !last_checks; metrics }
+
+let entry_of_outcome o : Report.entry
+    =
+  let holds = List.length (List.filter (fun (c : check_row) -> c.holds) o.checks) in
+  {
+    Report.id = o.exp.id;
+    title = o.exp.title;
+    claim = o.exp.claim;
+    wall_s = o.wall_s;
+    holds;
+    total = List.length o.checks;
+    checks = Json.List (List.map row_json o.checks);
+    metrics = o.metrics;
+  }
+
+let report ~quick ~repeats outcomes =
+  Report.make ~seed ~quick ~jobs:(Pool.default_jobs ()) ~repeats
+    (List.map entry_of_outcome outcomes)
+
+(* Run the whole zoo (or one experiment) and build the report in one step;
+   [Error] names an unknown experiment id. *)
+let run ?only ?(repeats = 1) ~quick ~collect () =
+  match only with
+  | Some id -> (
+      match find id with
+      | Some e -> Ok [ run_one ~repeats ~quick ~collect e ]
+      | None -> Error (Printf.sprintf "unknown experiment %S; try --list" id))
+  | None -> Ok (List.map (run_one ~repeats ~quick ~collect) experiments)

@@ -7,11 +7,17 @@
      wx broadcast <family> <size> [--protocol p] [--seeds k]
      wx core      <s>                          core-graph property report
      wx arboricity <family> <size>             exact (flow) vs bounds
+     wx bench record [--out F] [--repeats K]   run the experiment zoo, write
+                                               a wx-bench/2 report (baseline)
+     wx bench diff OLD.json NEW.json           noise-aware regression gate
+     wx prof [--out F] -- <subcommand> ...     run under Chrome tracing,
+                                               print the hottest spans
 
-   Every subcommand takes --json (machine-readable NDJSON events on stdout,
-   human text on stderr), --metrics (collect the Wx_obs registry and
-   report it at exit; also enabled by WX_METRICS=1) and --jobs N (worker
-   domains for the parallel expansion measures; WX_JOBS sets the default).
+   Every measurement subcommand takes --json (machine-readable NDJSON
+   events on stdout, human text on stderr), --metrics (collect the Wx_obs
+   registry and report it at exit; also enabled by WX_METRICS=1) and
+   --jobs N (worker domains for the parallel expansion measures; WX_JOBS
+   sets the default).
 
    Families are the names from Constructions.Families (cycle, grid, torus,
    hypercube, random-4-regular, margulis, ...), plus "cplus" and "chain". *)
@@ -76,13 +82,26 @@ let obs_finish obs =
     end
   end
 
+(* The NDJSON sink batches writes and flushes from an at_exit hook; convert
+   the two interruption signals into a clean [exit] so that hook runs and a
+   ^C'd --json stream still ends on a complete line. *)
+let exit_cleanly_on_signals () =
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle (fun n -> exit (128 + n)))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
 (* Shared wrapper: set the parallelism level, enable instruments, run the
    command under a root span, then flush the requested reports. *)
 let run_cmd name json metrics jobs f =
   (match jobs with Some n -> Par.Pool.set_default_jobs n | None -> ());
   let obs = { json; metrics } in
   if json || metrics then Obs.Metrics.enable ();
-  if json then Obs.Sink.install (Obs.Sink.make ~fmt:Obs.Sink.Ndjson stdout);
+  if json then begin
+    Obs.Sink.install (Obs.Sink.make ~fmt:Obs.Sink.Ndjson stdout);
+    exit_cleanly_on_signals ()
+  end;
   let code = Obs.Span.with_ ~name:("wx." ^ name) (fun () -> f obs) in
   obs_finish obs;
   code
@@ -412,6 +431,149 @@ let cmd_verify_paper obs quick seed =
     ];
   if failures = [] then 0 else 1
 
+(* ---- bench record / diff ---- *)
+
+module Report = Obs.Report
+
+let cmd_bench_record obs quick repeats only out =
+  (* Metrics always on: the report embeds per-experiment snapshots. *)
+  Obs.Metrics.enable ();
+  match Wx_bench.Runner.run ?only ~repeats ~quick ~collect:true () with
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+  | Ok outcomes ->
+      let r = Wx_bench.Runner.report ~quick ~repeats outcomes in
+      Report.save out r;
+      say obs "\nwrote %s (%d experiments, %d repeat%s, jobs %d, quick %b)\n" out
+        (List.length r.Report.entries)
+        repeats
+        (if repeats = 1 then "" else "s")
+        r.Report.jobs quick;
+      event obs "bench.recorded"
+        [
+          ("path", J.String out);
+          ("experiments", J.Int (List.length r.Report.entries));
+          ("repeats", J.Int repeats);
+          ("jobs", J.Int r.Report.jobs);
+          ("quick", J.Bool quick);
+        ];
+      0
+
+let provenance_line (r : Report.t) =
+  Printf.sprintf "%s (seed %d, jobs %d, repeats %d, quick %b%s)" r.Report.generated
+    r.Report.seed r.Report.jobs r.Report.repeats r.Report.quick
+    (match List.assoc_opt "git_commit" r.Report.provenance with
+    | Some c when c <> "unknown" ->
+        ", commit " ^ String.sub c 0 (min 12 (String.length c))
+    | _ -> "")
+
+(* Exit codes: 0 clean (or --soft), 1 regression, 2 malformed/unreadable
+   report — so CI can treat "slower" and "not a report" differently. *)
+let cmd_bench_diff obs tolerance min_wall soft old_path new_path =
+  match (Report.load old_path, Report.load new_path) with
+  | Error m, _ | _, Error m ->
+      Printf.eprintf "bench diff: malformed report: %s\n" m;
+      2
+  | Ok old_, Ok new_ ->
+      say obs "old: %s\nnew: %s\n" (provenance_line old_) (provenance_line new_);
+      List.iter
+        (fun w -> Printf.eprintf "warning: %s\n" w)
+        (Report.compat_warnings ~old_ ~new_);
+      let deltas = Report.diff ~tolerance ~min_wall_s:min_wall ~old_ ~new_ () in
+      let t = T.create [ "experiment"; "old median (s)"; "new median (s)"; "ratio"; "verdict" ] in
+      List.iter
+        (fun (d : Report.delta) ->
+          T.add_row t
+            [
+              d.Report.d_id;
+              T.ff ~dec:3 d.Report.old_median;
+              T.ff ~dec:3 d.Report.new_median;
+              T.ff ~dec:2 d.Report.ratio;
+              (Report.verdict_name d.Report.verdict
+              ^ if d.Report.note = "" then "" else " (" ^ d.Report.note ^ ")");
+            ];
+          event obs "bench.delta"
+            [
+              ("id", J.String d.Report.d_id);
+              ("verdict", J.String (Report.verdict_name d.Report.verdict));
+              ("old_median_s", J.Float d.Report.old_median);
+              ("new_median_s", J.Float d.Report.new_median);
+              ("ratio", J.Float d.Report.ratio);
+            ])
+        deltas;
+      say obs "%s" (T.render t);
+      let regs = Report.regressions deltas in
+      if regs = [] then begin
+        say obs "no regressions (tolerance %.0f%%, floor %.0fms)\n" (100.0 *. tolerance)
+          (1e3 *. min_wall);
+        0
+      end
+      else begin
+        Printf.eprintf "%d experiment%s regressed: %s\n" (List.length regs)
+          (if List.length regs = 1 then "" else "s")
+          (String.concat ", " (List.map (fun (d : Report.delta) -> d.Report.d_id) regs));
+        if soft then begin
+          Printf.eprintf "(--soft: reporting only, not failing)\n";
+          0
+        end
+        else 1
+      end
+
+(* ---- prof ---- *)
+
+(* Flattened hottest-spans view: self time (time in the span outside any
+   recorded child) is what ranks, since child time ranks on its own row. *)
+let hottest_spans () =
+  let rows = ref [] in
+  let rec go prefix (s : Obs.Span.t) =
+    let path = if prefix = "" then s.Obs.Span.name else prefix ^ "/" ^ s.Obs.Span.name in
+    rows := (path, s.Obs.Span.calls, s.Obs.Span.dur_ns, Obs.Span.self_ns s) :: !rows;
+    List.iter (go path) (Obs.Span.children s)
+  in
+  List.iter (go "") (Obs.Span.root_spans ());
+  List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) !rows
+
+let print_hottest ~top =
+  let rows = hottest_spans () in
+  let total_ns =
+    List.fold_left (fun acc s -> acc + s.Obs.Span.dur_ns) 0 (Obs.Span.root_spans ())
+  in
+  let t = T.create [ "span"; "calls"; "total (ms)"; "self (ms)"; "self %" ] in
+  List.iteri
+    (fun i (path, calls, dur, self) ->
+      if i < top then
+        T.add_row t
+          [
+            path;
+            T.fi calls;
+            T.ff ~dec:3 (Obs.Clock.ns_to_ms dur);
+            T.ff ~dec:3 (Obs.Clock.ns_to_ms self);
+            (if total_ns = 0 then "-"
+             else Printf.sprintf "%.1f%%" (100.0 *. float_of_int self /. float_of_int total_ns));
+          ])
+    rows;
+  Printf.printf "\n-- hottest spans (top %d of %d, by self time) --\n" (min top (List.length rows))
+    (List.length rows);
+  T.print t
+
+let cmd_prof out top rest inner_group =
+  match rest with
+  | [] ->
+      Printf.eprintf
+        "usage: wx prof [--out FILE] [--top K] -- <subcommand> [args]\n\
+         (the '--' keeps the inner command's own flags out of prof's)\n";
+      2
+  | _ ->
+      Obs.Metrics.enable ();
+      Obs.Trace_export.enable ();
+      let argv = Array.of_list ("wx" :: rest) in
+      let code = Cmdliner.Cmd.eval' ~argv inner_group in
+      Obs.Trace_export.write out;
+      print_hottest ~top;
+      Printf.printf "\nwrote %s (load in chrome://tracing or ui.perfetto.dev)\n" out;
+      code
+
 (* ---- cmdliner wiring ---- *)
 
 open Cmdliner
@@ -503,12 +665,87 @@ let arboricity_cmd =
        Term.(const (fun family size seed obs -> cmd_arboricity obs family size seed)
              $ family_arg $ size_arg $ seed_arg))
 
+(* ---- bench / prof wiring ---- *)
+
+let bench_record_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Shrunken parameter grids.") in
+  let repeats =
+    Arg.(value & opt int 3
+         & info [ "repeats"; "r" ] ~docv:"K"
+             ~doc:"Wall-time samples per experiment (median-of-K is what diff compares).")
+  in
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "e"; "experiment" ] ~docv:"ID" ~doc:"Record a single experiment.")
+  in
+  let out =
+    Arg.(value & opt string "bench/baseline.json"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Report destination.")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run the experiment zoo and write a wx-bench/2 report (the committed baseline)")
+    (with_obs "bench.record"
+       Term.(const (fun quick repeats only out obs -> cmd_bench_record obs quick repeats only out)
+             $ quick $ repeats $ only $ out))
+
+let bench_diff_cmd =
+  let tolerance =
+    Arg.(value & opt float Obs.Report.default_tolerance
+         & info [ "tolerance"; "t" ] ~docv:"FRAC"
+             ~doc:"Relative median change needed to call a regression (default 0.25).")
+  in
+  let min_wall =
+    Arg.(value & opt float Obs.Report.default_min_wall_s
+         & info [ "min-wall" ] ~docv:"SECONDS"
+             ~doc:"Experiments with both medians under this floor are always within noise.")
+  in
+  let soft =
+    Arg.(value & flag
+         & info [ "soft" ]
+             ~doc:"Report regressions but exit 0 (CI soft gate); malformed reports still exit 2.")
+  in
+  let old_path = Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json") in
+  let new_path = Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json") in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two wx-bench reports; exit 1 on a regression, 2 on a malformed report")
+    (with_obs "bench.diff"
+       Term.(const (fun tolerance min_wall soft o n obs -> cmd_bench_diff obs tolerance min_wall soft o n)
+             $ tolerance $ min_wall $ soft $ old_path $ new_path))
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Performance-trajectory tools: record baselines, diff reports")
+    [ bench_record_cmd; bench_diff_cmd ]
+
+let base_cmds =
+  [
+    info_cmd; expansion_cmd; spokesmen_cmd; broadcast_cmd; core_cmd; arboricity_cmd;
+    schedule_cmd; verify_paper_cmd; dot_cmd;
+  ]
+
+let prof_cmd =
+  let out =
+    Arg.(value & opt string "wx-trace.json"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Chrome trace-event destination.")
+  in
+  let top =
+    Arg.(value & opt int 12
+         & info [ "top"; "k" ] ~docv:"K" ~doc:"Rows in the hottest-spans table.")
+  in
+  let rest =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"SUBCOMMAND"
+             ~doc:"Inner wx invocation; put it after '--' so its flags reach it, e.g. \
+                   $(b,wx prof -- expansion hypercube 16 --jobs 4).")
+  in
+  let inner_group = Cmd.group (Cmd.info "wx" ~doc:"(under wx prof)") base_cmds in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:"Run a wx subcommand under Chrome tracing; write the trace and the hottest spans")
+    Term.(const (fun out top rest -> cmd_prof out top rest inner_group) $ out $ top $ rest)
+
 let () =
   let doc = "wireless-expanders command-line tool" in
-  exit
-    (Cmd.eval'
-       (Cmd.group (Cmd.info "wx" ~doc)
-          [
-            info_cmd; expansion_cmd; spokesmen_cmd; broadcast_cmd; core_cmd; arboricity_cmd;
-            schedule_cmd; verify_paper_cmd; dot_cmd;
-          ]))
+  exit (Cmd.eval' (Cmd.group (Cmd.info "wx" ~doc) (base_cmds @ [ bench_cmd; prof_cmd ])))

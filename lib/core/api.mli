@@ -85,6 +85,8 @@ module Obs : sig
   module Metrics = Wx_obs.Metrics
   module Span = Wx_obs.Span
   module Sink = Wx_obs.Sink
+  module Report = Wx_obs.Report
+  module Trace_export = Wx_obs.Trace_export
 end
 
 module Par : sig

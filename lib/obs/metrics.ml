@@ -146,6 +146,10 @@ let stop t stamp =
   if stamp <> 0 && Atomic.get enabled then
     observe_always t.hist (float_of_int (Clock.now_ns () - stamp))
 
+(* For callers that already hold a duration (the domain pool times chunks
+   with raw clock reads shared with the trace exporter). *)
+let observe_ns t ns = if Atomic.get enabled then observe_always t.hist (float_of_int (max 0 ns))
+
 let time t f =
   if Atomic.get enabled then begin
     let stamp = Clock.now_ns () in
@@ -289,6 +293,10 @@ let snapshot () =
       ("timers", Json.Obj ts);
     ]
 
+(* NaN is what {!quantile} and min/max of an empty view legitimately return;
+   human-facing renderings print "-" for it instead of leaking "nan". *)
+let fg x = if Float.is_nan x then "-" else Printf.sprintf "%.3g" x
+
 let render () =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "-- metrics --\n";
@@ -300,14 +308,17 @@ let render () =
   List.iter
     (fun (k, g) ->
       if Atomic.get g.g_set then
-        Buffer.add_string buf (Printf.sprintf "  %-44s %g\n" k (Atomic.get g.value)))
+        Buffer.add_string buf (Printf.sprintf "  %-44s %s\n" k (fg (Atomic.get g.value))))
     (sorted_bindings gauges);
   let render_h k v =
     if v.v_count <> 0 then
       Buffer.add_string buf
-        (Printf.sprintf "  %-44s n=%d sum=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g\n" k v.v_count
-           v.v_sum (quantile_of_view v 0.50) (quantile_of_view v 0.90) (quantile_of_view v 0.99)
-           v.v_max)
+        (Printf.sprintf "  %-44s n=%d sum=%s p50=%s p90=%s p99=%s max=%s\n" k v.v_count
+           (fg v.v_sum)
+           (fg (quantile_of_view v 0.50))
+           (fg (quantile_of_view v 0.90))
+           (fg (quantile_of_view v 0.99))
+           (fg v.v_max))
   in
   List.iter (fun (k, h) -> render_h k (merged h)) (sorted_bindings histograms);
   List.iter
@@ -315,7 +326,9 @@ let render () =
       let v = merged t.hist in
       if v.v_count <> 0 then
         Buffer.add_string buf
-          (Printf.sprintf "  %-44s n=%d total=%.2fms p50=%.3gns p99=%.3gns\n" k v.v_count
-             (v.v_sum /. 1e6) (quantile_of_view v 0.50) (quantile_of_view v 0.99)))
+          (Printf.sprintf "  %-44s n=%d total=%.2fms p50=%sns p99=%sns\n" k v.v_count
+             (v.v_sum /. 1e6)
+             (fg (quantile_of_view v 0.50))
+             (fg (quantile_of_view v 0.99))))
     (sorted_bindings timers);
   Buffer.contents buf

@@ -47,6 +47,10 @@ val start : unit -> int
 val stop : timer -> int -> unit
 (** Record the ns elapsed since [start]'s stamp; no-op on a 0 stamp. *)
 
+val observe_ns : timer -> int -> unit
+(** Record an already-measured duration in nanoseconds (clamped to 0); for
+    callers sharing raw clock reads with the trace exporter. *)
+
 val time : timer -> (unit -> 'a) -> 'a
 (** Time a closure (exception-safe); calls it untimed while disabled. *)
 

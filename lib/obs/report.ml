@@ -1,0 +1,317 @@
+(* Versioned bench reports ("wx-bench/2") and the noise-aware diff between
+   two of them.
+
+   The wx-bench/1 reports of earlier runs recorded one wall time per
+   experiment and no provenance, so a number could never be traced back to
+   a commit, a host, or a job count — and a single sample gives a diff no
+   way to tell regression from scheduler noise. Schema 2 records the full
+   sample list (one wall time per repeat) plus provenance, and the diff
+   only calls "regression" when the medians moved beyond a relative
+   tolerance AND the two sample ranges do not overlap — both conditions, so
+   neither a noisy single sample nor a tiny absolute wobble on a fast
+   experiment can fail a gate on its own.
+
+   [of_json] still accepts wx-bench/1 (its scalar wall_s becomes a
+   one-sample list), so historical reports remain diffable. *)
+
+let schema = "wx-bench/2"
+let schema_v1 = "wx-bench/1"
+
+type entry = {
+  id : string;
+  title : string;
+  claim : string;
+  wall_s : float list;  (* one sample per repeat, in run order; non-empty *)
+  holds : int;
+  total : int;
+  checks : Json.t;  (* opaque per-check rows, passed through verbatim *)
+  metrics : Json.t;  (* opaque snapshot, Null when collection was off *)
+}
+
+type t = {
+  generated : string;
+  seed : int;
+  quick : bool;
+  jobs : int;
+  repeats : int;
+  provenance : (string * string) list;
+  entries : entry list;
+}
+
+(* ---- stats ---- *)
+
+let median = function
+  | [] -> Float.nan
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let min_sample xs = List.fold_left Float.min infinity xs
+let max_sample xs = List.fold_left Float.max neg_infinity xs
+
+(* ---- provenance ---- *)
+
+let read_first_line cmd =
+  match Unix.open_process_in cmd with
+  | ic ->
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      let status = Unix.close_process_in ic in
+      (match status with Unix.WEXITED 0 when line <> "" -> Some line | _ -> None)
+  | exception _ -> None
+
+let git_commit () =
+  match read_first_line "git rev-parse HEAD 2>/dev/null" with
+  | None -> "unknown"
+  | Some c -> (
+      match read_first_line "git status --porcelain 2>/dev/null" with
+      | Some _ -> c ^ "+dirty"
+      | None -> c)
+
+let capture_provenance () =
+  [
+    ("git_commit", git_commit ());
+    ("hostname", (try Unix.gethostname () with _ -> "unknown"));
+    ("os", Sys.os_type);
+    ("ocaml", Sys.ocaml_version);
+    ("word_size", string_of_int Sys.word_size);
+  ]
+
+let make ?(provenance = capture_provenance ()) ~seed ~quick ~jobs ~repeats entries =
+  { generated = Clock.timestamp (); seed; quick; jobs; repeats; provenance; entries }
+
+(* ---- JSON codec ---- *)
+
+let entry_json e =
+  Json.Obj
+    [
+      ("id", Json.String e.id);
+      ("title", Json.String e.title);
+      ("claim", Json.String e.claim);
+      ("wall_s", Json.List (List.map (fun x -> Json.Float x) e.wall_s));
+      (* Derived, for humans reading the file; [of_json] recomputes. *)
+      ("wall_median_s", Json.Float (median e.wall_s));
+      ("wall_min_s", Json.Float (min_sample e.wall_s));
+      ("wall_max_s", Json.Float (max_sample e.wall_s));
+      ("holds", Json.Int e.holds);
+      ("total", Json.Int e.total);
+      ("checks", e.checks);
+      ("metrics", e.metrics);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("generated", Json.String t.generated);
+      ("seed", Json.Int t.seed);
+      ("quick", Json.Bool t.quick);
+      ("jobs", Json.Int t.jobs);
+      ("repeats", Json.Int t.repeats);
+      ("provenance", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.provenance));
+      ("experiments", Json.List (List.map entry_json t.entries));
+    ]
+
+(* Decoding is defensive end to end: a bench gate must distinguish "slower"
+   from "not a report at all", so every missing or mistyped field becomes
+   an [Error] naming the field rather than an exception. *)
+
+let field name j = match Json.member name j with Some v -> Ok v | None -> Error ("missing " ^ name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let as_string name j =
+  match Json.to_string_opt j with Some s -> Ok s | None -> Error (name ^ " is not a string")
+
+let as_int name j =
+  match Json.to_int_opt j with Some i -> Ok i | None -> Error (name ^ " is not an int")
+
+let as_bool name j =
+  match Json.to_bool_opt j with Some b -> Ok b | None -> Error (name ^ " is not a bool")
+
+let str_field name j =
+  let* v = field name j in
+  as_string name v
+
+let int_field name j =
+  let* v = field name j in
+  as_int name v
+
+let entry_of_json ~v1 j =
+  let* id = str_field "id" j in
+  let* title = str_field "title" j in
+  let* claim = str_field "claim" j in
+  let* wall_s =
+    let* w = field "wall_s" j in
+    if v1 then
+      match Json.to_float_opt w with
+      | Some x -> Ok [ x ]
+      | None -> Error "wall_s is not a number"
+    else
+      match Json.to_list_opt w with
+      | Some (_ :: _ as xs) ->
+          let rec conv acc = function
+            | [] -> Ok (List.rev acc)
+            | x :: rest -> (
+                match Json.to_float_opt x with
+                | Some f -> conv (f :: acc) rest
+                | None -> Error "wall_s sample is not a number")
+          in
+          conv [] xs
+      | Some [] -> Error "wall_s is empty"
+      | None -> Error "wall_s is not a list"
+  in
+  let* holds = int_field "holds" j in
+  let* total = int_field "total" j in
+  let checks = Option.value ~default:(Json.List []) (Json.member "checks" j) in
+  let metrics = Option.value ~default:Json.Null (Json.member "metrics" j) in
+  Ok { id; title; claim; wall_s; holds; total; checks; metrics }
+
+let of_json j =
+  let* s = str_field "schema" j in
+  let* v1 =
+    if s = schema then Ok false
+    else if s = schema_v1 then Ok true
+    else Error (Printf.sprintf "unsupported schema %S (want %s or %s)" s schema schema_v1)
+  in
+  let* generated = str_field "generated" j in
+  let* seed = int_field "seed" j in
+  let* quick =
+    let* q = field "quick" j in
+    as_bool "quick" q
+  in
+  let* jobs = int_field "jobs" j in
+  let* repeats = if v1 then Ok 1 else int_field "repeats" j in
+  let provenance =
+    match Json.member "provenance" j with
+    | Some (Json.Obj kvs) ->
+        List.filter_map (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_string_opt v)) kvs
+    | _ -> []
+  in
+  let* entries =
+    let* exps = field "experiments" j in
+    match Json.to_list_opt exps with
+    | None -> Error "experiments is not a list"
+    | Some xs ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | x :: rest -> (
+              match entry_of_json ~v1 x with
+              | Ok e -> conv (e :: acc) rest
+              | Error m -> Error ("experiment entry: " ^ m))
+        in
+        conv [] xs
+  in
+  Ok { generated; seed; quick; jobs; repeats; provenance; entries }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | raw -> (
+      match Json.of_string raw with
+      | exception Json.Parse_error m -> Error (Printf.sprintf "%s: %s" path m)
+      | j -> ( match of_json j with Ok t -> Ok t | Error m -> Error (Printf.sprintf "%s: %s" path m)))
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+(* ---- diff ---- *)
+
+type verdict = Regression | Improvement | Within_noise | Added | Removed
+
+let verdict_name = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Within_noise -> "within noise"
+  | Added -> "added"
+  | Removed -> "removed"
+
+type delta = {
+  d_id : string;
+  verdict : verdict;
+  old_median : float;  (* nan when [Added] *)
+  new_median : float;  (* nan when [Removed] *)
+  ratio : float;  (* new/old medians; nan when not comparable *)
+  note : string;
+}
+
+let default_tolerance = 0.25
+let default_min_wall_s = 0.05
+
+let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s) ~old_ ~new_ () =
+  let find t id = List.find_opt (fun e -> e.id = id) t.entries in
+  let compare_one oe ne =
+    let om = median oe.wall_s and nm = median ne.wall_s in
+    let ratio = nm /. om in
+    let checks_note =
+      if (ne.holds, ne.total) <> (oe.holds, oe.total) then
+        Printf.sprintf " checks %d/%d -> %d/%d" oe.holds oe.total ne.holds ne.total
+      else ""
+    in
+    let verdict, note =
+      if om < min_wall_s && nm < min_wall_s then
+        (Within_noise, Printf.sprintf "both under %.0fms floor" (1e3 *. min_wall_s))
+      else if ratio > 1.0 +. tolerance && min_sample ne.wall_s > max_sample oe.wall_s then
+        ( Regression,
+          Printf.sprintf "+%.0f%% and ranges disjoint (%.3fs..%.3fs vs %.3fs..%.3fs)"
+            (100.0 *. (ratio -. 1.0))
+            (min_sample oe.wall_s) (max_sample oe.wall_s) (min_sample ne.wall_s)
+            (max_sample ne.wall_s) )
+      else if ratio < 1.0 -. tolerance && max_sample ne.wall_s < min_sample oe.wall_s then
+        (Improvement, Printf.sprintf "-%.0f%% and ranges disjoint" (100.0 *. (1.0 -. ratio)))
+      else (Within_noise, "")
+    in
+    { d_id = oe.id; verdict; old_median = om; new_median = nm; ratio; note = note ^ checks_note }
+  in
+  let from_old =
+    List.map
+      (fun oe ->
+        match find new_ oe.id with
+        | Some ne -> compare_one oe ne
+        | None ->
+            {
+              d_id = oe.id;
+              verdict = Removed;
+              old_median = median oe.wall_s;
+              new_median = Float.nan;
+              ratio = Float.nan;
+              note = "";
+            })
+      old_.entries
+  in
+  let added =
+    List.filter_map
+      (fun ne ->
+        if find old_ ne.id = None then
+          Some
+            {
+              d_id = ne.id;
+              verdict = Added;
+              old_median = Float.nan;
+              new_median = median ne.wall_s;
+              ratio = Float.nan;
+              note = "";
+            }
+        else None)
+      new_.entries
+  in
+  from_old @ added
+
+let regressions deltas = List.filter (fun d -> d.verdict = Regression) deltas
+
+(* Configuration mismatches don't fail a diff, but a wall-time comparison
+   across them is not apples-to-apples, so surface them loudly. *)
+let compat_warnings ~old_ ~new_ =
+  let warn cond msg acc = if cond then msg :: acc else acc in
+  []
+  |> warn (old_.quick <> new_.quick)
+       (Printf.sprintf "quick mode differs (old %b, new %b)" old_.quick new_.quick)
+  |> warn (old_.jobs <> new_.jobs)
+       (Printf.sprintf "job counts differ (old %d, new %d)" old_.jobs new_.jobs)
+  |> warn (old_.seed <> new_.seed)
+       (Printf.sprintf "seeds differ (old %d, new %d)" old_.seed new_.seed)
+  |> List.rev

@@ -1,0 +1,103 @@
+(** Versioned bench reports ([wx-bench/2]) and the noise-aware diff between
+    two of them.
+
+    A report records, per experiment, the full list of wall-time samples
+    (one per repeat) plus run provenance (git commit, hostname, jobs, seed),
+    so a number in a committed baseline can always be traced back to the
+    configuration that produced it. {!diff} compares two reports and only
+    declares a {!Regression} when the medians moved beyond a relative
+    tolerance {e and} the two sample ranges are disjoint — scheduler noise
+    on either side keeps the verdict at {!Within_noise}.
+
+    {!of_json} also accepts the legacy [wx-bench/1] schema (scalar wall
+    time, no provenance), decoding it as a one-sample, one-repeat report. *)
+
+val schema : string
+(** ["wx-bench/2"]. *)
+
+type entry = {
+  id : string;
+  title : string;
+  claim : string;
+  wall_s : float list;  (** one sample per repeat, in run order; non-empty *)
+  holds : int;
+  total : int;
+  checks : Json.t;  (** opaque per-check rows, passed through verbatim *)
+  metrics : Json.t;  (** opaque snapshot, [Null] when collection was off *)
+}
+
+type t = {
+  generated : string;
+  seed : int;
+  quick : bool;
+  jobs : int;
+  repeats : int;
+  provenance : (string * string) list;
+  entries : entry list;
+}
+
+val median : float list -> float
+(** Sample median; NaN on the empty list. *)
+
+val min_sample : float list -> float
+val max_sample : float list -> float
+
+val capture_provenance : unit -> (string * string) list
+(** Best-effort environment capture: [git_commit] (with a [+dirty] suffix
+    when the tree has uncommitted changes; ["unknown"] outside a checkout),
+    [hostname], [os], [ocaml], [word_size]. *)
+
+val make :
+  ?provenance:(string * string) list ->
+  seed:int ->
+  quick:bool ->
+  jobs:int ->
+  repeats:int ->
+  entry list ->
+  t
+(** Build a report stamped with {!Clock.timestamp}; [provenance] defaults
+    to {!capture_provenance}. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val load : string -> (t, string) result
+(** Read and decode a report file; [Error] on IO, parse, or schema
+    problems (never raises — the bench gate needs "malformed" as data). *)
+
+val save : string -> t -> unit
+(** Pretty-printed JSON, trailing newline. *)
+
+(** {2 Diffing} *)
+
+type verdict = Regression | Improvement | Within_noise | Added | Removed
+
+val verdict_name : verdict -> string
+
+type delta = {
+  d_id : string;
+  verdict : verdict;
+  old_median : float;  (** NaN when [Added] *)
+  new_median : float;  (** NaN when [Removed] *)
+  ratio : float;  (** new/old medians; NaN when not comparable *)
+  note : string;
+}
+
+val default_tolerance : float
+(** 0.25 — a median must move 25% to count. *)
+
+val default_min_wall_s : float
+(** 0.05 — experiments where both medians sit under 50ms are always within
+    noise; timer resolution dominates there. *)
+
+val diff : ?tolerance:float -> ?min_wall_s:float -> old_:t -> new_:t -> unit -> delta list
+(** One delta per experiment id in either report, in old-report order with
+    new-only entries appended. Regression requires {e both} a median ratio
+    above [1 + tolerance] {e and} disjoint sample ranges
+    ([new min > old max]); improvement is the mirror image. *)
+
+val regressions : delta list -> delta list
+
+val compat_warnings : old_:t -> new_:t -> string list
+(** Human-readable warnings when quick mode, job count, or seed differ —
+    the wall-time comparison is then not apples-to-apples. *)

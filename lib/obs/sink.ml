@@ -3,19 +3,50 @@
 
    A process-wide current sink can be installed (wx --json does this);
    library code guards emission with [active ()] so that building the field
-   list costs nothing when no one is listening. *)
+   list costs nothing when no one is listening.
+
+   Events are written through the out_channel's buffer and flushed every
+   [flush_every] events rather than on each one — per-event flushing
+   dominated emission cost on chatty streams (the simulator's per-round
+   events). Whole lines only ever reach the channel atomically, and
+   [install] registers a one-time [at_exit] flush, so a run that exits
+   between batch boundaries — including a signal-triggered [exit], see
+   bin/wx — still lands every buffered event instead of truncated output. *)
 
 type format = Pretty | Ndjson
 
-type t = { oc : out_channel; fmt : format; mutable events : int }
+type t = { oc : out_channel; fmt : format; mutable events : int; mutable closed : bool }
 
-let make ?(fmt = Ndjson) oc = { oc; fmt; events = 0 }
+let make ?(fmt = Ndjson) oc = { oc; fmt; events = 0; closed = false }
 
 let current : t option ref = ref None
-let install s = current := Some s
-let uninstall () = current := None
+
+let flush_sink s =
+  if not s.closed then
+    (* The channel may have been closed behind our back (tests close their
+       temp files; at_exit races stdout teardown) — losing the flush is
+       then correct, raising from at_exit is not. *)
+    try flush s.oc with Sys_error _ -> s.closed <- true
+
+let flush_installed () = match !current with None -> () | Some s -> flush_sink s
+
+let at_exit_registered = ref false
+
+let install s =
+  current := Some s;
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit flush_installed
+  end
+
+let uninstall () =
+  flush_installed ();
+  current := None
+
 let active () = !current <> None
 let installed () = !current
+
+let flush_every = 64
 
 let render_pretty name fields =
   let buf = Buffer.create 96 in
@@ -38,7 +69,7 @@ let emit_to s name fields =
       output_string s.oc (Json.to_string (Json.Obj (("event", Json.String name) :: fields)))
   | Pretty -> output_string s.oc (render_pretty name fields));
   output_char s.oc '\n';
-  flush s.oc
+  if s.events mod flush_every = 0 then flush_sink s
 
 (* Emit to the installed sink, if any. Call sites on hot paths should still
    check [active ()] first to avoid building [fields]. *)
@@ -47,4 +78,8 @@ let event name fields = match !current with None -> () | Some s -> emit_to s nam
 let with_sink s f =
   let prev = !current in
   current := Some s;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  Fun.protect
+    ~finally:(fun () ->
+      flush_sink s;
+      current := prev)
+    f

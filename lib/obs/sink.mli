@@ -1,9 +1,15 @@
 (** Structured event sink: named events with JSON fields, rendered as
-    pretty one-liners or NDJSON (one JSON object per line, flushed).
+    pretty one-liners or NDJSON (one JSON object per line).
 
     One process-wide sink can be installed; library emitters must guard with
     [if Sink.active () then Sink.event ...] so field lists are never built
-    when nobody listens. *)
+    when nobody listens.
+
+    Writes are batched: the channel is flushed every 64 events, on
+    {!uninstall} / {!with_sink} exit, on {!flush_installed}, and by a
+    one-time [at_exit] hook registered by {!install} — so interrupted runs
+    that still reach [exit] (wx converts SIGINT/SIGTERM) emit every
+    buffered event rather than truncated output. *)
 
 type format = Pretty | Ndjson
 
@@ -13,9 +19,18 @@ val make : ?fmt:format -> out_channel -> t
 (** Default format is [Ndjson]. *)
 
 val install : t -> unit
+(** Also registers (once per process) an [at_exit] that flushes whatever
+    sink is installed at exit time. *)
+
 val uninstall : unit -> unit
+(** Flushes the installed sink before removing it. *)
+
 val active : unit -> bool
 val installed : unit -> t option
+
+val flush_installed : unit -> unit
+(** Flush the installed sink's channel, if any; never raises (a channel
+    already closed by its owner is recorded and skipped thereafter). *)
 
 val event : string -> (string * Json.t) list -> unit
 (** Emit to the installed sink, if any. NDJSON lines carry the event name

@@ -22,7 +22,7 @@ let reset () =
 let find_child parent name = List.find_opt (fun c -> c.name = name) parent.children
 
 let with_ ~name f =
-  if not (Metrics.is_enabled ()) then f ()
+  if not (Metrics.is_enabled () || Trace_export.is_enabled ()) then f ()
   else begin
     (* Re-entering the same name under the same parent accumulates into one
        node (calls + total time) instead of growing an unbounded sibling
@@ -46,8 +46,12 @@ let with_ ~name f =
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
-        span.dur_ns <- span.dur_ns + (Clock.now_ns () - t0);
+        let dur = Clock.now_ns () - t0 in
+        span.dur_ns <- span.dur_ns + dur;
         span.calls <- span.calls + 1;
+        (* Spans are main-domain only (see DESIGN.md §6), so they all land
+           on the caller's track, where the pool's chunk slices nest. *)
+        Trace_export.slice ~tid:0 ~name ~t0_ns:t0 ~dur_ns:dur ();
         match !stack with s :: rest when s == span -> stack := rest | _ -> ())
       f
   end

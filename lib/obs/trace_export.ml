@@ -1,0 +1,157 @@
+(* Chrome trace-event ("catapult") timeline export.
+
+   Metrics histograms answer "how slow on aggregate"; this module answers
+   "when, and on which domain". While enabled it records timestamped slices
+   — name + start + duration + a small track id — into per-domain buffers,
+   and [to_json] renders them as the trace-event JSON that chrome://tracing
+   and Perfetto load directly: one [pid], one named [tid] track per Wx_par
+   worker slot (tid 0 is the calling/main domain, so span slices and the
+   chunks the caller steals interleave on the same track).
+
+   The recording discipline mirrors Metrics: a single atomic flag guards the
+   hot path, each domain appends to its own buffer without taking a lock
+   (registration of a fresh buffer takes the registry mutex once per
+   domain), and readers merge after the workers have joined. Buffers are
+   bounded: past [capacity] slices a domain drops new ones and counts the
+   loss, so a runaway trace degrades instead of exhausting memory. *)
+
+let enabled =
+  Atomic.make
+    (match Sys.getenv_opt "WX_TRACE" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | _ -> false)
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+type slice = {
+  sl_name : string;
+  sl_tid : int;
+  sl_t0_ns : int;
+  sl_dur_ns : int;
+  sl_args : (string * Json.t) list;
+}
+
+(* Per-domain append-only buffer; only the owning domain writes, so the
+   mutable fields need no synchronization. *)
+type buffer = { mutable slices : slice array; mutable len : int; mutable dropped : int }
+
+let capacity = 1 lsl 20
+
+let registry_lock = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { slices = [||]; len = 0; dropped = 0 } in
+      Mutex.lock registry_lock;
+      buffers := b :: !buffers;
+      Mutex.unlock registry_lock;
+      b)
+
+(* Process epoch for the exported [ts] axis: captured once at module init so
+   slices recorded by different domains share an origin. *)
+let epoch_ns = Clock.now_ns ()
+
+let push b s =
+  if b.len >= capacity then b.dropped <- b.dropped + 1
+  else begin
+    (if b.len >= Array.length b.slices then
+       let cap = max 256 (2 * Array.length b.slices) in
+       let bigger = Array.make (min cap capacity) s in
+       Array.blit b.slices 0 bigger 0 b.len;
+       b.slices <- bigger);
+    b.slices.(b.len) <- s;
+    b.len <- b.len + 1
+  end
+
+let slice ?(args = []) ~tid ~name ~t0_ns ~dur_ns () =
+  if Atomic.get enabled then
+    push (Domain.DLS.get key)
+      { sl_name = name; sl_tid = tid; sl_t0_ns = t0_ns; sl_dur_ns = max 0 dur_ns; sl_args = args }
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun b ->
+      b.len <- 0;
+      b.dropped <- 0)
+    !buffers;
+  Mutex.unlock registry_lock
+
+(* ---- export ---- *)
+
+let merged () =
+  Mutex.lock registry_lock;
+  let bs = !buffers in
+  Mutex.unlock registry_lock;
+  let all =
+    List.concat_map (fun b -> Array.to_list (Array.sub b.slices 0 b.len)) bs
+  in
+  let dropped = List.fold_left (fun acc b -> acc + b.dropped) 0 bs in
+  (List.sort (fun a b -> compare (a.sl_t0_ns, a.sl_tid) (b.sl_t0_ns, b.sl_tid)) all, dropped)
+
+let pid = 1
+
+let us_of_ns ns = float_of_int (ns - epoch_ns) /. 1e3
+
+(* Complete ("X") event: ts/dur are microseconds per the trace-event spec. *)
+let event_json s =
+  Json.Obj
+    ([
+       ("name", Json.String s.sl_name);
+       ("ph", Json.String "X");
+       ("ts", Json.Float (us_of_ns s.sl_t0_ns));
+       ("dur", Json.Float (float_of_int s.sl_dur_ns /. 1e3));
+       ("pid", Json.Int pid);
+       ("tid", Json.Int s.sl_tid);
+     ]
+    @ match s.sl_args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+(* Metadata ("M") events give the process and each worker track a name so
+   the viewer shows "main" / "worker-k" instead of bare thread ids. *)
+let metadata_json ~name ~tid ~value =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("ts", Json.Float 0.0);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String value) ]);
+    ]
+
+let to_json () =
+  let slices, dropped = merged () in
+  let tids = List.sort_uniq compare (List.map (fun s -> s.sl_tid) slices) in
+  let thread_names =
+    List.map
+      (fun tid ->
+        metadata_json ~name:"thread_name" ~tid
+          ~value:(if tid = 0 then "main" else Printf.sprintf "worker-%d" tid))
+      tids
+  in
+  let events =
+    (metadata_json ~name:"process_name" ~tid:0 ~value:"wx" :: thread_names)
+    @ List.map event_json slices
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("producer", Json.String "wx_obs.trace_export");
+            ("slices", Json.Int (List.length slices));
+            ("dropped", Json.Int dropped);
+          ] );
+    ]
+
+let write path =
+  let doc = to_json () in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc

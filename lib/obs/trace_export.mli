@@ -1,0 +1,38 @@
+(** Chrome trace-event ("catapult") timeline export.
+
+    While enabled, timestamped slices accumulate in per-domain lock-free
+    buffers; {!to_json} renders them as trace-event JSON loadable by
+    chrome://tracing or Perfetto, with one named [tid] track per Wx_par
+    worker slot (tid 0 = the calling/main domain). Recording is guarded by
+    one atomic flag (also set by [WX_TRACE=1]), so instrumented code — the
+    domain pool, {!Span} — costs a flag load while tracing is off.
+
+    Buffers are bounded (2^20 slices per domain); overflow drops new slices
+    and is reported in the exported [otherData.dropped] field. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val slice :
+  ?args:(string * Json.t) list ->
+  tid:int ->
+  name:string ->
+  t0_ns:int ->
+  dur_ns:int ->
+  unit ->
+  unit
+(** Record one complete slice on track [tid]. [t0_ns] is a {!Clock.now_ns}
+    stamp; negative durations are clamped to 0. No-op while disabled. *)
+
+val reset : unit -> unit
+(** Discard all recorded slices (buffers stay registered). Call only after
+    parallel sections have joined. *)
+
+val to_json : unit -> Json.t
+(** The full trace: [{traceEvents; displayTimeUnit; otherData}] with
+    process/thread metadata events ([ph = "M"]) followed by complete events
+    ([ph = "X"], [ts]/[dur] in microseconds) sorted by start time. *)
+
+val write : string -> unit
+(** [write path] saves {!to_json} (compact, single line) to [path]. *)

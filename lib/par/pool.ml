@@ -3,9 +3,35 @@
    Work distribution is dynamic (domains race on an atomic chunk cursor),
    but the combine tree is static: per-chunk results land in a slot array
    and the calling domain folds them in chunk order. Determinism therefore
-   never depends on which domain ran which chunk. *)
+   never depends on which domain ran which chunk.
+
+   Instrumentation: while Wx_obs metrics or tracing is on, every chunk's
+   latency lands in a per-domain histogram shard, the gaps between chunks
+   feed a claim-wait timer, and each chunk becomes a Chrome-trace slice on
+   the track of the worker slot that ran it (tid 0 = the calling domain,
+   tids 1..jobs-1 = spawned workers) — so load imbalance across --jobs
+   settings is visible both as p99 numbers and in chrome://tracing. All of
+   it is gated on one boolean computed per parallel_reduce call; with both
+   systems off the hot loop is untouched. *)
+
+module Metrics = Wx_obs.Metrics
+module Trace_export = Wx_obs.Trace_export
+module Clock = Wx_obs.Clock
+module Json = Wx_obs.Json
 
 let max_domains = 128
+
+(* Pool instruments, registered once. Histogram-backed timers shard per
+   observing domain inside Metrics, so concurrent workers never contend. *)
+let runs_c = Metrics.counter "pool.runs"
+let seq_runs_c = Metrics.counter "pool.runs_seq"
+let spawned_c = Metrics.counter "pool.domains_spawned"
+let chunks_c = Metrics.counter "pool.chunks"
+let empty_claims_c = Metrics.counter "pool.claims_empty"
+let jobs_g = Metrics.gauge "pool.jobs"
+let chunk_t = Metrics.timer "pool.chunk"
+let claim_t = Metrics.timer "pool.claim_wait"
+let join_t = Metrics.timer "pool.join_wait"
 
 let recommended_jobs () = max 1 (min max_domains (Domain.recommended_domain_count ()))
 
@@ -43,6 +69,12 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
       | None -> default_jobs ()
     in
     let jobs = min jobs nchunks in
+    (* One flag for the whole call: observe/slice below self-gate on their
+       own system's flag, so a trace-only run skips histogram writes and a
+       metrics-only run skips slice pushes — but an uninstrumented run pays
+       for neither clock reads nor the checks inside them. *)
+    let instrumented = Metrics.is_enabled () || Trace_export.is_enabled () in
+    let now () = if instrumented then Clock.now_ns () else 0 in
     (* Left fold of [map] over one chunk's indices — the innermost loop of
        every exact measure, so no per-index allocation beyond [map]'s own. *)
     let chunk_result c =
@@ -54,33 +86,83 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
       done;
       !acc
     in
+    (* Timed wrapper shared by both paths: [tid] is the worker slot (0 =
+       calling domain), [t_claim] the stamp just after the chunk was
+       claimed. *)
+    let run_chunk ~tid ~t_claim c =
+      let r = chunk_result c in
+      if instrumented then begin
+        let t_done = Clock.now_ns () in
+        Metrics.incr chunks_c;
+        Metrics.observe_ns chunk_t (t_done - t_claim);
+        Trace_export.slice ~tid ~name:"chunk" ~t0_ns:t_claim ~dur_ns:(t_done - t_claim)
+          ~args:[ ("chunk", Json.Int c) ]
+          ()
+      end;
+      r
+    in
     if jobs <= 1 then begin
+      if instrumented then begin
+        Metrics.incr seq_runs_c;
+        Metrics.set jobs_g 1.0
+      end;
       let acc = ref init in
       for c = 0 to nchunks - 1 do
-        acc := combine !acc (chunk_result c)
+        acc := combine !acc (run_chunk ~tid:0 ~t_claim:(now ()) c)
       done;
       !acc
     end
     else begin
+      if instrumented then begin
+        Metrics.incr runs_c;
+        Metrics.add spawned_c (jobs - 1);
+        Metrics.set jobs_g (float_of_int jobs)
+      end;
+      let t_run0 = now () in
       let results = Array.make nchunks None in
       let cursor = Atomic.make 0 in
       let failure = Atomic.make None in
-      let worker () =
+      let worker tid =
+        let t_start = now () in
+        let t_prev = ref t_start in
         let continue_ = ref true in
         while !continue_ do
           let c = Atomic.fetch_and_add cursor 1 in
-          if c >= nchunks || Atomic.get failure <> None then continue_ := false
-          else
-            match chunk_result c with
-            | r -> results.(c) <- Some r
+          if c >= nchunks || Atomic.get failure <> None then begin
+            if instrumented && c >= nchunks then Metrics.incr empty_claims_c;
+            continue_ := false
+          end
+          else begin
+            let t_claim = now () in
+            if instrumented then Metrics.observe_ns claim_t (t_claim - !t_prev);
+            match run_chunk ~tid ~t_claim c with
+            | r ->
+                results.(c) <- Some r;
+                t_prev := now ()
             | exception e ->
                 ignore (Atomic.compare_and_set failure None (Some e));
                 continue_ := false
-        done
+          end
+        done;
+        if instrumented && tid > 0 then
+          let t_exit = Clock.now_ns () in
+          Trace_export.slice ~tid ~name:"worker" ~t0_ns:t_start ~dur_ns:(t_exit - t_start) ()
       in
-      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
+      let domains = Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+      worker 0;
+      let t_drain = now () in
       Array.iter Domain.join domains;
+      if instrumented then begin
+        let t_joined = Clock.now_ns () in
+        (* Caller-side wait for stragglers after its own queue ran dry: the
+           aggregate signal that chunks are too coarse for this job count. *)
+        Metrics.observe_ns join_t (t_joined - t_drain);
+        Trace_export.slice ~tid:0 ~name:"join" ~t0_ns:t_drain ~dur_ns:(t_joined - t_drain) ();
+        Trace_export.slice ~tid:0 ~name:"parallel_reduce" ~t0_ns:t_run0
+          ~dur_ns:(t_joined - t_run0)
+          ~args:[ ("n", Json.Int n); ("chunks", Json.Int nchunks); ("jobs", Json.Int jobs) ]
+          ()
+      end;
       (match Atomic.get failure with Some e -> raise e | None -> ());
       (* All chunks completed (no failure), so every slot is filled; the
          joins above publish the workers' writes to this domain. *)

@@ -25,7 +25,21 @@
     including [jobs = 1].
 
     Exceptions raised by [map]/[combine] in any worker cancel the
-    remaining chunks and are re-raised in the calling domain. *)
+    remaining chunks and are re-raised in the calling domain.
+
+    {2 Instrumentation}
+
+    While [Wx_obs.Metrics] is enabled, every run feeds per-domain-sharded
+    timers and counters: [pool.chunk] (chunk latency), [pool.claim_wait]
+    (gap between a worker finishing one chunk and claiming the next),
+    [pool.join_wait] (caller-side wait for stragglers after its own queue
+    ran dry — the load-imbalance signal), plus [pool.runs], [pool.chunks],
+    [pool.claims_empty], [pool.domains_spawned] and the [pool.jobs] gauge.
+    While [Wx_obs.Trace_export] is enabled, each chunk additionally becomes
+    a Chrome-trace slice on the track of the worker slot that ran it
+    (tid 0 = calling domain, tids 1..jobs-1 = spawned workers), with
+    [worker]/[join]/[parallel_reduce] envelope slices. With both systems
+    off the hot loop performs no clock reads. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count], clamped to [1, 128]. *)

@@ -25,5 +25,6 @@ let () =
       ("certificate", Test_certificate.suite);
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);
+      ("report", Test_report.suite);
       ("par", Test_par.suite);
     ]

@@ -192,6 +192,51 @@ let test_sink_ndjson_well_formed () =
       check_int "fields survive" 1
         (Option.get (Json.to_int_opt (Option.get (Json.member "x" alpha)))))
 
+let test_nan_renders_as_dash () =
+  with_metrics (fun () ->
+      let g = Metrics.gauge "test.obs.hole" in
+      Metrics.set g Float.nan;
+      (* An empty histogram's quantiles are NaN too; make one visible. *)
+      let h = Metrics.histogram "test.obs.lonely" in
+      Metrics.observe h Float.nan;
+      let out = Metrics.render () in
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      check_true "gauge line present" (contains "test.obs.hole" out);
+      check_true "no literal nan in render"
+        (not (contains "nan" (String.lowercase_ascii out))))
+
+let test_sink_flush_installed () =
+  let path = Filename.temp_file "wx_obs_flush" ".ndjson" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Sink.make oc in
+      Sink.install sink;
+      Fun.protect ~finally:Sink.uninstall (fun () ->
+          Sink.event "one" [ ("x", Json.Int 1) ];
+          Sink.event "two" [ ("x", Json.Int 2) ];
+          (* Under the batch threshold, so the channel may still hold the
+             lines; flush_installed is the interrupted-run path. *)
+          Sink.flush_installed ();
+          let ic = open_in path in
+          let n = ref 0 in
+          (try
+             while true do
+               ignore (input_line ic);
+               incr n
+             done
+           with End_of_file -> close_in ic);
+          check_int "flush_installed drains the batch" 2 !n;
+          (* A second flush on the same sink is harmless. *)
+          Sink.flush_installed ());
+      close_out oc;
+      (* And flushing with no sink installed is a no-op, not an error. *)
+      Sink.flush_installed ())
+
 (* The tentpole cross-check: Trace.stalled_rounds must agree with the
    per-round records the simulator now produces, and the process-wide
    collision counter must equal the trace's own tally, on the C⁺ flooding
@@ -232,5 +277,7 @@ let suite =
     Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
     Alcotest.test_case "json round trip" `Quick test_json_round_trip;
     Alcotest.test_case "sink NDJSON well-formed" `Quick test_sink_ndjson_well_formed;
+    Alcotest.test_case "nan renders as dash" `Quick test_nan_renders_as_dash;
+    Alcotest.test_case "sink flush_installed" `Quick test_sink_flush_installed;
     Alcotest.test_case "trace agrees with metrics" `Quick test_trace_agrees_with_metrics;
   ]

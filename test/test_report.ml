@@ -1,0 +1,272 @@
+(* The performance-trajectory layer: wx-bench/2 schema round-trips through
+   Wx_obs.Json, bench-diff verdicts on synthetic report pairs, and the
+   catapult traces Trace_export emits are well-formed (every event carries
+   ph/ts/pid/tid, one track per pool worker). *)
+
+module Json = Wx_obs.Json
+module Report = Wx_obs.Report
+module Trace = Wx_obs.Trace_export
+open Common
+
+let entry ?(holds = 1) ?(total = 1) id wall_s =
+  {
+    Report.id;
+    title = "title of " ^ id;
+    claim = "claim of " ^ id;
+    wall_s;
+    holds;
+    total;
+    checks = Json.List [ Json.Obj [ ("claim", Json.String id); ("holds", Json.Bool true) ] ];
+    metrics = Json.Null;
+  }
+
+let report ?(quick = true) ?(jobs = 2) ?(repeats = 3) entries =
+  Report.make ~provenance:[ ("git_commit", "deadbeef"); ("hostname", "testhost") ] ~seed:20180218
+    ~quick ~jobs ~repeats entries
+
+(* ---- schema ---- *)
+
+let test_median () =
+  check_true "empty is nan" (Float.is_nan (Report.median []));
+  check_float "odd" 2.0 (Report.median [ 3.0; 1.0; 2.0 ]);
+  check_float "even" 2.5 (Report.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  check_float "min" 1.0 (Report.min_sample [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Report.max_sample [ 3.0; 1.0; 2.0 ])
+
+let test_round_trip () =
+  let r = report [ entry "e1" [ 1.0; 1.2; 0.9 ]; entry ~holds:5 ~total:7 "e2" [ 0.25 ] ] in
+  (* Through the renderer and parser, exactly as `wx bench record` writes
+     and `wx bench diff` reads. *)
+  let decoded =
+    match Json.of_string (Json.to_string_pretty (Report.to_json r)) with
+    | j -> ( match Report.of_json j with Ok d -> d | Error m -> Alcotest.failf "decode: %s" m)
+    | exception Json.Parse_error m -> Alcotest.failf "parse: %s" m
+  in
+  check_true "round trip preserves everything" (decoded = r);
+  (* Spot-check the schema marker actually written. *)
+  match Json.member "schema" (Report.to_json r) with
+  | Some (Json.String s) -> check_true "schema is wx-bench/2" (s = Report.schema)
+  | _ -> Alcotest.fail "no schema field"
+
+let test_v1_compat () =
+  (* A minimal wx-bench/1 document, as PR 1's harness wrote it: scalar
+     wall_s, no repeats, no provenance. *)
+  let v1 =
+    Json.Obj
+      [
+        ("schema", Json.String "wx-bench/1");
+        ("generated", Json.String "20260101T000000Z");
+        ("seed", Json.Int 20180218);
+        ("quick", Json.Bool false);
+        ("jobs", Json.Int 4);
+        ( "experiments",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("id", Json.String "e1");
+                  ("title", Json.String "t");
+                  ("claim", Json.String "c");
+                  ("wall_s", Json.Float 1.5);
+                  ("holds", Json.Int 3);
+                  ("total", Json.Int 3);
+                ];
+            ] );
+      ]
+  in
+  match Report.of_json v1 with
+  | Error m -> Alcotest.failf "v1 rejected: %s" m
+  | Ok r ->
+      check_int "v1 repeats default to 1" 1 r.Report.repeats;
+      (match r.Report.entries with
+      | [ e ] -> check_true "scalar wall_s becomes one sample" (e.Report.wall_s = [ 1.5 ])
+      | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l))
+
+let test_malformed () =
+  let reject name j =
+    match Report.of_json j with
+    | Ok _ -> Alcotest.failf "%s: accepted malformed report" name
+    | Error m -> check_true (name ^ " names the problem") (String.length m > 0)
+  in
+  reject "not a report" (Json.Obj [ ("hello", Json.Int 1) ]);
+  reject "unknown schema" (Json.Obj [ ("schema", Json.String "wx-bench/9") ]);
+  let base =
+    Report.to_json (report [ entry "e1" [ 1.0 ] ])
+  in
+  (* Surgical corruption: empty the sample list. *)
+  let corrupted =
+    match base with
+    | Json.Obj kvs ->
+        Json.Obj
+          (List.map
+             (function
+               | "experiments", Json.List [ Json.Obj ekvs ] ->
+                   ( "experiments",
+                     Json.List
+                       [
+                         Json.Obj
+                           (List.map
+                              (function
+                                | "wall_s", _ -> ("wall_s", Json.List [])
+                                | kv -> kv)
+                              ekvs);
+                       ] )
+               | kv -> kv)
+             kvs)
+    | _ -> assert false
+  in
+  reject "empty wall_s" corrupted;
+  (match Report.load "/nonexistent/definitely-not-here.json" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error _ -> ())
+
+(* ---- diff verdicts ---- *)
+
+let verdict_of deltas id =
+  match List.find_opt (fun d -> d.Report.d_id = id) deltas with
+  | Some d -> d.Report.verdict
+  | None -> Alcotest.failf "no delta for %s" id
+
+let test_diff_verdicts () =
+  let old_ =
+    report
+      [
+        entry "reg" [ 1.0; 1.05; 0.95 ];
+        entry "overlap" [ 1.0; 1.05; 0.95 ];
+        entry "small" [ 1.0; 1.05; 0.95 ];
+        entry "imp" [ 1.0; 1.05; 0.95 ];
+        entry "tiny" [ 0.010; 0.012; 0.011 ];
+        entry "gone" [ 1.0 ];
+      ]
+  in
+  let new_ =
+    report
+      [
+        (* Median +45% and the ranges are disjoint: a real regression. *)
+        entry "reg" [ 1.45; 1.40; 1.50 ];
+        (* Median +30% but one sample dips into the old range: noise. *)
+        entry "overlap" [ 1.30; 1.50; 1.02 ];
+        (* Median +10%: under the 25% tolerance, noise. *)
+        entry "small" [ 1.10; 1.12; 1.08 ];
+        (* Median -50%, ranges disjoint: improvement. *)
+        entry "imp" [ 0.50; 0.55; 0.45 ];
+        (* 4x slower but both medians under the 50ms floor: noise. *)
+        entry "tiny" [ 0.040; 0.042; 0.041 ];
+        entry "fresh" [ 1.0 ];
+      ]
+  in
+  let deltas = Report.diff ~old_ ~new_ () in
+  check_true "regression" (verdict_of deltas "reg" = Report.Regression);
+  check_true "overlapping spread is noise" (verdict_of deltas "overlap" = Report.Within_noise);
+  check_true "small change is noise" (verdict_of deltas "small" = Report.Within_noise);
+  check_true "improvement" (verdict_of deltas "imp" = Report.Improvement);
+  check_true "under floor is noise" (verdict_of deltas "tiny" = Report.Within_noise);
+  check_true "removed" (verdict_of deltas "gone" = Report.Removed);
+  check_true "added" (verdict_of deltas "fresh" = Report.Added);
+  check_int "one regression total" 1 (List.length (Report.regressions deltas));
+  (* Same report on both sides: everything within noise. *)
+  let self = Report.diff ~old_ ~new_:old_ () in
+  check_true "self diff is clean"
+    (List.for_all (fun d -> d.Report.verdict = Report.Within_noise) self)
+
+let test_diff_tolerance_and_warnings () =
+  let old_ = report [ entry "e" [ 1.0; 1.0; 1.0 ] ] in
+  let new_ = report [ entry "e" [ 1.2; 1.2; 1.2 ] ] in
+  (* +20%: noise at the default 25% tolerance, regression at 10%. *)
+  check_true "default tolerates 20%"
+    ((List.hd (Report.diff ~old_ ~new_ ())).Report.verdict = Report.Within_noise);
+  check_true "tight tolerance flags 20%"
+    ((List.hd (Report.diff ~tolerance:0.10 ~old_ ~new_ ())).Report.verdict = Report.Regression);
+  check_true "same config, no warnings" (Report.compat_warnings ~old_ ~new_ = []);
+  let other = report ~quick:false ~jobs:8 [ entry "e" [ 1.0 ] ] in
+  check_int "quick+jobs mismatches warned" 2
+    (List.length (Report.compat_warnings ~old_ ~new_:other))
+
+(* ---- catapult traces ---- *)
+
+let with_trace f =
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    f
+
+let test_catapult_well_formed () =
+  with_trace (fun () ->
+      (* Real pool run on two domains so worker tracks exist. *)
+      let sum =
+        Wx_par.Pool.parallel_reduce ~jobs:2 ~n:64 ~init:0
+          ~map:(fun i ->
+            ignore (Sys.opaque_identity (List.init 100 Fun.id));
+            i)
+          ~combine:( + ) ()
+      in
+      check_int "reduce still correct under tracing" (64 * 63 / 2) sum;
+      let doc = Trace.to_json () in
+      let events =
+        match Json.member "traceEvents" doc with
+        | Some (Json.List evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents list"
+      in
+      check_true "trace has events" (List.length events > 0);
+      (* The acceptance bar: every event carries ph/ts/pid/tid. *)
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun k ->
+              if Json.member k ev = None then
+                Alcotest.failf "event missing %s: %s" k (Json.to_string ev))
+            [ "ph"; "ts"; "pid"; "tid" ])
+        events;
+      let complete =
+        List.filter (fun ev -> Json.member "ph" ev = Some (Json.String "X")) events
+      in
+      let tids =
+        List.sort_uniq compare
+          (List.filter_map (fun ev -> Option.bind (Json.member "tid" ev) Json.to_int_opt) complete)
+      in
+      check_true "caller track present" (List.mem 0 tids);
+      check_true "one track per worker domain" (List.mem 1 tids);
+      let names =
+        List.filter_map (fun ev -> Option.bind (Json.member "name" ev) Json.to_string_opt) complete
+      in
+      check_true "chunk slices present" (List.mem "chunk" names);
+      check_true "reduce envelope present" (List.mem "parallel_reduce" names);
+      (* Thread-name metadata names both tracks. *)
+      let metas =
+        List.filter (fun ev -> Json.member "ph" ev = Some (Json.String "M")) events
+      in
+      check_true "thread_name metadata present"
+        (List.exists (fun ev -> Json.member "name" ev = Some (Json.String "thread_name")) metas);
+      (* Durations are non-negative and ts is sane. *)
+      List.iter
+        (fun ev ->
+          match Json.member "dur" ev with
+          | Some d -> check_true "dur >= 0" (Option.get (Json.to_float_opt d) >= 0.0)
+          | None -> ())
+        complete)
+
+let test_trace_disabled_records_nothing () =
+  Trace.reset ();
+  Trace.disable ();
+  Trace.slice ~tid:0 ~name:"dropped" ~t0_ns:0 ~dur_ns:10 ();
+  let doc = Trace.to_json () in
+  match Json.member "traceEvents" doc with
+  | Some (Json.List evs) ->
+      check_true "only metadata while disabled"
+        (List.for_all (fun ev -> Json.member "ph" ev = Some (Json.String "M")) evs)
+  | _ -> Alcotest.fail "no traceEvents list"
+
+let suite =
+  [
+    Alcotest.test_case "median / spread helpers" `Quick test_median;
+    Alcotest.test_case "wx-bench/2 round trip" `Quick test_round_trip;
+    Alcotest.test_case "wx-bench/1 compatibility" `Quick test_v1_compat;
+    Alcotest.test_case "malformed reports rejected" `Quick test_malformed;
+    Alcotest.test_case "diff verdicts on synthetic pairs" `Quick test_diff_verdicts;
+    Alcotest.test_case "diff tolerance + compat warnings" `Quick test_diff_tolerance_and_warnings;
+    Alcotest.test_case "catapult trace well-formed" `Quick test_catapult_well_formed;
+    Alcotest.test_case "trace disabled records nothing" `Quick test_trace_disabled_records_nothing;
+  ]
