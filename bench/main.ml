@@ -12,10 +12,11 @@
    Every experiment prints one or more predicted-vs-measured tables; the
    mapping from experiment id to paper claim is in DESIGN.md §5, and the
    recorded outcomes live in EXPERIMENTS.md. Under --json the same runs
-   additionally emit a machine-readable wx-bench/2 report (Wx_obs.Report):
-   per-experiment wall-time samples, per-claim checks, the wx_obs metrics
-   snapshot, and run provenance. The experiment zoo itself lives in the
-   wx_bench library (bench/runner.ml) so `wx bench record` shares it. *)
+   additionally emit a machine-readable wx-bench/3 report (Wx_obs.Report):
+   per-experiment wall-time samples, GC/allocation counters, per-claim
+   checks, the wx_obs metrics snapshot, and run provenance. The experiment
+   zoo itself lives in the wx_bench library (bench/runner.ml) so `wx bench
+   record` shares it. *)
 
 module Runner = Wx_bench.Runner
 module Report = Wx_obs.Report
@@ -40,7 +41,12 @@ let main experiment_id quick listing skip_micro json jobs repeats =
   if listing then (list_experiments (); 0)
   else begin
     let collect = json <> None in
-    if collect then Metrics.enable ();
+    if collect then begin
+      Metrics.enable ();
+      (* Alloc counters ride along with any JSON report; reads happen only
+         around each experiment so the hot paths stay untouched. *)
+      Wx_obs.Memgc.enable ()
+    end;
     match Runner.run ?only:experiment_id ~repeats ~quick ~collect () with
     | Error msg ->
         Printf.eprintf "%s\n" msg;
@@ -75,8 +81,8 @@ let skip_micro_arg =
 
 let json_arg =
   let doc =
-    "Write a machine-readable wx-bench/2 report to $(docv) (default: BENCH_<timestamp>.json). \
-     Enables metrics collection for the run."
+    "Write a machine-readable wx-bench/3 report to $(docv) (default: BENCH_<timestamp>.json). \
+     Enables metrics and allocation-counter collection for the run."
   in
   Arg.(value & opt ~vopt:(Some "") (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 

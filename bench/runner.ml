@@ -9,6 +9,7 @@
 
 open Bench_common
 module Clock = Wx_obs.Clock
+module Memgc = Wx_obs.Memgc
 module Pool = Wx_par.Pool
 module Report = Wx_obs.Report
 
@@ -34,6 +35,7 @@ let find id = List.find_opt (fun e -> e.id = id) experiments
 type outcome = {
   exp : experiment;
   wall_s : float list;  (** one sample per repeat, in run order *)
+  alloc : Memgc.counters option;  (** last repeat's delta; None when Memgc off *)
   checks : check_row list;
   metrics : Json.t;  (** Null when metrics collection is off *)
 }
@@ -46,6 +48,23 @@ let handicap_s () =
   | None -> 0.0
   | Some s -> ( match float_of_string_opt s with Some ms when ms > 0.0 -> ms /. 1e3 | _ -> 0.0)
 
+(* The alloc-gate analogue: WX_BENCH_ALLOC_HANDICAP_WORDS burns roughly
+   that many minor words inside the measured window of every repeat, so
+   "wx bench diff --alloc-only catches an injected allocation regression"
+   is testable end to end. *)
+let alloc_handicap_words () =
+  match Sys.getenv_opt "WX_BENCH_ALLOC_HANDICAP_WORDS" with
+  | None -> 0
+  | Some s -> ( match int_of_string_opt s with Some w when w > 0 -> w | _ -> 0)
+
+(* A 1KiB bytes block costs a deterministic ~130 words (header + payload);
+   Sys.opaque_identity keeps flambda-less ocamlopt from dropping it too. *)
+let burn_minor_words w =
+  let per_block = 1 + ((1024 / (Sys.word_size / 8)) + 1) in
+  for _ = 1 to (w + per_block - 1) / per_block do
+    ignore (Sys.opaque_identity (Bytes.create 1024))
+  done
+
 let experiment_timer = Metrics.timer "bench.experiment"
 
 let run_one ?(repeats = 1) ~quick ~collect e =
@@ -53,11 +72,20 @@ let run_one ?(repeats = 1) ~quick ~collect e =
   if collect then Metrics.reset ();
   let repeats = max 1 repeats in
   let handicap = handicap_s () in
-  let wall_rev = ref [] and last_checks = ref [] in
+  let alloc_handicap = alloc_handicap_words () in
+  let wall_rev = ref [] and last_checks = ref [] and last_alloc = ref None in
   for rep = 1 to repeats do
     ignore (take_recorded ());
+    (* The alloc window hugs the run itself: the before-read comes first so
+       the wall clock absorbs its cost, and everything after the after-read
+       (handicap sleep, progress printf with varying-width floats) stays
+       outside — minor-word deltas must be byte-identical across runs. *)
+    let g0 = Memgc.read () in
     let t0 = Clock.now_ns () in
     Metrics.time experiment_timer (fun () -> e.run ~quick);
+    if alloc_handicap > 0 then burn_minor_words alloc_handicap;
+    let g1 = Memgc.read () in
+    if Memgc.is_enabled () then last_alloc := Some (Memgc.diff ~before:g0 ~after:g1);
     if handicap > 0.0 then Unix.sleepf handicap;
     let wall_s = Clock.ns_to_s (Clock.now_ns () - t0) in
     wall_rev := wall_s :: !wall_rev;
@@ -67,7 +95,7 @@ let run_one ?(repeats = 1) ~quick ~collect e =
     else Printf.printf "  [%s finished in %.1fs]\n" e.id wall_s
   done;
   let metrics = if collect then Metrics.snapshot () else Json.Null in
-  { exp = e; wall_s = List.rev !wall_rev; checks = !last_checks; metrics }
+  { exp = e; wall_s = List.rev !wall_rev; alloc = !last_alloc; checks = !last_checks; metrics }
 
 let entry_of_outcome o : Report.entry
     =
@@ -77,6 +105,7 @@ let entry_of_outcome o : Report.entry
     title = o.exp.title;
     claim = o.exp.claim;
     wall_s = o.wall_s;
+    alloc = o.alloc;
     holds;
     total = List.length o.checks;
     checks = Json.List (List.map row_json o.checks);

@@ -7,11 +7,16 @@
      wx broadcast <family> <size> [--protocol p] [--seeds k]
      wx core      <s>                          core-graph property report
      wx arboricity <family> <size>             exact (flow) vs bounds
-     wx bench record [--out F] [--repeats K]   run the experiment zoo, write
-                                               a wx-bench/2 report (baseline)
-     wx bench diff OLD.json NEW.json           noise-aware regression gate
-     wx prof [--out F] -- <subcommand> ...     run under Chrome tracing,
-                                               print the hottest spans
+     wx bench record [--out F] [--repeats K] [--force]
+                                               run the experiment zoo, write a
+                                               wx-bench/3 report (baseline);
+                                               refuses to overwrite sans --force
+     wx bench diff OLD.json NEW.json           noise-aware wall-time gate plus a
+                                               deterministic allocation gate
+                                               (--alloc-tolerance, --alloc-only)
+     wx prof [--out F] [--alloc] -- <cmd> ...  run under Chrome tracing, print
+                                               the hottest spans (by self time,
+                                               or self-allocation with --alloc)
 
    Every measurement subcommand takes --json (machine-readable NDJSON
    events on stdout, human text on stderr), --metrics (collect the Wx_obs
@@ -435,9 +440,18 @@ let cmd_verify_paper obs quick seed =
 
 module Report = Obs.Report
 
-let cmd_bench_record obs quick repeats only out =
-  (* Metrics always on: the report embeds per-experiment snapshots. *)
+let cmd_bench_record obs quick repeats only force out =
+  if Sys.file_exists out && not force then begin
+    (* Fail before any experiment runs: clobbering a committed baseline by
+       accident costs a re-record, so overwriting is opt-in. *)
+    Printf.eprintf "bench record: %s exists; pass --force to overwrite it\n" out;
+    1
+  end
+  else begin
+  (* Metrics always on: the report embeds per-experiment snapshots. Memgc
+     too — the per-experiment alloc block is what the alloc gate diffs. *)
   Obs.Metrics.enable ();
+  Obs.Memgc.enable ();
   match Wx_bench.Runner.run ?only ~repeats ~quick ~collect:true () with
   | Error msg ->
       Printf.eprintf "%s\n" msg;
@@ -459,6 +473,7 @@ let cmd_bench_record obs quick repeats only out =
           ("quick", J.Bool quick);
         ];
       0
+  end
 
 let provenance_line (r : Report.t) =
   Printf.sprintf "%s (seed %d, jobs %d, repeats %d, quick %b%s)" r.Report.generated
@@ -468,9 +483,10 @@ let provenance_line (r : Report.t) =
         ", commit " ^ String.sub c 0 (min 12 (String.length c))
     | _ -> "")
 
-(* Exit codes: 0 clean (or --soft), 1 regression, 2 malformed/unreadable
-   report — so CI can treat "slower" and "not a report" differently. *)
-let cmd_bench_diff obs tolerance min_wall soft old_path new_path =
+(* Exit codes: 0 clean (or --soft), 1 regression (wall or alloc; alloc only
+   with --alloc-only), 2 malformed/unreadable report — so CI can treat
+   "slower" and "not a report" differently. *)
+let cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only soft old_path new_path =
   match (Report.load old_path, Report.load new_path) with
   | Error m, _ | _, Error m ->
       Printf.eprintf "bench diff: malformed report: %s\n" m;
@@ -480,8 +496,14 @@ let cmd_bench_diff obs tolerance min_wall soft old_path new_path =
       List.iter
         (fun w -> Printf.eprintf "warning: %s\n" w)
         (Report.compat_warnings ~old_ ~new_);
-      let deltas = Report.diff ~tolerance ~min_wall_s:min_wall ~old_ ~new_ () in
-      let t = T.create [ "experiment"; "old median (s)"; "new median (s)"; "ratio"; "verdict" ] in
+      let deltas = Report.diff ~tolerance ~min_wall_s:min_wall ~alloc_tolerance ~old_ ~new_ () in
+      let t =
+        T.create
+          [
+            "experiment"; "old median (s)"; "new median (s)"; "ratio"; "verdict";
+            "old minor (w)"; "new minor (w)"; "alloc";
+          ]
+      in
       List.iter
         (fun (d : Report.delta) ->
           T.add_row t
@@ -492,85 +514,156 @@ let cmd_bench_diff obs tolerance min_wall soft old_path new_path =
               T.ff ~dec:2 d.Report.ratio;
               (Report.verdict_name d.Report.verdict
               ^ if d.Report.note = "" then "" else " (" ^ d.Report.note ^ ")");
+              T.ff ~dec:0 d.Report.old_minor_words;
+              T.ff ~dec:0 d.Report.new_minor_words;
+              (match d.Report.alloc_verdict with
+              | None -> "-"
+              | Some v ->
+                  Report.verdict_name v
+                  ^ if d.Report.alloc_note = "" then "" else " (" ^ d.Report.alloc_note ^ ")");
             ];
           event obs "bench.delta"
-            [
-              ("id", J.String d.Report.d_id);
-              ("verdict", J.String (Report.verdict_name d.Report.verdict));
-              ("old_median_s", J.Float d.Report.old_median);
-              ("new_median_s", J.Float d.Report.new_median);
-              ("ratio", J.Float d.Report.ratio);
-            ])
+            ([
+               ("id", J.String d.Report.d_id);
+               ("verdict", J.String (Report.verdict_name d.Report.verdict));
+               ("old_median_s", J.Float d.Report.old_median);
+               ("new_median_s", J.Float d.Report.new_median);
+               ("ratio", J.Float d.Report.ratio);
+             ]
+            @
+            match d.Report.alloc_verdict with
+            | None -> []
+            | Some v ->
+                [
+                  ("alloc_verdict", J.String (Report.verdict_name v));
+                  ("old_minor_words", J.Float d.Report.old_minor_words);
+                  ("new_minor_words", J.Float d.Report.new_minor_words);
+                  ("alloc_ratio", J.Float d.Report.alloc_ratio);
+                ]))
         deltas;
       say obs "%s" (T.render t);
-      let regs = Report.regressions deltas in
-      if regs = [] then begin
-        say obs "no regressions (tolerance %.0f%%, floor %.0fms)\n" (100.0 *. tolerance)
-          (1e3 *. min_wall);
+      if Report.alloc_skipped deltas then
+        Printf.eprintf
+          "warning: alloc verdict skipped where a side lacks an alloc block (pre-v3 report or \
+           Memgc off); wall-time verdicts are unaffected\n";
+      let wall_regs = Report.regressions deltas in
+      let alloc_regs = Report.alloc_regressions deltas in
+      if wall_regs <> [] then
+        Printf.eprintf "%d experiment%s regressed on wall time: %s%s\n" (List.length wall_regs)
+          (if List.length wall_regs = 1 then "" else "s")
+          (String.concat ", " (List.map (fun (d : Report.delta) -> d.Report.d_id) wall_regs))
+          (if alloc_only then " (--alloc-only: not failing on these)" else "");
+      if alloc_regs <> [] then
+        Printf.eprintf "%d experiment%s regressed on allocation: %s\n" (List.length alloc_regs)
+          (if List.length alloc_regs = 1 then "" else "s")
+          (String.concat ", " (List.map (fun (d : Report.delta) -> d.Report.d_id) alloc_regs));
+      let failing = (if alloc_only then [] else wall_regs) @ alloc_regs in
+      if failing = [] then begin
+        say obs "no %sregressions (wall tolerance %.0f%%, floor %.0fms; alloc tolerance %.1f%%)\n"
+          (if alloc_only then "allocation " else "")
+          (100.0 *. tolerance) (1e3 *. min_wall)
+          (100.0 *. alloc_tolerance);
         0
       end
-      else begin
-        Printf.eprintf "%d experiment%s regressed: %s\n" (List.length regs)
-          (if List.length regs = 1 then "" else "s")
-          (String.concat ", " (List.map (fun (d : Report.delta) -> d.Report.d_id) regs));
-        if soft then begin
-          Printf.eprintf "(--soft: reporting only, not failing)\n";
-          0
-        end
-        else 1
+      else if soft then begin
+        Printf.eprintf "(--soft: reporting only, not failing)\n";
+        0
       end
+      else 1
 
 (* ---- prof ---- *)
 
-(* Flattened hottest-spans view: self time (time in the span outside any
-   recorded child) is what ranks, since child time ranks on its own row. *)
-let hottest_spans () =
+(* Flattened hottest-spans view: self cost (cost inside the span but outside
+   any recorded child) is what ranks, since child cost ranks on its own row.
+   The ranking key is self time, or self minor words under --alloc. *)
+type span_row = {
+  sr_path : string;
+  sr_calls : int;
+  sr_dur_ns : int;
+  sr_self_ns : int;
+  sr_minor : int;
+  sr_self_minor : int;
+}
+
+let hottest_spans ~by_alloc =
   let rows = ref [] in
   let rec go prefix (s : Obs.Span.t) =
     let path = if prefix = "" then s.Obs.Span.name else prefix ^ "/" ^ s.Obs.Span.name in
-    rows := (path, s.Obs.Span.calls, s.Obs.Span.dur_ns, Obs.Span.self_ns s) :: !rows;
+    rows :=
+      {
+        sr_path = path;
+        sr_calls = s.Obs.Span.calls;
+        sr_dur_ns = s.Obs.Span.dur_ns;
+        sr_self_ns = Obs.Span.self_ns s;
+        sr_minor = s.Obs.Span.minor_words;
+        sr_self_minor = Obs.Span.self_minor_words s;
+      }
+      :: !rows;
     List.iter (go path) (Obs.Span.children s)
   in
   List.iter (go "") (Obs.Span.root_spans ());
-  List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) !rows
+  let key r = if by_alloc then r.sr_self_minor else r.sr_self_ns in
+  List.sort (fun a b -> compare (key b) (key a)) !rows
 
-let print_hottest ~top =
-  let rows = hottest_spans () in
-  let total_ns =
-    List.fold_left (fun acc s -> acc + s.Obs.Span.dur_ns) 0 (Obs.Span.root_spans ())
+let print_hottest ~alloc ~top =
+  let rows = hottest_spans ~by_alloc:alloc in
+  let roots = Obs.Span.root_spans () in
+  let total_ns = List.fold_left (fun acc s -> acc + s.Obs.Span.dur_ns) 0 roots in
+  let total_minor = List.fold_left (fun acc s -> acc + s.Obs.Span.minor_words) 0 roots in
+  let pct self total =
+    if total = 0 then "-"
+    else Printf.sprintf "%.1f%%" (100.0 *. float_of_int self /. float_of_int total)
   in
-  let t = T.create [ "span"; "calls"; "total (ms)"; "self (ms)"; "self %" ] in
+  let t =
+    T.create
+      (if alloc then [ "span"; "calls"; "total (words)"; "self (words)"; "self %"; "self (ms)" ]
+       else [ "span"; "calls"; "total (ms)"; "self (ms)"; "self %" ])
+  in
   List.iteri
-    (fun i (path, calls, dur, self) ->
+    (fun i r ->
       if i < top then
         T.add_row t
-          [
-            path;
-            T.fi calls;
-            T.ff ~dec:3 (Obs.Clock.ns_to_ms dur);
-            T.ff ~dec:3 (Obs.Clock.ns_to_ms self);
-            (if total_ns = 0 then "-"
-             else Printf.sprintf "%.1f%%" (100.0 *. float_of_int self /. float_of_int total_ns));
-          ])
+          (if alloc then
+             [
+               r.sr_path; T.fi r.sr_calls; T.fi r.sr_minor; T.fi r.sr_self_minor;
+               pct r.sr_self_minor total_minor;
+               T.ff ~dec:3 (Obs.Clock.ns_to_ms r.sr_self_ns);
+             ]
+           else
+             [
+               r.sr_path; T.fi r.sr_calls;
+               T.ff ~dec:3 (Obs.Clock.ns_to_ms r.sr_dur_ns);
+               T.ff ~dec:3 (Obs.Clock.ns_to_ms r.sr_self_ns);
+               pct r.sr_self_ns total_ns;
+             ]))
     rows;
-  Printf.printf "\n-- hottest spans (top %d of %d, by self time) --\n" (min top (List.length rows))
-    (List.length rows);
+  Printf.printf "\n-- hottest spans (top %d of %d, by self %s) --\n"
+    (min top (List.length rows))
+    (List.length rows)
+    (if alloc then "allocation" else "time");
   T.print t
 
-let cmd_prof out top rest inner_group =
+let cmd_prof out top alloc rest inner_group =
   match rest with
   | [] ->
       Printf.eprintf
-        "usage: wx prof [--out FILE] [--top K] -- <subcommand> [args]\n\
+        "usage: wx prof [--out FILE] [--top K] [--alloc] -- <subcommand> [args]\n\
          (the '--' keeps the inner command's own flags out of prof's)\n";
       2
   | _ ->
       Obs.Metrics.enable ();
       Obs.Trace_export.enable ();
+      if alloc then begin
+        (* Per-span GC attribution plus the gc.heap counter track; the major
+           alarm rides along so chrome://tracing shows major-cycle samples.
+           Never done under bench record — the alarm itself allocates. *)
+        Obs.Memgc.enable ();
+        Obs.Memgc.install_alarm ()
+      end;
       let argv = Array.of_list ("wx" :: rest) in
       let code = Cmdliner.Cmd.eval' ~argv inner_group in
       Obs.Trace_export.write out;
-      print_hottest ~top;
+      print_hottest ~alloc ~top;
       Printf.printf "\nwrote %s (load in chrome://tracing or ui.perfetto.dev)\n" out;
       code
 
@@ -678,16 +771,22 @@ let bench_record_cmd =
     Arg.(value & opt (some string) None
          & info [ "e"; "experiment" ] ~docv:"ID" ~doc:"Record a single experiment.")
   in
+  let force =
+    Arg.(value & flag
+         & info [ "force"; "f" ] ~doc:"Overwrite $(b,--out) if it already exists.")
+  in
   let out =
     Arg.(value & opt string "bench/baseline.json"
          & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Report destination.")
   in
   Cmd.v
     (Cmd.info "record"
-       ~doc:"Run the experiment zoo and write a wx-bench/2 report (the committed baseline)")
+       ~doc:"Run the experiment zoo and write a wx-bench/3 report (the committed baseline); \
+             refuses to overwrite an existing file without --force")
     (with_obs "bench.record"
-       Term.(const (fun quick repeats only out obs -> cmd_bench_record obs quick repeats only out)
-             $ quick $ repeats $ only $ out))
+       Term.(const (fun quick repeats only force out obs ->
+                 cmd_bench_record obs quick repeats only force out)
+             $ quick $ repeats $ only $ force $ out))
 
 let bench_diff_cmd =
   let tolerance =
@@ -700,6 +799,19 @@ let bench_diff_cmd =
          & info [ "min-wall" ] ~docv:"SECONDS"
              ~doc:"Experiments with both medians under this floor are always within noise.")
   in
+  let alloc_tolerance =
+    Arg.(value & opt float Obs.Report.default_alloc_tolerance
+         & info [ "alloc-tolerance" ] ~docv:"FRAC"
+             ~doc:"Relative minor-words change needed to call an allocation regression \
+                   (default 0.01 — minor words are deterministic, so no noise floor applies).")
+  in
+  let alloc_only =
+    Arg.(value & flag
+         & info [ "alloc-only" ]
+             ~doc:"Fail (exit 1) only on allocation regressions; wall-time regressions are \
+                   still reported but do not affect the exit code. Lets CI run a hard alloc \
+                   gate next to a soft wall-time gate.")
+  in
   let soft =
     Arg.(value & flag
          & info [ "soft" ]
@@ -711,8 +823,9 @@ let bench_diff_cmd =
     (Cmd.info "diff"
        ~doc:"Compare two wx-bench reports; exit 1 on a regression, 2 on a malformed report")
     (with_obs "bench.diff"
-       Term.(const (fun tolerance min_wall soft o n obs -> cmd_bench_diff obs tolerance min_wall soft o n)
-             $ tolerance $ min_wall $ soft $ old_path $ new_path))
+       Term.(const (fun tolerance min_wall alloc_tolerance alloc_only soft o n obs ->
+                 cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only soft o n)
+             $ tolerance $ min_wall $ alloc_tolerance $ alloc_only $ soft $ old_path $ new_path))
 
 let bench_cmd =
   Cmd.group
@@ -734,6 +847,12 @@ let prof_cmd =
     Arg.(value & opt int 12
          & info [ "top"; "k" ] ~docv:"K" ~doc:"Rows in the hottest-spans table.")
   in
+  let alloc =
+    Arg.(value & flag
+         & info [ "alloc" ]
+             ~doc:"Also attribute GC work: rank the hottest spans by self-allocation (minor \
+                   words) and add gc.heap / gc.major counter tracks to the trace.")
+  in
   let rest =
     Arg.(value & pos_all string []
          & info [] ~docv:"SUBCOMMAND"
@@ -744,7 +863,8 @@ let prof_cmd =
   Cmd.v
     (Cmd.info "prof"
        ~doc:"Run a wx subcommand under Chrome tracing; write the trace and the hottest spans")
-    Term.(const (fun out top rest -> cmd_prof out top rest inner_group) $ out $ top $ rest)
+    Term.(const (fun out top alloc rest -> cmd_prof out top alloc rest inner_group)
+          $ out $ top $ alloc $ rest)
 
 let () =
   let doc = "wireless-expanders command-line tool" in

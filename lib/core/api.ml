@@ -73,6 +73,7 @@ module Obs = struct
   module Json = Wx_obs.Json
   module Clock = Wx_obs.Clock
   module Metrics = Wx_obs.Metrics
+  module Memgc = Wx_obs.Memgc
   module Span = Wx_obs.Span
   module Sink = Wx_obs.Sink
   module Report = Wx_obs.Report

@@ -138,6 +138,14 @@ let observe_always h v =
 
 let observe h v = if Atomic.get enabled then observe_always h v
 
+(* Force creation of the calling domain's shard without recording anything.
+   Shard creation otherwise happens on first observe, which — under the
+   pool's dynamic chunk stealing — can happen on a worker in one run and
+   not the next; pre-touching from every worker keeps the per-run
+   allocation count fixed, which the Memgc determinism gate relies on. *)
+let touch h = if Atomic.get enabled then ignore (Sys.opaque_identity (Domain.DLS.get h.h_key))
+let touch_timer t = touch t.hist
+
 (* Timers: [start] reads the clock only when enabled and returns the raw ns
    stamp (0 when disabled); [stop] is a no-op on a 0 stamp. *)
 let start () = if Atomic.get enabled then Clock.now_ns () else 0

@@ -1,5 +1,6 @@
-(* Versioned bench reports ("wx-bench/2") and the noise-aware diff between
-   two of them.
+(* Versioned bench reports ("wx-bench/3") and the diff between two of
+   them: a noise-aware wall-time verdict plus a deterministic allocation
+   verdict.
 
    The wx-bench/1 reports of earlier runs recorded one wall time per
    experiment and no provenance, so a number could never be traced back to
@@ -11,10 +12,19 @@
    neither a noisy single sample nor a tiny absolute wobble on a fast
    experiment can fail a gate on its own.
 
-   [of_json] still accepts wx-bench/1 (its scalar wall_s becomes a
-   one-sample list), so historical reports remain diffable. *)
+   That gate is noise-limited by construction: a 25% tolerance and a 50ms
+   floor let small real hot-path regressions slip through. Schema 3 adds a
+   per-experiment "alloc" block (Memgc.counters measured around the run).
+   Minor-word counts are deterministic for a fixed seed/jobs, so the alloc
+   verdict compares a plain ratio against a 1% tolerance with no floor and
+   no range logic — tight where the wall-time verdict must be loose.
 
-let schema = "wx-bench/2"
+   [of_json] still accepts wx-bench/2 and /1 (alloc decodes as None, a
+   scalar v1 wall_s becomes a one-sample list), so historical reports
+   remain diffable; the alloc verdict is simply skipped against them. *)
+
+let schema = "wx-bench/3"
+let schema_v2 = "wx-bench/2"
 let schema_v1 = "wx-bench/1"
 
 type entry = {
@@ -22,6 +32,7 @@ type entry = {
   title : string;
   claim : string;
   wall_s : float list;  (* one sample per repeat, in run order; non-empty *)
+  alloc : Memgc.counters option;  (* None when Memgc was off or pre-v3 *)
   holds : int;
   total : int;
   checks : Json.t;  (* opaque per-check rows, passed through verbatim *)
@@ -85,7 +96,7 @@ let make ?(provenance = capture_provenance ()) ~seed ~quick ~jobs ~repeats entri
 
 let entry_json e =
   Json.Obj
-    [
+    ([
       ("id", Json.String e.id);
       ("title", Json.String e.title);
       ("claim", Json.String e.claim);
@@ -99,6 +110,7 @@ let entry_json e =
       ("checks", e.checks);
       ("metrics", e.metrics);
     ]
+    @ match e.alloc with None -> [] | Some a -> [ ("alloc", Memgc.to_json a) ])
 
 let to_json t =
   Json.Obj
@@ -166,14 +178,26 @@ let entry_of_json ~v1 j =
   let* total = int_field "total" j in
   let checks = Option.value ~default:(Json.List []) (Json.member "checks" j) in
   let metrics = Option.value ~default:Json.Null (Json.member "metrics" j) in
-  Ok { id; title; claim; wall_s; holds; total; checks; metrics }
+  (* Absent before v3, and optional even there (Memgc may have been off);
+     a present-but-mangled block is an error, not a silent None. *)
+  let* alloc =
+    match Json.member "alloc" j with
+    | None -> Ok None
+    | Some a -> (
+        match Memgc.of_json a with
+        | Some c -> Ok (Some c)
+        | None -> Error "alloc block is malformed")
+  in
+  Ok { id; title; claim; wall_s; alloc; holds; total; checks; metrics }
 
 let of_json j =
   let* s = str_field "schema" j in
   let* v1 =
-    if s = schema then Ok false
+    if s = schema || s = schema_v2 then Ok false
     else if s = schema_v1 then Ok true
-    else Error (Printf.sprintf "unsupported schema %S (want %s or %s)" s schema schema_v1)
+    else
+      Error
+        (Printf.sprintf "unsupported schema %S (want %s, %s or %s)" s schema schema_v2 schema_v1)
   in
   let* generated = str_field "generated" j in
   let* seed = int_field "seed" j in
@@ -237,12 +261,28 @@ type delta = {
   new_median : float;  (* nan when [Removed] *)
   ratio : float;  (* new/old medians; nan when not comparable *)
   note : string;
+  alloc_verdict : verdict option;  (* None when either side has no alloc *)
+  old_minor_words : float;  (* nan when unknown *)
+  new_minor_words : float;  (* nan when unknown *)
+  alloc_ratio : float;  (* new/old minor words; nan when not comparable *)
+  alloc_note : string;
 }
 
 let default_tolerance = 0.25
 let default_min_wall_s = 0.05
 
-let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s) ~old_ ~new_ () =
+(* Minor-word counts are deterministic per seed/jobs (DESIGN.md §8), so
+   1% is not a noise allowance — it only forgives genuinely tiny drifts
+   (an extra closure on a cold path) while catching any real hot-path
+   change, with no floor and no range logic. *)
+let default_alloc_tolerance = 0.01
+
+let minor_words_of = function
+  | Some (a : Memgc.counters) -> float_of_int a.Memgc.minor_words
+  | None -> Float.nan
+
+let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s)
+    ?(alloc_tolerance = default_alloc_tolerance) ~old_ ~new_ () =
   let find t id = List.find_opt (fun e -> e.id = id) t.entries in
   let compare_one oe ne =
     let om = median oe.wall_s and nm = median ne.wall_s in
@@ -265,7 +305,37 @@ let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s) ~ol
         (Improvement, Printf.sprintf "-%.0f%% and ranges disjoint" (100.0 *. (1.0 -. ratio)))
       else (Within_noise, "")
     in
-    { d_id = oe.id; verdict; old_median = om; new_median = nm; ratio; note = note ^ checks_note }
+    let alloc_verdict, old_mw, new_mw, alloc_ratio, alloc_note =
+      match (oe.alloc, ne.alloc) with
+      | Some oa, Some na ->
+          let ow = float_of_int oa.Memgc.minor_words
+          and nw = float_of_int na.Memgc.minor_words in
+          let r = nw /. ow in
+          if oa.Memgc.minor_words = 0 then
+            if na.Memgc.minor_words = 0 then (Some Within_noise, ow, nw, 1.0, "")
+            else (Some Regression, ow, nw, Float.infinity, "old side recorded zero words")
+          else if r > 1.0 +. alloc_tolerance then
+            (Some Regression, ow, nw, r,
+             Printf.sprintf "minor words +%.2f%%" (100.0 *. (r -. 1.0)))
+          else if r < 1.0 -. alloc_tolerance then
+            (Some Improvement, ow, nw, r,
+             Printf.sprintf "minor words -%.2f%%" (100.0 *. (1.0 -. r)))
+          else (Some Within_noise, ow, nw, r, "")
+      | _ -> (None, minor_words_of oe.alloc, minor_words_of ne.alloc, Float.nan, "")
+    in
+    {
+      d_id = oe.id;
+      verdict;
+      old_median = om;
+      new_median = nm;
+      ratio;
+      note = note ^ checks_note;
+      alloc_verdict;
+      old_minor_words = old_mw;
+      new_minor_words = new_mw;
+      alloc_ratio;
+      alloc_note;
+    }
   in
   let from_old =
     List.map
@@ -280,6 +350,11 @@ let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s) ~ol
               new_median = Float.nan;
               ratio = Float.nan;
               note = "";
+              alloc_verdict = None;
+              old_minor_words = minor_words_of oe.alloc;
+              new_minor_words = Float.nan;
+              alloc_ratio = Float.nan;
+              alloc_note = "";
             })
       old_.entries
   in
@@ -295,6 +370,11 @@ let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s) ~ol
               new_median = median ne.wall_s;
               ratio = Float.nan;
               note = "";
+              alloc_verdict = None;
+              old_minor_words = Float.nan;
+              new_minor_words = minor_words_of ne.alloc;
+              alloc_ratio = Float.nan;
+              alloc_note = "";
             }
         else None)
       new_.entries
@@ -302,6 +382,17 @@ let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s) ~ol
   from_old @ added
 
 let regressions deltas = List.filter (fun d -> d.verdict = Regression) deltas
+let alloc_regressions deltas = List.filter (fun d -> d.alloc_verdict = Some Regression) deltas
+
+(* The mixed-version case (v2 baseline vs v3 report, or Memgc off on one
+   side): some compared pair has alloc on neither or only one side, so the
+   alloc verdict was skipped there. Added/removed entries don't count —
+   there is nothing to compare. *)
+let alloc_skipped deltas =
+  List.exists
+    (fun d ->
+      d.alloc_verdict = None && d.verdict <> Added && d.verdict <> Removed)
+    deltas
 
 (* Configuration mismatches don't fail a diff, but a wall-time comparison
    across them is not apples-to-apples, so surface them loudly. *)

@@ -1,25 +1,34 @@
-(** Versioned bench reports ([wx-bench/2]) and the noise-aware diff between
-    two of them.
+(** Versioned bench reports ([wx-bench/3]) and the diff between two of
+    them: a noise-aware wall-time verdict plus a deterministic allocation
+    verdict.
 
     A report records, per experiment, the full list of wall-time samples
-    (one per repeat) plus run provenance (git commit, hostname, jobs, seed),
-    so a number in a committed baseline can always be traced back to the
-    configuration that produced it. {!diff} compares two reports and only
-    declares a {!Regression} when the medians moved beyond a relative
-    tolerance {e and} the two sample ranges are disjoint — scheduler noise
-    on either side keeps the verdict at {!Within_noise}.
+    (one per repeat), an optional GC/allocation block ({!Memgc.counters}
+    measured around the run) and run provenance (git commit, hostname,
+    jobs, seed), so a number in a committed baseline can always be traced
+    back to the configuration that produced it. {!diff} compares two
+    reports and only declares a wall-time {!Regression} when the medians
+    moved beyond a relative tolerance {e and} the two sample ranges are
+    disjoint — scheduler noise on either side keeps the verdict at
+    {!Within_noise}. The allocation verdict needs none of that machinery:
+    minor-word counts are deterministic per seed/jobs, so a plain ratio
+    against a 1% tolerance ({!default_alloc_tolerance}) gates far tighter
+    than wall time ever could.
 
-    {!of_json} also accepts the legacy [wx-bench/1] schema (scalar wall
-    time, no provenance), decoding it as a one-sample, one-repeat report. *)
+    {!of_json} also accepts the legacy [wx-bench/2] schema (no alloc
+    block — the alloc verdict is skipped, see {!alloc_skipped}) and
+    [wx-bench/1] (scalar wall time, no provenance), decoding the latter as
+    a one-sample, one-repeat report. *)
 
 val schema : string
-(** ["wx-bench/2"]. *)
+(** ["wx-bench/3"]. *)
 
 type entry = {
   id : string;
   title : string;
   claim : string;
   wall_s : float list;  (** one sample per repeat, in run order; non-empty *)
+  alloc : Memgc.counters option;  (** [None] when Memgc was off or pre-v3 *)
   holds : int;
   total : int;
   checks : Json.t;  (** opaque per-check rows, passed through verbatim *)
@@ -76,27 +85,56 @@ val verdict_name : verdict -> string
 
 type delta = {
   d_id : string;
-  verdict : verdict;
+  verdict : verdict;  (** the wall-time verdict *)
   old_median : float;  (** NaN when [Added] *)
   new_median : float;  (** NaN when [Removed] *)
   ratio : float;  (** new/old medians; NaN when not comparable *)
   note : string;
+  alloc_verdict : verdict option;
+      (** [None] when either side carries no alloc block (pre-v3 report or
+          Memgc off), or the entry was added/removed *)
+  old_minor_words : float;  (** NaN when unknown *)
+  new_minor_words : float;  (** NaN when unknown *)
+  alloc_ratio : float;  (** new/old minor words; NaN when not comparable *)
+  alloc_note : string;
 }
 
 val default_tolerance : float
-(** 0.25 — a median must move 25% to count. *)
+(** 0.25 — a wall-time median must move 25% to count. *)
 
 val default_min_wall_s : float
 (** 0.05 — experiments where both medians sit under 50ms are always within
     noise; timer resolution dominates there. *)
 
-val diff : ?tolerance:float -> ?min_wall_s:float -> old_:t -> new_:t -> unit -> delta list
+val default_alloc_tolerance : float
+(** 0.01 — minor words are deterministic per seed/jobs, so 1% only
+    forgives genuinely tiny drifts; no floor is needed. *)
+
+val diff :
+  ?tolerance:float ->
+  ?min_wall_s:float ->
+  ?alloc_tolerance:float ->
+  old_:t ->
+  new_:t ->
+  unit ->
+  delta list
 (** One delta per experiment id in either report, in old-report order with
-    new-only entries appended. Regression requires {e both} a median ratio
-    above [1 + tolerance] {e and} disjoint sample ranges
-    ([new min > old max]); improvement is the mirror image. *)
+    new-only entries appended. A wall-time regression requires {e both} a
+    median ratio above [1 + tolerance] {e and} disjoint sample ranges
+    ([new min > old max]); improvement is the mirror image. The alloc
+    verdict is a plain minor-words ratio against [1 + alloc_tolerance]
+    (regression) / [1 - alloc_tolerance] (improvement), computed only when
+    both sides carry an alloc block. *)
 
 val regressions : delta list -> delta list
+(** Wall-time regressions only. *)
+
+val alloc_regressions : delta list -> delta list
+
+val alloc_skipped : delta list -> bool
+(** True when some compared pair (not added/removed) lacked an alloc block
+    on at least one side — the mixed-version case a caller should warn
+    about. *)
 
 val compat_warnings : old_:t -> new_:t -> string list
 (** Human-readable warnings when quick mode, job count, or seed differ —

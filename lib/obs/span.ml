@@ -2,13 +2,23 @@
 
    [with_ ~name f] times [f] on the monotonic clock and records the span as
    a child of the innermost live span (or as a root). Disabled-mode cost is
-   one flag load and a direct call to [f]. Spans survive exceptions: the
-   span is closed and re-raised via Fun.protect. *)
+   a few flag loads and a direct call to [f]. Spans survive exceptions: the
+   span is closed and re-raised via Fun.protect.
+
+   When Memgc is also enabled, each span additionally attributes GC work:
+   minor/promoted/major words allocated and collections run while the span
+   was open (cumulative; self = total minus child rollup, like time). The
+   two quick_stat reads this costs per closed span happen only with Memgc
+   on — a metrics-only run reads the clock and nothing else. *)
 
 type t = {
   name : string;
   mutable dur_ns : int;
   mutable calls : int;
+  mutable minor_words : int;
+  mutable promoted_words : int;
+  mutable major_words : int;
+  mutable gc_collections : int; (* minor + major collections while open *)
   mutable children : t list; (* newest first; reversed on read *)
 }
 
@@ -22,7 +32,7 @@ let reset () =
 let find_child parent name = List.find_opt (fun c -> c.name = name) parent.children
 
 let with_ ~name f =
-  if not (Metrics.is_enabled () || Trace_export.is_enabled ()) then f ()
+  if not (Metrics.is_enabled () || Trace_export.is_enabled () || Memgc.is_enabled ()) then f ()
   else begin
     (* Re-entering the same name under the same parent accumulates into one
        node (calls + total time) instead of growing an unbounded sibling
@@ -36,19 +46,50 @@ let with_ ~name f =
       match existing with
       | Some s -> s
       | None ->
-          let s = { name; dur_ns = 0; calls = 0; children = [] } in
+          let s =
+            {
+              name;
+              dur_ns = 0;
+              calls = 0;
+              minor_words = 0;
+              promoted_words = 0;
+              major_words = 0;
+              gc_collections = 0;
+              children = [];
+            }
+          in
           (match !stack with
           | parent :: _ -> parent.children <- s :: parent.children
           | [] -> roots := s :: !roots);
           s
     in
     stack := span :: !stack;
+    let mem = Memgc.is_enabled () in
+    let g0 = if mem then Memgc.read () else Memgc.zero in
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let dur = Clock.now_ns () - t0 in
         span.dur_ns <- span.dur_ns + dur;
         span.calls <- span.calls + 1;
+        if mem then begin
+          let g1 = Memgc.read () in
+          span.minor_words <- span.minor_words + (g1.Memgc.minor_words - g0.Memgc.minor_words);
+          span.promoted_words <-
+            span.promoted_words + (g1.Memgc.promoted_words - g0.Memgc.promoted_words);
+          span.major_words <- span.major_words + (g1.Memgc.major_words - g0.Memgc.major_words);
+          span.gc_collections <-
+            span.gc_collections
+            + (g1.Memgc.minor_collections - g0.Memgc.minor_collections)
+            + (g1.Memgc.major_collections - g0.Memgc.major_collections);
+          (* One heap sample per closed span lines allocation up with the
+             worker timelines in the exported trace. *)
+          Trace_export.counter ~name:"gc.heap" ~t_ns:(t0 + dur)
+            [
+              ("minor_words", float_of_int g1.Memgc.minor_words);
+              ("major_words", float_of_int g1.Memgc.major_words);
+            ]
+        end;
         (* Spans are main-domain only (see DESIGN.md §6), so they all land
            on the caller's track, where the pool's chunk slices nest. *)
         Trace_export.slice ~tid:0 ~name ~t0_ns:t0 ~dur_ns:dur ();
@@ -62,7 +103,22 @@ let rollup_ns s = List.fold_left (fun acc c -> acc + c.dur_ns) 0 s.children
 (* Time spent in the span itself, outside any recorded child. *)
 let self_ns s = max 0 (s.dur_ns - rollup_ns s)
 
+let rollup_minor_words s = List.fold_left (fun acc c -> acc + c.minor_words) 0 s.children
+let self_minor_words s = max 0 (s.minor_words - rollup_minor_words s)
+
 let root_spans () = List.rev !roots
+
+let alloc_fields s =
+  if s.minor_words = 0 && s.promoted_words = 0 && s.major_words = 0 && s.gc_collections = 0
+  then []
+  else
+    [
+      ("minor_words", Json.Int s.minor_words);
+      ("self_minor_words", Json.Int (self_minor_words s));
+      ("promoted_words", Json.Int s.promoted_words);
+      ("major_words", Json.Int s.major_words);
+      ("gc_collections", Json.Int s.gc_collections);
+    ]
 
 let rec to_json_one s =
   Json.Obj
@@ -72,6 +128,7 @@ let rec to_json_one s =
        ("wall_ms", Json.Float (Clock.ns_to_ms s.dur_ns));
        ("self_ms", Json.Float (Clock.ns_to_ms (self_ns s)));
      ]
+    @ alloc_fields s
     @
     match children s with
     | [] -> []
@@ -83,13 +140,15 @@ let render () =
   let buf = Buffer.create 512 in
   let rec go depth s =
     Buffer.add_string buf
-      (Printf.sprintf "%s%-*s %8.3fms  (self %8.3fms, %d call%s)\n"
+      (Printf.sprintf "%s%-*s %8.3fms  (self %8.3fms, %d call%s)%s\n"
          (String.make (2 * depth) ' ')
          (max 1 (36 - (2 * depth)))
          s.name (Clock.ns_to_ms s.dur_ns)
          (Clock.ns_to_ms (self_ns s))
          s.calls
-         (if s.calls = 1 then "" else "s"));
+         (if s.calls = 1 then "" else "s")
+         (if s.minor_words = 0 then ""
+          else Printf.sprintf "  [%dw minor, %d gc]" s.minor_words s.gc_collections));
     List.iter (go (depth + 1)) (children s)
   in
   Buffer.add_string buf "-- spans --\n";

@@ -2,15 +2,25 @@
 
     [with_ ~name f] records wall time for [f] as a child of the innermost
     live span. Re-entering the same name under the same parent accumulates
-    calls and time into one node, so loops stay readable. Live when either
-    {!Metrics} or {!Trace_export} is enabled — each closed call also lands
-    as a timeline slice on the main track (tid 0) of the Chrome trace —
-    and costs two flag loads when both are off. *)
+    calls and time into one node, so loops stay readable. Live when
+    {!Metrics}, {!Trace_export} or {!Memgc} is enabled — each closed call
+    also lands as a timeline slice on the main track (tid 0) of the Chrome
+    trace — and costs three flag loads when all are off.
+
+    While {!Memgc} is enabled, each span additionally attributes GC work:
+    minor/promoted/major words allocated and collections run while it was
+    open (cumulative, like [dur_ns]; {!self_minor_words} subtracts the
+    child rollup), and each close emits a ["gc.heap"] counter sample onto
+    the trace. A memgc-disabled run performs zero [Gc] reads here. *)
 
 type t = {
   name : string;
   mutable dur_ns : int;
   mutable calls : int;
+  mutable minor_words : int;  (** cumulative; 0 unless {!Memgc} was on *)
+  mutable promoted_words : int;
+  mutable major_words : int;
+  mutable gc_collections : int;  (** minor + major collections while open *)
   mutable children : t list;  (** newest first; use {!children} for order *)
 }
 
@@ -25,5 +35,11 @@ val self_ns : t -> int
 (** Time inside the span but outside any recorded child (child rollup). *)
 
 val rollup_ns : t -> int
+
+val self_minor_words : t -> int
+(** Minor words allocated inside the span but outside any recorded child —
+    what [wx prof --alloc] ranks by. *)
+
+val rollup_minor_words : t -> int
 val to_json : unit -> Json.t
 val render : unit -> string

@@ -25,8 +25,14 @@ let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
 let is_enabled () = Atomic.get enabled
 
+(* Complete ("X") slices carry a duration; counter ("C") samples carry a
+   value series in their args and render as a stacked counter track in the
+   viewer — what the GC heap track uses. *)
+type phase = Complete | Counter
+
 type slice = {
   sl_name : string;
+  sl_ph : phase;
   sl_tid : int;
   sl_t0_ns : int;
   sl_dur_ns : int;
@@ -69,7 +75,26 @@ let push b s =
 let slice ?(args = []) ~tid ~name ~t0_ns ~dur_ns () =
   if Atomic.get enabled then
     push (Domain.DLS.get key)
-      { sl_name = name; sl_tid = tid; sl_t0_ns = t0_ns; sl_dur_ns = max 0 dur_ns; sl_args = args }
+      {
+        sl_name = name;
+        sl_ph = Complete;
+        sl_tid = tid;
+        sl_t0_ns = t0_ns;
+        sl_dur_ns = max 0 dur_ns;
+        sl_args = args;
+      }
+
+let counter ?(tid = 0) ~name ~t_ns series =
+  if Atomic.get enabled then
+    push (Domain.DLS.get key)
+      {
+        sl_name = name;
+        sl_ph = Counter;
+        sl_tid = tid;
+        sl_t0_ns = t_ns;
+        sl_dur_ns = 0;
+        sl_args = List.map (fun (k, v) -> (k, Json.Float v)) series;
+      }
 
 let reset () =
   Mutex.lock registry_lock;
@@ -96,18 +121,31 @@ let pid = 1
 
 let us_of_ns ns = float_of_int (ns - epoch_ns) /. 1e3
 
-(* Complete ("X") event: ts/dur are microseconds per the trace-event spec. *)
+(* ts/dur are microseconds per the trace-event spec. Counter events have
+   no duration; their args ARE the sampled series. *)
 let event_json s =
-  Json.Obj
-    ([
-       ("name", Json.String s.sl_name);
-       ("ph", Json.String "X");
-       ("ts", Json.Float (us_of_ns s.sl_t0_ns));
-       ("dur", Json.Float (float_of_int s.sl_dur_ns /. 1e3));
-       ("pid", Json.Int pid);
-       ("tid", Json.Int s.sl_tid);
-     ]
-    @ match s.sl_args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+  match s.sl_ph with
+  | Complete ->
+      Json.Obj
+        ([
+           ("name", Json.String s.sl_name);
+           ("ph", Json.String "X");
+           ("ts", Json.Float (us_of_ns s.sl_t0_ns));
+           ("dur", Json.Float (float_of_int s.sl_dur_ns /. 1e3));
+           ("pid", Json.Int pid);
+           ("tid", Json.Int s.sl_tid);
+         ]
+        @ match s.sl_args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+  | Counter ->
+      Json.Obj
+        [
+          ("name", Json.String s.sl_name);
+          ("ph", Json.String "C");
+          ("ts", Json.Float (us_of_ns s.sl_t0_ns));
+          ("pid", Json.Int pid);
+          ("tid", Json.Int s.sl_tid);
+          ("args", Json.Obj s.sl_args);
+        ]
 
 (* Metadata ("M") events give the process and each worker track a name so
    the viewer shows "main" / "worker-k" instead of bare thread ids. *)

@@ -25,6 +25,12 @@ val slice :
 (** Record one complete slice on track [tid]. [t0_ns] is a {!Clock.now_ns}
     stamp; negative durations are clamped to 0. No-op while disabled. *)
 
+val counter : ?tid:int -> name:string -> t_ns:int -> (string * float) list -> unit
+(** Record one counter ([ph = "C"]) sample: a named series of values at
+    one instant, rendered by the viewer as a stacked counter track. The GC
+    heap track ({!Span}, {!Memgc}) goes through this. No-op while
+    disabled. *)
+
 val reset : unit -> unit
 (** Discard all recorded slices (buffers stay registered). Call only after
     parallel sections have joined. *)

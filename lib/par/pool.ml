@@ -16,6 +16,7 @@
 
 module Metrics = Wx_obs.Metrics
 module Trace_export = Wx_obs.Trace_export
+module Memgc = Wx_obs.Memgc
 module Clock = Wx_obs.Clock
 module Json = Wx_obs.Json
 
@@ -32,6 +33,13 @@ let jobs_g = Metrics.gauge "pool.jobs"
 let chunk_t = Metrics.timer "pool.chunk"
 let claim_t = Metrics.timer "pool.claim_wait"
 let join_t = Metrics.timer "pool.join_wait"
+
+(* Per-worker / per-chunk allocation attribution (live only when Memgc is
+   also enabled): each worker observes its own Gc.counters delta, so the
+   histogram's DLS shards ARE the per-domain merge — a shard outlives its
+   domain and snapshot sums them after the joins. *)
+let worker_minor_h = Metrics.histogram "pool.worker_minor_words"
+let chunk_minor_h = Metrics.histogram "pool.chunk_minor_words"
 
 let recommended_jobs () = max 1 (min max_domains (Domain.recommended_domain_count ()))
 
@@ -74,7 +82,16 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
        metrics-only run skips slice pushes — but an uninstrumented run pays
        for neither clock reads nor the checks inside them. *)
     let instrumented = Metrics.is_enabled () || Trace_export.is_enabled () in
+    (* [memgc_on] alone obliges workers to credit their minor words to
+       Memgc's foreign accumulator at exit — Memgc.read on the caller is
+       domain-local, so without that credit worker allocation would vanish
+       from the bench alloc gate. Richer attribution (histograms, trace
+       args) additionally needs a sink, hence [mem]. With Memgc off no Gc
+       read happens at all. *)
+    let memgc_on = Memgc.is_enabled () in
+    let mem = instrumented && memgc_on in
     let now () = if instrumented then Clock.now_ns () else 0 in
+    let own_words () = if memgc_on then Memgc.own_minor_words () else 0.0 in
     (* Left fold of [map] over one chunk's indices — the innermost loop of
        every exact measure, so no per-index allocation beyond [map]'s own. *)
     let chunk_result c =
@@ -90,13 +107,18 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
        calling domain), [t_claim] the stamp just after the chunk was
        claimed. *)
     let run_chunk ~tid ~t_claim c =
+      let w0 = if mem then Memgc.own_minor_words () else 0.0 in
       let r = chunk_result c in
       if instrumented then begin
         let t_done = Clock.now_ns () in
+        let dw = if mem then Memgc.own_minor_words () -. w0 else 0.0 in
         Metrics.incr chunks_c;
         Metrics.observe_ns chunk_t (t_done - t_claim);
+        if mem then Metrics.observe chunk_minor_h dw;
         Trace_export.slice ~tid ~name:"chunk" ~t0_ns:t_claim ~dur_ns:(t_done - t_claim)
-          ~args:[ ("chunk", Json.Int c) ]
+          ~args:
+            (("chunk", Json.Int c)
+            :: (if mem then [ ("minor_words", Json.Float dw) ] else []))
           ()
       end;
       r
@@ -123,7 +145,17 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
       let cursor = Atomic.make 0 in
       let failure = Atomic.make None in
       let worker tid =
+        (* Pre-create this domain's histogram shards: otherwise a worker
+           that loses every chunk race allocates fewer shards than one that
+           claims work, and total allocation would vary run to run. *)
+        if instrumented then begin
+          Metrics.touch_timer claim_t;
+          Metrics.touch_timer chunk_t;
+          Metrics.touch chunk_minor_h;
+          Metrics.touch worker_minor_h
+        end;
         let t_start = now () in
+        let w_start = own_words () in
         let t_prev = ref t_start in
         let continue_ = ref true in
         while !continue_ do
@@ -144,9 +176,20 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
                 continue_ := false
           end
         done;
+        (* Per-worker attribution: the worker's OWN minor-word delta,
+           observed from the worker domain itself so it lands in that
+           domain's histogram shard (merged at snapshot after joins).
+           Spawned workers also credit the delta to Memgc's foreign
+           accumulator — the caller's post-join Memgc.read depends on it —
+           and that credit happens-before the join that publishes it. *)
+        let w_delta = if memgc_on then Memgc.own_minor_words () -. w_start else 0.0 in
+        if memgc_on && tid > 0 then Memgc.add_foreign_minor_words (int_of_float w_delta);
+        if mem then Metrics.observe worker_minor_h w_delta;
         if instrumented && tid > 0 then
           let t_exit = Clock.now_ns () in
-          Trace_export.slice ~tid ~name:"worker" ~t0_ns:t_start ~dur_ns:(t_exit - t_start) ()
+          Trace_export.slice ~tid ~name:"worker" ~t0_ns:t_start ~dur_ns:(t_exit - t_start)
+            ~args:(if mem then [ ("minor_words", Json.Float w_delta) ] else [])
+            ()
       in
       let domains = Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
       worker 0;

@@ -25,6 +25,7 @@ let () =
       ("certificate", Test_certificate.suite);
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);
+      ("memgc", Test_memgc.suite);
       ("report", Test_report.suite);
       ("par", Test_par.suite);
     ]

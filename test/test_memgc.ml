@@ -1,0 +1,207 @@
+(* The Memgc allocation-observability layer: spans see a known-size
+   allocation, counters are monotone and diff cleanly, disabled mode
+   performs literally zero Gc reads (the zero-cost contract), the pool
+   attributes worker allocation, deltas over an identical workload are
+   deterministic (what the bench alloc gate relies on), and the major-cycle
+   alarm fires. *)
+
+module Json = Wx_obs.Json
+module Metrics = Wx_obs.Metrics
+module Memgc = Wx_obs.Memgc
+module Span = Wx_obs.Span
+module Pool = Wx_par.Pool
+open Common
+
+(* Every test leaves both systems disabled so the rest of the suite keeps
+   its zero-cost default. *)
+let with_memgc ?(metrics = false) f =
+  Memgc.enable ();
+  if metrics then Metrics.enable ();
+  Metrics.reset ();
+  Span.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.reset ();
+      Span.reset ();
+      Metrics.disable ();
+      Memgc.disable ())
+    f
+
+(* A 1KiB bytes block is 130 words on 64-bit (1 header + 129 payload);
+   opaque_identity keeps the allocation from being optimized away. *)
+let block_words = 1 + ((1024 / (Sys.word_size / 8)) + 1)
+
+let burn blocks =
+  for _ = 1 to blocks do
+    ignore (Sys.opaque_identity (Bytes.create 1024))
+  done
+
+let test_span_attribution () =
+  with_memgc (fun () ->
+      let blocks = 1000 in
+      Span.with_ ~name:"test.memgc.alloc" (fun () -> burn blocks);
+      match Span.root_spans () with
+      | [ s ] ->
+          check_true "span name" (s.Span.name = "test.memgc.alloc");
+          let expected = blocks * block_words in
+          check_true "span sees at least the burned words" (s.Span.minor_words >= expected);
+          (* Loose upper bound: the measurement overhead itself is well
+             under one extra block per burned block. *)
+          check_true "span attribution is not wildly inflated"
+            (s.Span.minor_words < 2 * expected);
+          check_true "no children, so self = total"
+            (Span.self_minor_words s = s.Span.minor_words)
+      | l -> Alcotest.failf "expected 1 root span, got %d" (List.length l))
+
+let test_self_vs_rollup () =
+  with_memgc (fun () ->
+      Span.with_ ~name:"outer" (fun () ->
+          burn 500;
+          Span.with_ ~name:"inner" (fun () -> burn 1500));
+      match Span.root_spans () with
+      | [ outer ] ->
+          let inner = match Span.children outer with [ i ] -> i | _ -> Alcotest.fail "no inner" in
+          check_true "outer total covers inner" (outer.Span.minor_words >= inner.Span.minor_words);
+          check_true "inner allocated more than outer's own code"
+            (inner.Span.minor_words > Span.self_minor_words outer);
+          check_true "rollup = inner total" (Span.rollup_minor_words outer = inner.Span.minor_words)
+      | l -> Alcotest.failf "expected 1 root span, got %d" (List.length l))
+
+let test_monotone_and_diff () =
+  with_memgc (fun () ->
+      let a = Memgc.read () in
+      burn 100;
+      let b = Memgc.read () in
+      check_true "minor words monotone" (b.Memgc.minor_words >= a.Memgc.minor_words);
+      check_true "collections monotone"
+        (b.Memgc.minor_collections >= a.Memgc.minor_collections
+        && b.Memgc.major_collections >= a.Memgc.major_collections);
+      let d = Memgc.diff ~before:a ~after:b in
+      check_true "delta covers the burn" (d.Memgc.minor_words >= 100 * block_words);
+      check_true "delta counters non-negative"
+        (d.Memgc.promoted_words >= 0 && d.Memgc.major_words >= 0 && d.Memgc.compactions >= 0);
+      check_int "top_heap is a level, not a rate" b.Memgc.top_heap_words d.Memgc.top_heap_words)
+
+let test_disabled_is_free () =
+  (* Metrics stay on so spans and the pool still run their instrumented
+     paths — the claim under test is that none of them touch the Gc. *)
+  Metrics.enable ();
+  Metrics.reset ();
+  Span.reset ();
+  Memgc.disable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.reset ();
+      Span.reset ();
+      Metrics.disable ())
+    (fun () ->
+      let before = Memgc.gc_read_count () in
+      check_true "read is zero" (Memgc.read () = Memgc.zero);
+      check_float "own words is zero" 0.0 (Memgc.own_minor_words ());
+      Span.with_ ~name:"test.memgc.disabled" (fun () -> burn 50);
+      let sum =
+        Pool.parallel_reduce ~jobs:2 ~n:64 ~init:0
+          ~map:(fun i -> ignore (Sys.opaque_identity (Bytes.create 64)); i)
+          ~combine:( + ) ()
+      in
+      check_int "pool still correct" (64 * 63 / 2) sum;
+      check_int "zero Gc reads while disabled" before (Memgc.gc_read_count ());
+      (match Span.root_spans () with
+      | [ s ] -> check_int "span records no words while disabled" 0 s.Span.minor_words
+      | _ -> Alcotest.fail "span missing"))
+
+let test_pool_worker_attribution () =
+  with_memgc ~metrics:true (fun () ->
+      let sum =
+        Pool.parallel_reduce ~jobs:2 ~chunk:8 ~n:64 ~init:0
+          ~map:(fun i -> ignore (Sys.opaque_identity (Bytes.create 1024)); i)
+          ~combine:( + ) ()
+      in
+      check_int "reduce correct under attribution" (64 * 63 / 2) sum;
+      let snap = Metrics.snapshot () in
+      let hist name =
+        match Json.member "histograms" snap with
+        | Some hs -> Json.member name hs
+        | None -> None
+      in
+      let stats name =
+        match hist name with
+        | Some h ->
+            ( Option.get (Json.to_int_opt (Option.get (Json.member "count" h))),
+              Option.get (Json.to_float_opt (Option.get (Json.member "sum" h))) )
+        | None -> Alcotest.failf "histogram %s missing" name
+      in
+      let wcount, wsum = stats "pool.worker_minor_words" in
+      let ccount, csum = stats "pool.chunk_minor_words" in
+      check_int "one observation per worker slot" 2 wcount;
+      check_int "one observation per chunk" 8 ccount;
+      (* 64 iterations x one 1KiB block each, split across chunks/workers. *)
+      check_true "chunks account for the map's allocation"
+        (csum >= float_of_int (64 * block_words));
+      check_true "workers cover their chunks" (wsum >= csum *. 0.99))
+
+let test_delta_determinism () =
+  with_memgc (fun () ->
+      let workload () =
+        Pool.parallel_reduce ~jobs:2 ~chunk:8 ~n:256 ~init:0
+          ~map:(fun i -> ignore (Sys.opaque_identity (Bytes.create 256)); i)
+          ~combine:( + ) ()
+      in
+      let measure () =
+        let g0 = Memgc.read () in
+        ignore (workload ());
+        let g1 = Memgc.read () in
+        (Memgc.diff ~before:g0 ~after:g1).Memgc.minor_words
+      in
+      (* Warm-up pays one-time costs (DLS shards, lazy init) outside the
+         measured window, mirroring what bench record's repeat loop sees. *)
+      ignore (measure ());
+      let a = measure () and b = measure () in
+      check_int "identical workload, identical minor words" a b)
+
+let test_alarm () =
+  with_memgc (fun () ->
+      Memgc.install_alarm ();
+      Fun.protect ~finally:Memgc.remove_alarm (fun () ->
+          let before = Memgc.major_cycles () in
+          Gc.full_major ();
+          Gc.full_major ();
+          check_true "alarm saw the forced major cycles" (Memgc.major_cycles () > before)))
+
+let test_codec () =
+  let c =
+    {
+      Memgc.minor_words = 650_489;
+      promoted_words = 1_234;
+      major_words = 2_345;
+      minor_collections = 7;
+      major_collections = 2;
+      compactions = 1;
+      forced_major_collections = 1;
+      top_heap_words = 262_144;
+    }
+  in
+  (match Memgc.of_json (Memgc.to_json c) with
+  | Some d -> check_true "codec round trip" (d = c)
+  | None -> Alcotest.fail "round trip failed");
+  check_true "garbage decodes to None" (Memgc.of_json (Json.String "nope") = None);
+  check_true "render mentions the minor count"
+    (let r = Memgc.render c in
+     let has_sub needle hay =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has_sub "650489" r)
+
+let suite =
+  [
+    Alcotest.test_case "span sees a known-size allocation" `Quick test_span_attribution;
+    Alcotest.test_case "self vs rollup attribution" `Quick test_self_vs_rollup;
+    Alcotest.test_case "counters monotone, diff sane" `Quick test_monotone_and_diff;
+    Alcotest.test_case "disabled mode performs zero Gc reads" `Quick test_disabled_is_free;
+    Alcotest.test_case "pool attributes worker allocation" `Quick test_pool_worker_attribution;
+    Alcotest.test_case "deltas deterministic over identical work" `Quick test_delta_determinism;
+    Alcotest.test_case "major-cycle alarm fires" `Quick test_alarm;
+    Alcotest.test_case "counters codec round trip" `Quick test_codec;
+  ]

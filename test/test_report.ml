@@ -1,19 +1,34 @@
-(* The performance-trajectory layer: wx-bench/2 schema round-trips through
-   Wx_obs.Json, bench-diff verdicts on synthetic report pairs, and the
-   catapult traces Trace_export emits are well-formed (every event carries
-   ph/ts/pid/tid, one track per pool worker). *)
+(* The performance-trajectory layer: the wx-bench/3 schema (and its v2/v1
+   ancestors) round-trips through Wx_obs.Json, bench-diff wall-time and
+   allocation verdicts on synthetic report pairs, and the catapult traces
+   Trace_export emits are well-formed (every event carries ph/ts/pid/tid,
+   one track per pool worker). *)
 
 module Json = Wx_obs.Json
 module Report = Wx_obs.Report
+module Memgc = Wx_obs.Memgc
 module Trace = Wx_obs.Trace_export
 open Common
 
-let entry ?(holds = 1) ?(total = 1) id wall_s =
+(* A plausible alloc block: [minor_words w] scales the rest off the minor
+   count so synthetic reports stay internally consistent. *)
+let minor_words w =
+  {
+    Memgc.zero with
+    Memgc.minor_words = w;
+    promoted_words = w / 10;
+    major_words = w / 8;
+    minor_collections = 1 + (w / 100_000);
+    top_heap_words = 4096;
+  }
+
+let entry ?(holds = 1) ?(total = 1) ?alloc id wall_s =
   {
     Report.id;
     title = "title of " ^ id;
     claim = "claim of " ^ id;
     wall_s;
+    alloc;
     holds;
     total;
     checks = Json.List [ Json.Obj [ ("claim", Json.String id); ("holds", Json.Bool true) ] ];
@@ -34,7 +49,14 @@ let test_median () =
   check_float "max" 3.0 (Report.max_sample [ 3.0; 1.0; 2.0 ])
 
 let test_round_trip () =
-  let r = report [ entry "e1" [ 1.0; 1.2; 0.9 ]; entry ~holds:5 ~total:7 "e2" [ 0.25 ] ] in
+  let r =
+    report
+      [
+        entry ~alloc:(minor_words 650_489) "e1" [ 1.0; 1.2; 0.9 ];
+        (* Alloc-less entry in the same v3 report: Memgc was off. *)
+        entry ~holds:5 ~total:7 "e2" [ 0.25 ];
+      ]
+  in
   (* Through the renderer and parser, exactly as `wx bench record` writes
      and `wx bench diff` reads. *)
   let decoded =
@@ -45,8 +67,26 @@ let test_round_trip () =
   check_true "round trip preserves everything" (decoded = r);
   (* Spot-check the schema marker actually written. *)
   match Json.member "schema" (Report.to_json r) with
-  | Some (Json.String s) -> check_true "schema is wx-bench/2" (s = Report.schema)
+  | Some (Json.String s) -> check_true "schema is wx-bench/3" (s = Report.schema)
   | _ -> Alcotest.fail "no schema field"
+
+let test_v2_compat () =
+  (* A wx-bench/2 document is exactly a v3 document with no alloc blocks;
+     decoding must succeed and leave [alloc = None] everywhere. *)
+  let v2 =
+    match Report.to_json (report [ entry "e1" [ 1.0; 1.1 ] ]) with
+    | Json.Obj kvs ->
+        Json.Obj
+          (List.map
+             (function "schema", _ -> ("schema", Json.String "wx-bench/2") | kv -> kv)
+             kvs)
+    | _ -> assert false
+  in
+  match Report.of_json v2 with
+  | Error m -> Alcotest.failf "v2 rejected: %s" m
+  | Ok r ->
+      check_true "v2 entries decode with alloc = None"
+        (List.for_all (fun (e : Report.entry) -> e.Report.alloc = None) r.Report.entries)
 
 let test_v1_compat () =
   (* A minimal wx-bench/1 document, as PR 1's harness wrote it: scalar
@@ -182,6 +222,78 @@ let test_diff_tolerance_and_warnings () =
   check_int "quick+jobs mismatches warned" 2
     (List.length (Report.compat_warnings ~old_ ~new_:other))
 
+(* ---- allocation verdicts ---- *)
+
+let alloc_verdict_of deltas id =
+  match List.find_opt (fun d -> d.Report.d_id = id) deltas with
+  | Some d -> d.Report.alloc_verdict
+  | None -> Alcotest.failf "no delta for %s" id
+
+let test_alloc_verdicts () =
+  let old_ =
+    report
+      [
+        entry ~alloc:(minor_words 1_000_000) "reg" [ 1.0 ];
+        entry ~alloc:(minor_words 1_000_000) "drift" [ 1.0 ];
+        entry ~alloc:(minor_words 1_000_000) "imp" [ 1.0 ];
+        entry ~alloc:(minor_words 1_000_000) "same" [ 1.0 ];
+      ]
+  in
+  let new_ =
+    report
+      [
+        (* +2% minor words: over the 1% tolerance — a regression, even
+           though wall time is identical (determinism needs no floor). *)
+        entry ~alloc:(minor_words 1_020_000) "reg" [ 1.0 ];
+        (* +0.5%: inside the tolerance. *)
+        entry ~alloc:(minor_words 1_005_000) "drift" [ 1.0 ];
+        (* -2%: an improvement. *)
+        entry ~alloc:(minor_words 980_000) "imp" [ 1.0 ];
+        entry ~alloc:(minor_words 1_000_000) "same" [ 1.0 ];
+      ]
+  in
+  let deltas = Report.diff ~old_ ~new_ () in
+  check_true "+2% minor words regresses" (alloc_verdict_of deltas "reg" = Some Report.Regression);
+  check_true "+0.5% is within tolerance"
+    (alloc_verdict_of deltas "drift" = Some Report.Within_noise);
+  check_true "-2% improves" (alloc_verdict_of deltas "imp" = Some Report.Improvement);
+  check_true "identical counts are clean"
+    (alloc_verdict_of deltas "same" = Some Report.Within_noise);
+  check_int "one alloc regression total" 1 (List.length (Report.alloc_regressions deltas));
+  check_true "nothing skipped when both sides carry blocks"
+    (not (Report.alloc_skipped deltas));
+  (* Wall verdicts are independent: identical wall samples stay clean. *)
+  check_true "no wall regressions" (Report.regressions deltas = []);
+  (* A wider tolerance swallows the +2%. *)
+  let lax = Report.diff ~alloc_tolerance:0.05 ~old_ ~new_ () in
+  check_true "+2% is noise at 5% tolerance"
+    (alloc_verdict_of lax "reg" = Some Report.Within_noise)
+
+let test_alloc_mixed_versions () =
+  (* v2 baseline (no alloc blocks) vs v3 report: the alloc verdict is
+     skipped per entry, flagged via [alloc_skipped], and the wall verdict
+     still computes normally. *)
+  let old_ = report [ entry "e" [ 1.0; 1.0; 1.0 ] ] in
+  let new_ = report [ entry ~alloc:(minor_words 500_000) "e" [ 2.0; 2.1; 1.9 ] ] in
+  let deltas = Report.diff ~old_ ~new_ () in
+  check_true "alloc verdict skipped" (alloc_verdict_of deltas "e" = None);
+  check_true "skip is flagged" (Report.alloc_skipped deltas);
+  check_true "wall verdict still computed" (verdict_of deltas "e" = Report.Regression);
+  (* The one-sided minor-word count still surfaces for the table. *)
+  (match deltas with
+  | [ d ] ->
+      check_true "old words unknown" (Float.is_nan d.Report.old_minor_words);
+      check_float "new words shown" 500_000.0 d.Report.new_minor_words
+  | _ -> Alcotest.fail "expected one delta");
+  (* Added/removed entries never get an alloc verdict. *)
+  let grown =
+    report
+      [ entry ~alloc:(minor_words 1) "e" [ 1.0 ]; entry ~alloc:(minor_words 1) "fresh" [ 1.0 ] ]
+  in
+  let deltas = Report.diff ~old_:(report [ entry ~alloc:(minor_words 1) "e" [ 1.0 ] ]) ~new_:grown () in
+  check_true "added entry has no alloc verdict" (alloc_verdict_of deltas "fresh" = None);
+  check_true "added/removed do not count as skipped" (not (Report.alloc_skipped deltas))
+
 (* ---- catapult traces ---- *)
 
 let with_trace f =
@@ -262,11 +374,14 @@ let test_trace_disabled_records_nothing () =
 let suite =
   [
     Alcotest.test_case "median / spread helpers" `Quick test_median;
-    Alcotest.test_case "wx-bench/2 round trip" `Quick test_round_trip;
+    Alcotest.test_case "wx-bench/3 round trip" `Quick test_round_trip;
+    Alcotest.test_case "wx-bench/2 compatibility" `Quick test_v2_compat;
     Alcotest.test_case "wx-bench/1 compatibility" `Quick test_v1_compat;
     Alcotest.test_case "malformed reports rejected" `Quick test_malformed;
     Alcotest.test_case "diff verdicts on synthetic pairs" `Quick test_diff_verdicts;
     Alcotest.test_case "diff tolerance + compat warnings" `Quick test_diff_tolerance_and_warnings;
+    Alcotest.test_case "alloc verdicts on synthetic pairs" `Quick test_alloc_verdicts;
+    Alcotest.test_case "alloc verdict across schema versions" `Quick test_alloc_mixed_versions;
     Alcotest.test_case "catapult trace well-formed" `Quick test_catapult_well_formed;
     Alcotest.test_case "trace disabled records nothing" `Quick test_trace_disabled_records_nothing;
   ]
