@@ -1,0 +1,146 @@
+(* KERN — the enumeration kernel itself, tracked as a first-class
+   experiment so `wx bench record/diff` (and the CI alloc gate) watch the
+   delta-scoring engine directly rather than only end-to-end experiments.
+
+   Per measure it drives the same subset space twice: once with the
+   pre-engine from-scratch scorer (fresh neighborhood bitsets / counter
+   arrays per set, closure-based adjacency walks) and once through the
+   incremental path the exact measures now use, reporting enumeration
+   steps/sec for each and checking the values agree. Both runs are
+   sequential: the kernel under test is the scorer, not the pool. *)
+
+open Bench_common
+module Combi = Wx_util.Combi
+module Clock = Wx_obs.Clock
+
+(* ---- from-scratch reference scorers (the pre-engine shapes) ---- *)
+
+let naive_min_value g kmax score =
+  let n = Graph.n g in
+  let buf = Bitset.create n in
+  let best = ref infinity in
+  Combi.iter_subsets_le n kmax (fun idxs ->
+      Bitset.clear_inplace buf;
+      Array.iter (Bitset.add_inplace buf) idxs;
+      let v = score buf in
+      if v < !best then best := v);
+  !best
+
+let naive_beta g kmax = naive_min_value g kmax (Nbhd.expansion_of_set g)
+let naive_beta_u g kmax = naive_min_value g kmax (Nbhd.unique_expansion_of_set g)
+
+(* Old inner wireless maximisation: per outer set, a fresh n-int counter
+   array and tracking bitset, with closure-based neighbor iteration. *)
+let naive_wireless_of_set g s =
+  let n = Graph.n g in
+  let elts = Bitset.to_array s in
+  let k = Array.length elts in
+  let cnt = Array.make n 0 in
+  let uniq = ref 0 in
+  let cur = Bitset.create n in
+  let best = ref 0 in
+  let total = 1 lsl k in
+  for i = 1 to total - 1 do
+    let gray_prev = (i - 1) lxor ((i - 1) lsr 1) in
+    let gray = i lxor (i lsr 1) in
+    let changed = gray lxor gray_prev in
+    let bit =
+      let rec go b = if changed lsr b land 1 = 1 then b else go (b + 1) in
+      go 0
+    in
+    let u = elts.(bit) in
+    (if Bitset.mem cur u then begin
+       Bitset.remove_inplace cur u;
+       Graph.iter_neighbors g u (fun w ->
+           if not (Bitset.mem s w) then begin
+             if cnt.(w) = 1 then decr uniq else if cnt.(w) = 2 then incr uniq;
+             cnt.(w) <- cnt.(w) - 1
+           end)
+     end
+     else begin
+       Bitset.add_inplace cur u;
+       Graph.iter_neighbors g u (fun w ->
+           if not (Bitset.mem s w) then begin
+             if cnt.(w) = 0 then incr uniq else if cnt.(w) = 1 then decr uniq;
+             cnt.(w) <- cnt.(w) + 1
+           end)
+     end);
+    if !uniq > !best then best := !uniq
+  done;
+  !best
+
+let naive_beta_w g kmax =
+  naive_min_value g kmax (fun s ->
+      float_of_int (naive_wireless_of_set g s) /. float_of_int (Bitset.cardinal s))
+
+(* ---- harness ---- *)
+
+let timed f =
+  let t0 = Clock.now_ns () in
+  let v = f () in
+  (v, Clock.ns_to_s (Clock.now_ns () - t0))
+
+let gray_steps n kmax =
+  let acc = ref 0 in
+  for k = 1 to kmax do
+    acc := !acc + (Combi.binomial n k * ((1 lsl k) - 1))
+  done;
+  !acc
+
+let per_sec steps dt = if dt > 0.0 then float_of_int steps /. dt else infinity
+
+let run ~quick =
+  let nb = if quick then 16 else 18 in
+  let nw = if quick then 12 else 13 in
+  let gb = Gen.gnp (rng 41) nb 0.3 in
+  let gw = Gen.gnp (rng 42) nw 0.35 in
+  let kb = Measure.max_set_size gb in
+  let kw = Measure.max_set_size gw in
+  let set_steps = Combi.subsets_count_le nb kb in
+  let flip_steps = gray_steps nw kw in
+  let t = Table.create [ "measure"; "engine"; "steps"; "steps/sec" ] in
+  let ok = ref 0 and total = ref 0 in
+  let row measure engine steps dt =
+    Table.add_row t
+      [ measure; engine; Table.fi steps; Printf.sprintf "%.3e" (per_sec steps dt) ]
+  in
+  let kernel name steps naive inc =
+    let naive_v, naive_dt = timed naive in
+    let inc_v, inc_dt = timed inc in
+    row name "naive" steps naive_dt;
+    row name "incremental" steps inc_dt;
+    let agree = naive_v = inc_v in
+    incr total;
+    if agree then incr ok;
+    record
+      ~claim:(Printf.sprintf "kernel %s: incremental value = naive value" name)
+      ~instance:(Printf.sprintf "gnp n=%d" (if name = "beta_w" then nw else nb))
+      ~predicted:naive_v ~measured:inc_v agree;
+    let sane = inc_dt > 0.0 in
+    incr total;
+    if sane then incr ok;
+    record
+      ~claim:(Printf.sprintf "kernel %s: incremental speedup (informational)" name)
+      ~instance:(Printf.sprintf "gnp n=%d" (if name = "beta_w" then nw else nb))
+      ~predicted:1.0
+      ~measured:(naive_dt /. Float.max inc_dt 1e-12)
+      sane
+  in
+  kernel "beta" set_steps (fun () -> naive_beta gb kb)
+    (fun () -> (Measure.beta_exact ~jobs:1 gb).Measure.value);
+  kernel "beta_u" set_steps
+    (fun () -> naive_beta_u gb kb)
+    (fun () -> (Measure.beta_u_exact ~jobs:1 gb).Measure.value);
+  kernel "beta_w" flip_steps
+    (fun () -> naive_beta_w gw kw)
+    (fun () -> (Measure.beta_w_exact ~jobs:1 gw).Measure.value);
+  Table.print t;
+  verdict !ok !total
+
+let experiment =
+  {
+    id = "kern";
+    title = "enumeration kernel: naive vs incremental delta scoring";
+    claim = "engine validation (no paper claim)";
+    run;
+  }

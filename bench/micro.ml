@@ -56,6 +56,32 @@ let make_tests () =
       (Staged.stage
          (let small = Gen.random_bipartite_sdeg (Rng.create 1) ~s:16 ~n:32 ~d:3 in
           fun () -> Wx_spokesmen.Bb.solve small));
+    (* enumeration kernel: from-scratch scoring vs the incremental
+       delta-scoring engine, per exact measure (KERN's unit costs). *)
+    Test.make ~name:"beta enum naive gnp n=14"
+      (Staged.stage
+         (let g = Gen.gnp (Rng.create 929292) 14 0.3 in
+          fun () -> Wx_bench.Kernel_bench.naive_beta g 7));
+    Test.make ~name:"beta enum incremental gnp n=14"
+      (Staged.stage
+         (let g = Gen.gnp (Rng.create 929292) 14 0.3 in
+          fun () -> Wx_expansion.Measure.beta_exact ~jobs:1 g));
+    Test.make ~name:"beta_u enum naive gnp n=14"
+      (Staged.stage
+         (let g = Gen.gnp (Rng.create 929292) 14 0.3 in
+          fun () -> Wx_bench.Kernel_bench.naive_beta_u g 7));
+    Test.make ~name:"beta_u enum incremental gnp n=14"
+      (Staged.stage
+         (let g = Gen.gnp (Rng.create 929292) 14 0.3 in
+          fun () -> Wx_expansion.Measure.beta_u_exact ~jobs:1 g));
+    Test.make ~name:"beta_w enum naive gnp n=10"
+      (Staged.stage
+         (let g = Gen.gnp (Rng.create 929292) 10 0.35 in
+          fun () -> Wx_bench.Kernel_bench.naive_beta_w g 5));
+    Test.make ~name:"beta_w enum incremental gnp n=10"
+      (Staged.stage
+         (let g = Gen.gnp (Rng.create 929292) 10 0.35 in
+          fun () -> Wx_expansion.Measure.beta_w_exact ~jobs:1 g));
     (* flow-based exact arboricity (E12's kernel). *)
     Test.make ~name:"exact arboricity grid 8x8"
       (Staged.stage

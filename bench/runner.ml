@@ -28,6 +28,7 @@ let experiments : experiment list =
     E11_broadcast.experiment;
     E12_arboricity.experiment;
     Ablations.experiment;
+    Kernel_bench.experiment;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) experiments

@@ -28,11 +28,24 @@ let max_set_size ?(alpha = 0.5) g =
    smallest element), so "first set attaining the minimum" is no longer a
    well-defined witness. Instead the canonical witness is the
    lexicographically smallest minimiser (elements compared as sorted
-   lists): [consider] applies the tiebreak within a shard and [better]
+   lists): the shard loop applies the tiebreak within a shard and [better]
    applies it across shards, making the reported witness a pure function of
    the graph — independent of job count, chunking and scheduling. *)
 
 let lex_less a b = compare (Bitset.elements a) (Bitset.elements b) < 0
+
+(* Same order as [lex_less] on sorted element arrays (element-wise, with an
+   exhausted prefix comparing smaller), without materialising lists. *)
+let lex_less_arr a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la then la < lb
+    else if i >= lb then false
+    else if a.(i) < b.(i) then true
+    else if a.(i) > b.(i) then false
+    else go (i + 1)
+  in
+  go 0
 
 let better a b =
   if b.value < a.value then b
@@ -44,7 +57,8 @@ let better_opt a b =
   match (a, b) with None, x | x, None -> x | Some a, Some b -> Some (better a b)
 
 (* Fold one candidate into a shard-local best. [copy] when [w] is a reused
-   enumeration buffer rather than an owned set. *)
+   enumeration buffer rather than an owned set. Sampled paths only — the
+   exact paths inline the same tiebreak over index arrays. *)
 let consider best v w ~copy =
   let improved =
     match !best with None -> true | Some b -> v < b.value || (v = b.value && lex_less w b.witness)
@@ -99,29 +113,178 @@ let check_wireless_work name g kmax work_limit =
             name n kmax work_limit))
   end
 
-(* ---- exact minima, sharded by smallest element ---- *)
+(* Largest k for which [1 lsl k] is a positive int — the native-int ceiling
+   on Gray-code step counts (61 on a 64-bit platform). *)
+let max_gray_bits = Sys.int_size - 2
 
-(* Generic exact minimum of [score] over non-empty subsets of size <= kmax.
+(* Single-set Gray enumeration guard. The effective step bound is
+   [min work_limit 2^max_gray_bits]: a shift past [max_gray_bits] does not
+   produce a meaningful step count, so even [~work_limit:max_int] cannot
+   admit such a set. Both the admission test and the reported bound derive
+   from that one number. *)
+let check_gray_work name k work_limit =
+  let ceiling = 1 lsl max_gray_bits in
+  let bound = if work_limit < ceiling then work_limit else ceiling in
+  if k > max_gray_bits || 1 lsl k > bound then begin
+    Metrics.incr m_work_rejected;
+    raise
+      (Too_large
+         (Printf.sprintf "%s: 2^%d Gray-code steps exceed the step bound %d%s" name k bound
+            (if bound = ceiling && work_limit > ceiling then " (native-int ceiling)" else "")))
+  end
+
+(* ---- incremental scoring engine ----
+
+   The delta enumerators in [Combi] report how much of the previous subset
+   survives each step ([kept] leading slots); an [Nbhd.Inc] arena absorbs
+   the difference with O(deg) [add]/[remove] calls and answers
+   |Γ⁻(S)|, |Γ¹(S)|, |S| in O(1). One arena per shard, reused across the
+   whole enumeration — the per-set cost is the touched edges, with no
+   allocation (the old path built a fresh neighborhood bitset per set).
+
+   A scorer couples the arena to a measure. [score] reads the arena (and
+   for the wireless measure runs the inner Gray-code maximisation);
+   [flush] publishes any batched counters once the shard finishes, so the
+   hot loop performs no atomic operations. *)
+
+type inc_scorer = { score : int array -> float; flush : unit -> unit }
+
+let expansion_scorer inc =
+  { score = (fun _ -> Nbhd.Inc.expansion inc); flush = (fun () -> ()) }
+
+let unique_scorer inc =
+  { score = (fun _ -> Nbhd.Inc.unique_expansion inc); flush = (fun () -> ()) }
+
+(* Scratch for the count-only inner Gray kernel: per-vertex neighbor counts
+   plus mutable int fields (a boxed record, allocated once per shard, so
+   per-subset state updates allocate nothing). *)
+type gray_state = {
+  cnt : int array;
+  mutable flips : int;
+  mutable uniq : int;
+  mutable best : int;
+}
+
+(* Max of |Γ¹_S(S')| over S' ⊆ S for S = the arena's current set (listed in
+   [elts], length >= 1), by Gray-code enumeration. Count-only: no witness,
+   no bitsets, membership tests against the arena. [st.cnt] must be
+   all-zero on entry and is re-zeroed on exit — the Gray walk over
+   [1 .. 2^len - 1] ends at the singleton {elts.(len-1)}, so one unwind
+   pass restores it in O(deg). *)
+let gray_max_unique_count g inc st elts len =
+  if len > max_gray_bits then
+    raise (Too_large "Measure: inner Gray enumeration exceeds the native-int ceiling");
+  st.uniq <- 0;
+  st.best <- 0;
+  let cnt = st.cnt in
+  let total = 1 lsl len in
+  for i = 1 to total - 1 do
+    (* The bit toggled at Gray step i is the lowest set bit of i; it is an
+       add exactly when set in gray(i) = i lxor (i lsr 1). *)
+    let bit =
+      let rec go b = if (i lsr b) land 1 = 1 then b else go (b + 1) in
+      go 0
+    in
+    let u = Array.unsafe_get elts bit in
+    let adding = ((i lxor (i lsr 1)) lsr bit) land 1 = 1 in
+    let nbrs = Graph.neighbors g u in
+    if adding then
+      for j = 0 to Array.length nbrs - 1 do
+        let w = Array.unsafe_get nbrs j in
+        if not (Nbhd.Inc.mem inc w) then begin
+          let c = cnt.(w) in
+          if c = 0 then st.uniq <- st.uniq + 1 else if c = 1 then st.uniq <- st.uniq - 1;
+          cnt.(w) <- c + 1
+        end
+      done
+    else
+      for j = 0 to Array.length nbrs - 1 do
+        let w = Array.unsafe_get nbrs j in
+        if not (Nbhd.Inc.mem inc w) then begin
+          let c = cnt.(w) in
+          if c = 1 then st.uniq <- st.uniq - 1 else if c = 2 then st.uniq <- st.uniq + 1;
+          cnt.(w) <- c - 1
+        end
+      done;
+    if st.uniq > st.best then st.best <- st.uniq
+  done;
+  st.flips <- st.flips + (total - 1);
+  let last = Graph.neighbors g elts.(len - 1) in
+  for j = 0 to Array.length last - 1 do
+    let w = Array.unsafe_get last j in
+    if not (Nbhd.Inc.mem inc w) then cnt.(w) <- 0
+  done;
+  st.best
+
+let wireless_scorer g inc =
+  let st = { cnt = Array.make (Graph.n g) 0; flips = 0; uniq = 0; best = 0 } in
+  {
+    score =
+      (fun idxs ->
+        let len = Array.length idxs in
+        let m = gray_max_unique_count g inc st idxs len in
+        float_of_int m /. float_of_int len);
+    flush = (fun () -> if st.flips > 0 then Metrics.add m_gray_flips st.flips);
+  }
+
+(* ---- exact minima, sharded by smallest element ----
+
    Shard a = all subsets whose smallest element is a; shards are
-   independent, similar in cost, and jointly exhaustive. *)
-let min_over_sets name ?(work_limit = 1 lsl 24) ?jobs g kmax score =
+   independent, similar in cost, and jointly exhaustive. Each shard drives
+   one arena through the delta enumeration and keeps its best as a plain
+   (value, sorted index array) pair; the witness bitset is materialised
+   once, when the shard returns. Determinism: the enumeration order, the
+   integer counters, and the lex tiebreak are all identical to the naive
+   scorer's, so values and witnesses are bit-identical at any job count. *)
+
+let min_over_shards name ?jobs g kmax make_scorer =
   let n = Graph.n g in
-  if n = 0 || kmax = 0 then invalid_arg (name ^ ": no feasible sets");
-  let count = count_sets_le name g kmax in
-  check_work name count work_limit;
   let shard a =
-    let buf = Bitset.create n in
-    let best = ref None in
-    Combi.iter_subsets_le_with_min n kmax a (fun idxs ->
-        Metrics.incr m_sets_scored;
-        Bitset.clear_inplace buf;
-        Array.iter (Bitset.add_inplace buf) idxs;
-        consider best (score buf) buf ~copy:true);
-    !best
+    let inc = Nbhd.Inc.create g in
+    let sc = make_scorer inc in
+    let prev = Array.make (max 1 (min kmax n)) 0 in
+    let prev_len = ref 0 in
+    let scored = ref 0 in
+    let improvements = ref 0 in
+    let have = ref false in
+    let best_v = ref infinity in
+    let best_w = ref [||] in
+    Combi.iter_subsets_le_with_min_delta n kmax a (fun idxs ~kept ->
+        for j = !prev_len - 1 downto kept do
+          Nbhd.Inc.remove inc prev.(j)
+        done;
+        let len = Array.length idxs in
+        for j = kept to len - 1 do
+          let v = idxs.(j) in
+          Nbhd.Inc.add inc v;
+          prev.(j) <- v
+        done;
+        prev_len := len;
+        incr scored;
+        let v = sc.score idxs in
+        if (not !have) || v < !best_v || (v = !best_v && lex_less_arr idxs !best_w) then begin
+          have := true;
+          incr improvements;
+          best_v := v;
+          best_w := Array.copy idxs
+        end);
+    sc.flush ();
+    if !scored > 0 then Metrics.add m_sets_scored !scored;
+    if !improvements > 0 then Metrics.add m_improvements !improvements;
+    if !have then Some { value = !best_v; witness = Bitset.of_array n !best_w } else None
   in
   match Pool.parallel_reduce ?jobs ~n ~init:None ~map:shard ~combine:better_opt () with
   | Some w -> w
   | None -> invalid_arg (name ^ ": no feasible sets")
+
+(* Generic exact minimum of a measure over non-empty subsets of size <= kmax,
+   guarded by the candidate-set count. *)
+let min_over_sets name ?(work_limit = 1 lsl 24) ?jobs g kmax make_scorer =
+  let n = Graph.n g in
+  if n = 0 || kmax = 0 then invalid_arg (name ^ ": no feasible sets");
+  let count = count_sets_le name g kmax in
+  check_work name count work_limit;
+  min_over_shards name ?jobs g kmax make_scorer
 
 (* ---- sampled minima, sharded by sample block ----
 
@@ -163,7 +326,7 @@ let min_over_sampled_sets ?jobs g kmax rng samples score =
 let beta_exact ?alpha ?work_limit ?jobs g =
   Span.with_ ~name:"measure.beta_exact" (fun () ->
       min_over_sets "Measure.beta_exact" ?work_limit ?jobs g (max_set_size ?alpha g)
-        (Nbhd.expansion_of_set g))
+        expansion_scorer)
 
 let beta_sampled ?alpha ?jobs rng ~samples g =
   Span.with_ ~name:"measure.beta_sampled" (fun () ->
@@ -173,7 +336,7 @@ let beta_sampled ?alpha ?jobs rng ~samples g =
 let beta_u_exact ?alpha ?work_limit ?jobs g =
   Span.with_ ~name:"measure.beta_u_exact" (fun () ->
       min_over_sets "Measure.beta_u_exact" ?work_limit ?jobs g (max_set_size ?alpha g)
-        (Nbhd.unique_expansion_of_set g))
+        unique_scorer)
 
 let beta_u_sampled ?alpha ?jobs rng ~samples g =
   Span.with_ ~name:"measure.beta_u_sampled" (fun () ->
@@ -181,53 +344,57 @@ let beta_u_sampled ?alpha ?jobs rng ~samples g =
         (Nbhd.unique_expansion_of_set g))
 
 (* Exact max over S' of |Γ¹_S(S')| for a fixed S, returning (max, argmax).
-   Gray-code enumeration with incremental per-vertex neighbor counts. *)
+   Gray-code enumeration with incremental per-vertex neighbor counts. The
+   witness-tracking variant used by [wireless_of_set_exact] and the sampled
+   path; the exact outer loops use the count-only kernel above instead. *)
 let max_unique_over_subsets ?(work_limit = 1 lsl 24) g s =
   let n = Graph.n g in
   let elts = Bitset.to_array s in
   let k = Array.length elts in
   if k = 0 then invalid_arg "Measure.wireless_of_set: empty set";
-  if k > 30 then raise (Too_large "Measure.wireless_of_set: |S| > 30");
-  check_work "Measure.wireless_of_set" (1 lsl k) work_limit;
+  check_gray_work "Measure.wireless_of_set" k work_limit;
   let cnt = Array.make n 0 in
   let uniq = ref 0 in
   let cur = Bitset.create n in
-  let flip u =
-    if Bitset.mem cur u then begin
-      Bitset.remove_inplace cur u;
-      Graph.iter_neighbors g u (fun w ->
-          if not (Bitset.mem s w) then begin
-            if cnt.(w) = 1 then decr uniq else if cnt.(w) = 2 then incr uniq;
-            cnt.(w) <- cnt.(w) - 1
-          end)
-    end
-    else begin
-      Bitset.add_inplace cur u;
-      Graph.iter_neighbors g u (fun w ->
-          if not (Bitset.mem s w) then begin
-            if cnt.(w) = 0 then incr uniq else if cnt.(w) = 1 then decr uniq;
-            cnt.(w) <- cnt.(w) + 1
-          end)
-    end
-  in
   let best = ref 0 in
   let best_set = ref (Bitset.create n) in
   let total = 1 lsl k in
   for i = 1 to total - 1 do
-    let gray_prev = (i - 1) lxor ((i - 1) lsr 1) in
-    let gray = i lxor (i lsr 1) in
-    let changed = gray lxor gray_prev in
     let bit =
-      let rec go b = if changed lsr b land 1 = 1 then b else go (b + 1) in
+      let rec go b = if (i lsr b) land 1 = 1 then b else go (b + 1) in
       go 0
     in
-    flip elts.(bit);
-    Metrics.incr m_gray_flips;
+    let u = elts.(bit) in
+    let adding = ((i lxor (i lsr 1)) lsr bit) land 1 = 1 in
+    let nbrs = Graph.neighbors g u in
+    if adding then begin
+      Bitset.add_inplace cur u;
+      for j = 0 to Array.length nbrs - 1 do
+        let w = Array.unsafe_get nbrs j in
+        if not (Bitset.mem s w) then begin
+          let c = cnt.(w) in
+          if c = 0 then incr uniq else if c = 1 then decr uniq;
+          cnt.(w) <- c + 1
+        end
+      done
+    end
+    else begin
+      Bitset.remove_inplace cur u;
+      for j = 0 to Array.length nbrs - 1 do
+        let w = Array.unsafe_get nbrs j in
+        if not (Bitset.mem s w) then begin
+          let c = cnt.(w) in
+          if c = 1 then decr uniq else if c = 2 then incr uniq;
+          cnt.(w) <- c - 1
+        end
+      done
+    end;
     if !uniq > !best then begin
       best := !uniq;
       best_set := Bitset.copy cur
     end
   done;
+  Metrics.add m_gray_flips (total - 1);
   (!best, !best_set)
 
 let wireless_of_set_exact ?work_limit g s =
@@ -240,20 +407,7 @@ let beta_w_exact ?alpha ?(work_limit = 1 lsl 26) ?jobs g =
       let n = Graph.n g in
       if n = 0 || kmax = 0 then invalid_arg "Measure.beta_w_exact: no feasible sets";
       check_wireless_work "Measure.beta_w_exact" g kmax work_limit;
-      let shard a =
-        let buf = Bitset.create n in
-        let best = ref None in
-        Combi.iter_subsets_le_with_min n kmax a (fun idxs ->
-            Metrics.incr m_sets_scored;
-            Bitset.clear_inplace buf;
-            Array.iter (Bitset.add_inplace buf) idxs;
-            let m, _ = max_unique_over_subsets ~work_limit:max_int g buf in
-            consider best (float_of_int m /. float_of_int (Array.length idxs)) buf ~copy:true);
-        !best
-      in
-      match Pool.parallel_reduce ?jobs ~n ~init:None ~map:shard ~combine:better_opt () with
-      | Some w -> w
-      | None -> assert false)
+      min_over_shards "Measure.beta_w_exact" ?jobs g kmax (wireless_scorer g))
 
 (* Largest sampled |S| for which the inner 2^|S| maximisation is viable;
    matches the default [inner_work_limit] of 2^22 Gray-code steps. *)
@@ -302,21 +456,35 @@ let beta_w_sampled ?alpha ?(inner_work_limit = 1 lsl 22) ?jobs rng ~samples g =
 
    Values only (no witness), so plain [Float.min] is the combine: it is
    associative and commutative, and scores are never NaN, so the profile is
-   deterministic without any tiebreak. *)
+   deterministic without any tiebreak. Same incremental engine as the
+   minima, one size at a time. *)
 
-let profile_sizes ?jobs g kmax score =
+let profile_sizes ?jobs g kmax make_scorer =
   let n = Graph.n g in
   let out = ref [] in
   for k = kmax downto 1 do
     let shard a =
-      let buf = Bitset.create n in
+      let inc = Nbhd.Inc.create g in
+      let sc = make_scorer inc in
+      let prev = Array.make k 0 in
+      let prev_len = ref 0 in
+      let scored = ref 0 in
       let best = ref infinity in
-      Combi.iter_subsets_of_size_with_min n k a (fun idxs ->
-          Metrics.incr m_sets_scored;
-          Bitset.clear_inplace buf;
-          Array.iter (Bitset.add_inplace buf) idxs;
-          let v = score buf in
+      Combi.iter_subsets_of_size_with_min_delta n k a (fun idxs ~kept ->
+          for j = !prev_len - 1 downto kept do
+            Nbhd.Inc.remove inc prev.(j)
+          done;
+          for j = kept to k - 1 do
+            let v = idxs.(j) in
+            Nbhd.Inc.add inc v;
+            prev.(j) <- v
+          done;
+          prev_len := k;
+          incr scored;
+          let v = sc.score idxs in
           if v < !best then best := v);
+      sc.flush ();
+      if !scored > 0 then Metrics.add m_sets_scored !scored;
       !best
     in
     let best =
@@ -330,17 +498,15 @@ let profile_beta ?alpha ?(work_limit = 1 lsl 24) ?jobs g =
   let kmax = max_set_size ?alpha g in
   let count = count_sets_le "Measure.profile_beta" g kmax in
   check_work "Measure.profile_beta" count work_limit;
-  profile_sizes ?jobs g kmax (Nbhd.expansion_of_set g)
+  profile_sizes ?jobs g kmax expansion_scorer
 
 let profile_beta_u ?alpha ?(work_limit = 1 lsl 24) ?jobs g =
   let kmax = max_set_size ?alpha g in
   let count = count_sets_le "Measure.profile_beta_u" g kmax in
   check_work "Measure.profile_beta_u" count work_limit;
-  profile_sizes ?jobs g kmax (Nbhd.unique_expansion_of_set g)
+  profile_sizes ?jobs g kmax unique_scorer
 
 let profile_beta_w ?alpha ?(work_limit = 1 lsl 26) ?jobs g =
   let kmax = max_set_size ?alpha g in
   check_wireless_work "Measure.profile_beta_w" g kmax work_limit;
-  profile_sizes ?jobs g kmax (fun s ->
-      let m, _ = max_unique_over_subsets ~work_limit:max_int g s in
-      float_of_int m /. float_of_int (Bitset.cardinal s))
+  profile_sizes ?jobs g kmax (wireless_scorer g)

@@ -44,6 +44,114 @@ let unique_expansion_of_set g s =
   let k = Bitset.cardinal s in
   if k = 0 then nan else float_of_int (Bitset.cardinal (gamma1 g s)) /. float_of_int k
 
+module Inc = struct
+  type t = {
+    g : Graph.t;
+    n : int;
+    in_s : bool array;
+    cnt : int array;  (* per-vertex count of neighbors inside S *)
+    dirty : int array;  (* stack of vertices whose in_s/cnt may be nonzero *)
+    on_dirty : bool array;
+    mutable ndirty : int;
+    mutable size : int;  (* |S| *)
+    mutable boundary : int;  (* |Γ(S) \ S| *)
+    mutable uniq : int;  (* |Γ¹(S)| *)
+  }
+
+  let create g =
+    let n = Graph.n g in
+    {
+      g;
+      n;
+      in_s = Array.make n false;
+      cnt = Array.make n 0;
+      dirty = Array.make n 0;
+      on_dirty = Array.make n false;
+      ndirty = 0;
+      size = 0;
+      boundary = 0;
+      uniq = 0;
+    }
+
+  let[@inline] touch t v =
+    if not t.on_dirty.(v) then begin
+      t.on_dirty.(v) <- true;
+      t.dirty.(t.ndirty) <- v;
+      t.ndirty <- t.ndirty + 1
+    end
+
+  let add t v =
+    if t.in_s.(v) then invalid_arg "Nbhd.Inc.add: vertex already in S";
+    touch t v;
+    t.in_s.(v) <- true;
+    t.size <- t.size + 1;
+    (* v leaves the outside world: it no longer counts toward the boundary
+       or the unique neighborhood, whatever its neighbor count. *)
+    let cv = t.cnt.(v) in
+    if cv > 0 then t.boundary <- t.boundary - 1;
+    if cv = 1 then t.uniq <- t.uniq - 1;
+    let nbrs = Graph.neighbors t.g v in
+    for i = 0 to Array.length nbrs - 1 do
+      let w = Array.unsafe_get nbrs i in
+      touch t w;
+      let c = t.cnt.(w) in
+      t.cnt.(w) <- c + 1;
+      if not t.in_s.(w) then
+        if c = 0 then begin
+          t.boundary <- t.boundary + 1;
+          t.uniq <- t.uniq + 1
+        end
+        else if c = 1 then t.uniq <- t.uniq - 1
+    done
+
+  let remove t v =
+    if not t.in_s.(v) then invalid_arg "Nbhd.Inc.remove: vertex not in S";
+    t.in_s.(v) <- false;
+    t.size <- t.size - 1;
+    let nbrs = Graph.neighbors t.g v in
+    for i = 0 to Array.length nbrs - 1 do
+      let w = Array.unsafe_get nbrs i in
+      let c = t.cnt.(w) in
+      t.cnt.(w) <- c - 1;
+      if not t.in_s.(w) then
+        if c = 1 then begin
+          t.boundary <- t.boundary - 1;
+          t.uniq <- t.uniq - 1
+        end
+        else if c = 2 then t.uniq <- t.uniq + 1
+    done;
+    (* v rejoins the outside world and counts again if it has neighbors
+       left in S. Every vertex reachable here was already touched by the
+       matching [add], so the dirty list needs no update. *)
+    let cv = t.cnt.(v) in
+    if cv > 0 then t.boundary <- t.boundary + 1;
+    if cv = 1 then t.uniq <- t.uniq + 1
+
+  let reset t =
+    for i = 0 to t.ndirty - 1 do
+      let v = t.dirty.(i) in
+      t.in_s.(v) <- false;
+      t.cnt.(v) <- 0;
+      t.on_dirty.(v) <- false
+    done;
+    t.ndirty <- 0;
+    t.size <- 0;
+    t.boundary <- 0;
+    t.uniq <- 0
+
+  let[@inline] cardinal t = t.size
+  let[@inline] boundary t = t.boundary
+  let[@inline] unique t = t.uniq
+  let[@inline] mem t v = t.in_s.(v)
+  let[@inline] deg_in t v = t.cnt.(v)
+
+  let expansion t =
+    if t.size = 0 then nan else float_of_int t.boundary /. float_of_int t.size
+
+  let unique_expansion t =
+    if t.size = 0 then nan else float_of_int t.uniq /. float_of_int t.size
+end
+
 module Bip = struct
   module Bipartite = Wx_graph.Bipartite
 

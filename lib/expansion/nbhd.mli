@@ -28,6 +28,57 @@ val expansion_of_set : Graph.t -> Bitset.t -> float
 val unique_expansion_of_set : Graph.t -> Bitset.t -> float
 (** [|Γ¹(S)| / |S|]. *)
 
+(** Incremental neighborhood counters — the delta-scoring arena behind the
+    exact measures.
+
+    An [Inc.t] maintains a current set S under single-vertex [add]/[remove]
+    in O(deg v) time with zero allocation, exposing O(1) reads of [|S|],
+    [|Γ⁻(S)| ] and [|Γ¹(S)|]. Driven by {!Wx_util.Combi}'s delta
+    enumerators, this replaces the O(|S|·Δ + n) fresh-bitset scoring of
+    {!expansion_of_set}/{!unique_expansion_of_set} per enumerated subset.
+
+    Arena discipline: one [Inc.t] per worker shard, reused across the whole
+    enumeration. [reset] restores the empty-set state in O(touched) — it
+    walks a dirty list of the vertices whose entries may be stale rather
+    than clearing the full n-sized arrays. Not domain-safe: never share one
+    arena between domains. *)
+module Inc : sig
+  type t
+
+  val create : Graph.t -> t
+  (** Fresh arena for [g] with S = ∅. O(n) allocation, done once per shard. *)
+
+  val add : t -> int -> unit
+  (** Add a vertex to S. O(deg v). Raises [Invalid_argument] if already
+      present. *)
+
+  val remove : t -> int -> unit
+  (** Remove a vertex from S. O(deg v). Raises [Invalid_argument] if not
+      present. *)
+
+  val reset : t -> unit
+  (** Restore S = ∅ in O(vertices touched since the last reset). *)
+
+  val cardinal : t -> int  (** [|S|]. O(1). *)
+
+  val boundary : t -> int  (** [|Γ(S) \ S|] = [|Γ⁻(S)|]. O(1). *)
+
+  val unique : t -> int  (** [|Γ¹(S)|]. O(1). *)
+
+  val mem : t -> int -> bool  (** Membership in S. O(1). *)
+
+  val deg_in : t -> int -> int
+  (** Number of the vertex's neighbors currently in S. O(1). *)
+
+  val expansion : t -> float
+  (** [boundary / cardinal]; [nan] on the empty set. Bit-identical to
+      {!expansion_of_set} on the same set: both divide the same two exact
+      integers. *)
+
+  val unique_expansion : t -> float
+  (** [unique / cardinal]; [nan] on the empty set. *)
+end
+
 (** The same operators on a bipartite instance [(S, N, E)], where subsets
     live on side S and neighborhoods on side N. *)
 module Bip : sig

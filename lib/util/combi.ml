@@ -15,14 +15,18 @@ let binomial n k =
     !acc
   end
 
-let iter_subsets_of_size n k f =
-  if k < 0 || k > n then ()
-  else if k = 0 then ()
+(* Delta-aware core: lex-order successor keeps the prefix [0..i-1] intact
+   when slot [i] is the one incremented, so [kept] for the next callback is
+   exactly that [i]. Incremental consumers drop elements [kept..] of the
+   previous set and add elements [kept..] of the new one. *)
+let iter_subsets_of_size_delta n k f =
+  if k < 1 || k > n then ()
   else begin
     let a = Array.init k (fun i -> i) in
+    let kept = ref 0 in
     let continue_ = ref true in
     while !continue_ do
-      f a;
+      f a ~kept:!kept;
       (* Advance to the next combination in lexicographic order. *)
       let i = ref (k - 1) in
       while !i >= 0 && a.(!i) = n - k + !i do
@@ -33,15 +37,24 @@ let iter_subsets_of_size n k f =
         a.(!i) <- a.(!i) + 1;
         for j = !i + 1 to k - 1 do
           a.(j) <- a.(j - 1) + 1
-        done
+        done;
+        kept := !i
       end
     done
   end
 
-let iter_subsets_le n k f =
+let iter_subsets_of_size n k f =
+  iter_subsets_of_size_delta n k (fun a ~kept:_ -> f a)
+
+let iter_subsets_le_delta n k f =
+  (* Each size restarts the enumeration: the first size-[s] set shares no
+     tracked prefix with the last size-[s-1] set, so [kept] resets to 0. *)
   for size = 1 to min k n do
-    iter_subsets_of_size n size f
+    iter_subsets_of_size_delta n size f
   done
+
+let iter_subsets_le n k f =
+  iter_subsets_le_delta n k (fun a ~kept:_ -> f a)
 
 let iter_all_subsets n f =
   if n > 30 then invalid_arg "Combi.iter_all_subsets: n too large";
@@ -49,24 +62,35 @@ let iter_all_subsets n f =
     f mask
   done
 
-let iter_subsets_of_size_with_min n k a f =
+let iter_subsets_of_size_with_min_delta n k a f =
   if k < 1 || a < 0 || a >= n || a + k > n then ()
-  else if k = 1 then f [| a |]
+  else if k = 1 then f [| a |] ~kept:0
   else begin
     (* Fix [a] in slot 0 and enumerate the remaining k-1 slots over the
-       suffix universe {a+1..n-1}, shifted back up on the way out. *)
+       suffix universe {a+1..n-1}, shifted back up on the way out. Slot 0
+       never changes, so the outer retained prefix is the inner one plus
+       one — except on the very first set, where [a] itself is new. *)
     let out = Array.make k a in
-    iter_subsets_of_size (n - a - 1) (k - 1) (fun idxs ->
-        for i = 0 to k - 2 do
+    let first = ref true in
+    iter_subsets_of_size_delta (n - a - 1) (k - 1) (fun idxs ~kept ->
+        let outer_kept = if !first then 0 else kept + 1 in
+        first := false;
+        for i = (if outer_kept = 0 then 0 else outer_kept - 1) to k - 2 do
           out.(i + 1) <- idxs.(i) + a + 1
         done;
-        f out)
+        f out ~kept:outer_kept)
   end
 
-let iter_subsets_le_with_min n k a f =
+let iter_subsets_of_size_with_min n k a f =
+  iter_subsets_of_size_with_min_delta n k a (fun out ~kept:_ -> f out)
+
+let iter_subsets_le_with_min_delta n k a f =
   for size = 1 to min k (n - a) do
-    iter_subsets_of_size_with_min n size a f
+    iter_subsets_of_size_with_min_delta n size a f
   done
+
+let iter_subsets_le_with_min n k a f =
+  iter_subsets_le_with_min_delta n k a (fun out ~kept:_ -> f out)
 
 let subsets_count_le n k =
   let acc = ref 0 in

@@ -22,6 +22,29 @@ val iter_all_subsets : int -> (int -> unit) -> unit
 (** [iter_all_subsets n f] calls [f mask] for every [mask] in
     [0 .. 2^n - 1]. Requires [n <= 30]. *)
 
+(** {2 Delta enumeration}
+
+    Consecutive subsets in lexicographic order share a prefix: the successor
+    of [a] increments one slot [i] and rewrites only the suffix [i..]. The
+    [_delta] iterators expose that structure so incremental scorers can pay
+    O(changed suffix) per step instead of rebuilding state from scratch.
+
+    Contract: the callback receives the (reused) sorted index array plus
+    [~kept], the number of leading slots unchanged since the {e previous}
+    callback. [kept = 0] on the first callback of an enumeration (everything
+    is new) and at every size boundary in the [le] variants (each size
+    restarts from its lex-first set). An incremental consumer maintaining a
+    running set removes its elements at positions [kept .. prev_len - 1]
+    (in any order) and then adds the array's elements at positions
+    [kept .. len - 1]. *)
+
+val iter_subsets_of_size_delta : int -> int -> (int array -> kept:int -> unit) -> unit
+(** Delta-aware {!iter_subsets_of_size}: same sets, same order, same reused
+    array, plus the retained-prefix length per step. *)
+
+val iter_subsets_le_delta : int -> int -> (int array -> kept:int -> unit) -> unit
+(** Delta-aware {!iter_subsets_le}. [kept = 0] at each size boundary. *)
+
 (** {2 Sharded enumeration}
 
     The parallel exact measures partition the subset space by smallest
@@ -38,6 +61,17 @@ val iter_subsets_of_size_with_min : int -> int -> int -> (int array -> unit) -> 
 val iter_subsets_le_with_min : int -> int -> int -> (int array -> unit) -> unit
 (** Subsets with smallest element [a] of size 1 up to [k], by increasing
     size. Same buffer-reuse caveat. *)
+
+val iter_subsets_of_size_with_min_delta :
+  int -> int -> int -> (int array -> kept:int -> unit) -> unit
+(** Delta-aware {!iter_subsets_of_size_with_min}. The fixed smallest element
+    occupies slot 0 and counts toward [kept] on every callback after the
+    first. *)
+
+val iter_subsets_le_with_min_delta :
+  int -> int -> int -> (int array -> kept:int -> unit) -> unit
+(** Delta-aware {!iter_subsets_le_with_min}. [kept = 0] at each size
+    boundary. *)
 
 val subsets_count_le : int -> int -> int
 (** Number of non-empty subsets of size at most [k] — used to refuse

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Fail when the expansion-measure code changed more recently than the
+# committed bench baseline. The perf job's alloc gate compares fresh runs
+# against bench/baseline.json, which only means something if a PR touching
+# the measured code re-records the baseline in the same change; this guard
+# turns "forgot to re-record" into a CI failure instead of a silently
+# stale gate.
+#
+# Comparison is by last-touching commit time (git log -1 --format=%ct),
+# not filesystem mtime — checkouts do not preserve the latter. Requires a
+# full clone (fetch-depth: 0); on a shallow clone the dates of grafted
+# commits would compare equal and the guard would pass vacuously.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline=bench/baseline.json
+# The code whose cost the baseline certifies: the exact-measure hot path,
+# its enumeration layer, and the experiment definitions themselves.
+watched=(lib/expansion lib/util/combi.ml lib/util/combi.mli bench/*.ml)
+
+if [ ! -f "$baseline" ]; then
+  echo "error: $baseline missing" >&2
+  exit 2
+fi
+
+baseline_ct=$(git log -1 --format=%ct -- "$baseline")
+if [ -z "$baseline_ct" ]; then
+  echo "error: $baseline has no commit history (shallow clone?)" >&2
+  exit 2
+fi
+
+stale=0
+for path in "${watched[@]}"; do
+  ct=$(git log -1 --format=%ct -- "$path")
+  [ -z "$ct" ] && continue
+  if [ "$ct" -gt "$baseline_ct" ]; then
+    commit=$(git log -1 --format=%h -- "$path")
+    echo "stale baseline: $path last changed in $commit, after $baseline" >&2
+    stale=1
+  fi
+done
+
+if [ "$stale" -ne 0 ]; then
+  echo >&2
+  echo "re-record with: dune exec bin/wx.exe -- bench record --quick --jobs 2 --repeats 3 --force" >&2
+  exit 1
+fi
+
+echo "baseline is at least as new as every watched path"

@@ -11,6 +11,7 @@ let () =
       ("arboricity", Test_arboricity.suite);
       ("spectral", Test_spectral.suite);
       ("nbhd", Test_nbhd.suite);
+      ("inc", Test_inc.suite);
       ("measure", Test_measure.suite);
       ("bounds", Test_bounds.suite);
       ("spokesmen", Test_spokesmen.suite);

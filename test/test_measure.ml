@@ -126,6 +126,32 @@ let test_work_guard_overflow_is_too_large () =
   expect_too_large "profile_beta_w kmax=63" (fun () ->
       Measure.profile_beta_w ~alpha:1.0 (Gen.cycle 63))
 
+(* The Gray-code guard derives its admission test and its reported bound
+   from one number, min(work_limit, 2^(int_size - 2)): a tiny limit rejects
+   with that limit in the message, and a huge |S| is rejected even at
+   [work_limit = max_int] — where the old code's separate [1 lsl k] test
+   wrapped around — with the native-int ceiling called out. *)
+let test_gray_guard_single_bound () =
+  let contains msg sub =
+    let n = String.length msg and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+    go 0
+  in
+  let g = Gen.cycle 126 in
+  let big = Bitset.of_array 126 (Array.init 63 Fun.id) in
+  (match Measure.wireless_of_set_exact ~work_limit:max_int g big with
+  | _ -> Alcotest.fail "expected Too_large for |S| = 63 at work_limit = max_int"
+  | exception Measure.Too_large msg ->
+      check_true "ceiling named in message" (contains msg "native-int ceiling"));
+  let small = Bitset.of_array 126 (Array.init 20 Fun.id) in
+  (match Measure.wireless_of_set_exact ~work_limit:1024 g small with
+  | _ -> Alcotest.fail "expected Too_large for 2^20 steps at limit 1024"
+  | exception Measure.Too_large msg -> check_true "limit in message" (contains msg "1024"));
+  (* 2^10 steps fit the 1024-step limit exactly: admitted. *)
+  let s10 = Bitset.of_array 126 (Array.init 10 Fun.id) in
+  let w = Measure.wireless_of_set_exact ~work_limit:1024 g s10 in
+  check_true "at-limit set scored" (w.Measure.value > 0.0)
+
 let test_profile_beta () =
   let profile = Measure.profile_beta (Gen.cycle 10) in
   check_int "5 sizes" 5 (List.length profile);
@@ -209,6 +235,7 @@ let suite =
     Alcotest.test_case "work limit" `Quick test_work_limit;
     Alcotest.test_case "work guard overflow is Too_large" `Quick
       test_work_guard_overflow_is_too_large;
+    Alcotest.test_case "gray guard derives one bound" `Quick test_gray_guard_single_bound;
     Alcotest.test_case "profile beta" `Quick test_profile_beta;
     Alcotest.test_case "bip max unique gbad" `Quick test_bip_exact_max_unique_gbad;
     Alcotest.test_case "bip ordinary exact" `Quick test_bip_ordinary_expansion_exact;

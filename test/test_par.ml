@@ -179,6 +179,47 @@ let test_sampled_clamp_counts_draws () =
       check_true "small draws still score" (Float.is_finite w.Measure.value);
       check_true "witness non-empty" (not (Bitset.is_empty w.Measure.witness)))
 
+(* ---- batched hot-loop counters ----
+
+   The exact loops accumulate sets_scored / gray_flips / improvements in
+   shard-local ints and flush once per shard; the published totals must be
+   exactly the per-subset counts — independent of job count, and equal to
+   the closed-form enumeration sizes. *)
+
+let test_metric_totals_job_independent () =
+  let g = Gen.cycle 10 in
+  let n = 10 in
+  let kmax = Measure.max_set_size g in
+  let run jobs =
+    with_metrics (fun () ->
+        ignore (Measure.beta_exact ~jobs g);
+        ignore (Measure.beta_u_exact ~jobs g);
+        ignore (Measure.beta_w_exact ~jobs g);
+        let snap = Metrics.snapshot () in
+        let get name = Option.value ~default:0 (counter_value name snap) in
+        ( get "expansion.sets_scored",
+          get "expansion.gray_flips",
+          get "expansion.witness_improvements" ))
+  in
+  let sets1, flips1, imp1 = run 1 in
+  (* Three exact measures, each scoring every non-empty set of size <= kmax
+     exactly once. *)
+  check_int "sets scored" (3 * Wx_util.Combi.subsets_count_le n kmax) sets1;
+  (* One Gray walk of 2^k - 1 flips per outer set of size k. *)
+  let expected_flips = ref 0 in
+  for k = 1 to kmax do
+    expected_flips := !expected_flips + (Wx_util.Combi.binomial n k * ((1 lsl k) - 1))
+  done;
+  check_int "gray flips" !expected_flips flips1;
+  check_true "improvements recorded" (imp1 > 0);
+  List.iter
+    (fun jobs ->
+      let sets, flips, imp = run jobs in
+      check_int (Printf.sprintf "sets scored jobs=%d" jobs) sets1 sets;
+      check_int (Printf.sprintf "gray flips jobs=%d" jobs) flips1 flips;
+      check_int (Printf.sprintf "improvements jobs=%d" jobs) imp1 imp)
+    [ 2; 8 ]
+
 (* ---- metrics under concurrency ---- *)
 
 let test_counters_race_free () =
@@ -224,6 +265,8 @@ let suite =
     Alcotest.test_case "witness is lex-smallest" `Quick test_witness_is_lex_smallest;
     Alcotest.test_case "sampled reproducible across jobs" `Quick test_sampled_job_independent;
     Alcotest.test_case "sampled clamp counts draws" `Quick test_sampled_clamp_counts_draws;
+    Alcotest.test_case "batched counter totals job-independent" `Quick
+      test_metric_totals_job_independent;
     Alcotest.test_case "counters race-free" `Quick test_counters_race_free;
     Alcotest.test_case "histogram shards merge" `Quick test_histogram_shards_merge;
   ]
