@@ -2,16 +2,31 @@
    experiment so `wx bench record/diff` (and the CI alloc gate) watch the
    delta-scoring engine directly rather than only end-to-end experiments.
 
-   Per measure it drives the same subset space twice: once with the
+   Per measure it drives the same subset space three times: once with the
    pre-engine from-scratch scorer (fresh neighborhood bitsets / counter
-   arrays per set, closure-based adjacency walks) and once through the
-   incremental path the exact measures now use, reporting enumeration
-   steps/sec for each and checking the values agree. Both runs are
-   sequential: the kernel under test is the scorer, not the pool. *)
+   arrays per set, closure-based adjacency walks), once through the
+   incremental path the exact measures now use (sequential — the kernel
+   under test is the scorer), and once through the pool at the default job
+   count. The parallel pass is what populates the KERN entry's utilization
+   block: smallest-element sharding is skewed, so its idle tail is the
+   recorded evidence for the planned work-stealing kernel.
+
+   Throughput lands in the report, not just the local table: the
+   incremental/parallel passes credit Work.sets_scored / Work.gray_steps
+   from inside Measure, and the naive passes credit the same step counts
+   to the "naive_steps" kind here — so wx-bench/4 carries units/sec for
+   every engine and `wx bench diff` gates on them. *)
 
 open Bench_common
 module Combi = Wx_util.Combi
 module Clock = Wx_obs.Clock
+module Work = Wx_obs.Work
+module Pool = Wx_par.Pool
+
+(* Steps done by the from-scratch reference scorers, credited as their own
+   work kind: the naive engines do the same enumeration but bypass the
+   instrumented incremental path. *)
+let naive_steps_kind = Work.kind "naive_steps"
 
 (* ---- from-scratch reference scorers (the pre-engine shapes) ---- *)
 
@@ -104,36 +119,48 @@ let run ~quick =
     Table.add_row t
       [ measure; engine; Table.fi steps; Printf.sprintf "%.3e" (per_sec steps dt) ]
   in
-  let kernel name steps naive inc =
+  let jobs = Pool.default_jobs () in
+  let kernel name steps naive inc par =
+    let instance = Printf.sprintf "gnp n=%d" (if name = "beta_w" then nw else nb) in
     let naive_v, naive_dt = timed naive in
+    Work.add naive_steps_kind steps;
     let inc_v, inc_dt = timed inc in
+    let par_v, par_dt = timed par in
     row name "naive" steps naive_dt;
     row name "incremental" steps inc_dt;
+    row name (Printf.sprintf "parallel(j=%d)" jobs) steps par_dt;
     let agree = naive_v = inc_v in
     incr total;
     if agree then incr ok;
     record
       ~claim:(Printf.sprintf "kernel %s: incremental value = naive value" name)
-      ~instance:(Printf.sprintf "gnp n=%d" (if name = "beta_w" then nw else nb))
-      ~predicted:naive_v ~measured:inc_v agree;
+      ~instance ~predicted:naive_v ~measured:inc_v agree;
+    let par_agree = par_v = inc_v in
+    incr total;
+    if par_agree then incr ok;
+    record
+      ~claim:(Printf.sprintf "kernel %s: parallel value = incremental value" name)
+      ~instance ~predicted:inc_v ~measured:par_v par_agree;
     let sane = inc_dt > 0.0 in
     incr total;
     if sane then incr ok;
     record
       ~claim:(Printf.sprintf "kernel %s: incremental speedup (informational)" name)
-      ~instance:(Printf.sprintf "gnp n=%d" (if name = "beta_w" then nw else nb))
-      ~predicted:1.0
+      ~instance ~predicted:1.0
       ~measured:(naive_dt /. Float.max inc_dt 1e-12)
       sane
   in
   kernel "beta" set_steps (fun () -> naive_beta gb kb)
-    (fun () -> (Measure.beta_exact ~jobs:1 gb).Measure.value);
+    (fun () -> (Measure.beta_exact ~jobs:1 gb).Measure.value)
+    (fun () -> (Measure.beta_exact ~jobs gb).Measure.value);
   kernel "beta_u" set_steps
     (fun () -> naive_beta_u gb kb)
-    (fun () -> (Measure.beta_u_exact ~jobs:1 gb).Measure.value);
+    (fun () -> (Measure.beta_u_exact ~jobs:1 gb).Measure.value)
+    (fun () -> (Measure.beta_u_exact ~jobs gb).Measure.value);
   kernel "beta_w" flip_steps
     (fun () -> naive_beta_w gw kw)
-    (fun () -> (Measure.beta_w_exact ~jobs:1 gw).Measure.value);
+    (fun () -> (Measure.beta_w_exact ~jobs:1 gw).Measure.value)
+    (fun () -> (Measure.beta_w_exact ~jobs gw).Measure.value);
   Table.print t;
   verdict !ok !total
 

@@ -12,7 +12,7 @@
    Every experiment prints one or more predicted-vs-measured tables; the
    mapping from experiment id to paper claim is in DESIGN.md §5, and the
    recorded outcomes live in EXPERIMENTS.md. Under --json the same runs
-   additionally emit a machine-readable wx-bench/3 report (Wx_obs.Report):
+   additionally emit a machine-readable wx-bench/4 report (Wx_obs.Report):
    per-experiment wall-time samples, GC/allocation counters, per-claim
    checks, the wx_obs metrics snapshot, and run provenance. The experiment
    zoo itself lives in the wx_bench library (bench/runner.ml) so `wx bench
@@ -81,7 +81,7 @@ let skip_micro_arg =
 
 let json_arg =
   let doc =
-    "Write a machine-readable wx-bench/3 report to $(docv) (default: BENCH_<timestamp>.json). \
+    "Write a machine-readable wx-bench/4 report to $(docv) (default: BENCH_<timestamp>.json). \
      Enables metrics and allocation-counter collection for the run."
   in
   Arg.(value & opt ~vopt:(Some "") (some string) None & info [ "json" ] ~docv:"FILE" ~doc)

@@ -10,6 +10,7 @@
 open Bench_common
 module Clock = Wx_obs.Clock
 module Memgc = Wx_obs.Memgc
+module Work = Wx_obs.Work
 module Pool = Wx_par.Pool
 module Report = Wx_obs.Report
 
@@ -37,9 +38,39 @@ type outcome = {
   exp : experiment;
   wall_s : float list;  (** one sample per repeat, in run order *)
   alloc : Memgc.counters option;  (** last repeat's delta; None when Memgc off *)
+  work : (string * int) list;  (** last repeat's Work deltas; [] when off *)
+  util : Report.util option;  (** pool utilization across all repeats *)
   checks : check_row list;
   metrics : Json.t;  (** Null when metrics collection is off *)
 }
+
+(* Reduce the pool's nanosecond accumulator to the report's utilization
+   block. Undefined fractions (no capacity / an idle slot span) encode as
+   0.0 rather than NaN: the JSON layer writes NaN as null, which the
+   defensive decoder would reject. *)
+let util_of_pool (u : Pool.util) : Report.util option =
+  if u.Pool.u_runs = 0 && u.Pool.u_seq_runs = 0 then None
+  else
+    let frac busy span = if span > 0 then float_of_int busy /. float_of_int span else 0.0 in
+    Some
+      {
+        Report.ut_runs = u.Pool.u_runs;
+        ut_seq_runs = u.Pool.u_seq_runs;
+        ut_busy_frac = frac u.Pool.u_busy_ns u.Pool.u_capacity_ns;
+        ut_idle_tail_ms =
+          (if u.Pool.u_runs = 0 then 0.0
+           else Clock.ns_to_ms u.Pool.u_idle_tail_ns /. float_of_int u.Pool.u_runs);
+        ut_max_idle_tail_ms = Clock.ns_to_ms u.Pool.u_max_idle_tail_ns;
+        ut_slots =
+          Array.to_list
+            (Array.map
+               (fun s ->
+                 {
+                   Report.us_busy_frac = frac s.Pool.s_busy_ns s.Pool.s_span_ns;
+                   us_chunks = s.Pool.s_chunks;
+                 })
+               u.Pool.u_slots);
+      }
 
 (* Testing hook for the regression gate itself: WX_BENCH_HANDICAP_MS adds a
    fixed sleep to every experiment repeat, so "wx bench diff detects an
@@ -70,13 +101,22 @@ let experiment_timer = Metrics.timer "bench.experiment"
 
 let run_one ?(repeats = 1) ~quick ~collect e =
   section e;
-  if collect then Metrics.reset ();
+  if collect then begin
+    Metrics.reset ();
+    Pool.reset_util ()
+  end;
   let repeats = max 1 repeats in
   let handicap = handicap_s () in
   let alloc_handicap = alloc_handicap_words () in
   let wall_rev = ref [] and last_checks = ref [] and last_alloc = ref None in
+  let last_work = ref [] in
   for rep = 1 to repeats do
     ignore (take_recorded ());
+    (* Work totals are read outside the alloc window (the reads allocate
+       small lists); Work counters only move inside e.run, so the delta is
+       exact anyway. Like alloc, the last repeat's delta is what lands in
+       the report — repeats are identical by the determinism contract. *)
+    let w0 = Work.totals () in
     (* The alloc window hugs the run itself: the before-read comes first so
        the wall clock absorbs its cost, and everything after the after-read
        (handicap sleep, progress printf with varying-width floats) stays
@@ -90,13 +130,23 @@ let run_one ?(repeats = 1) ~quick ~collect e =
     if handicap > 0.0 then Unix.sleepf handicap;
     let wall_s = Clock.ns_to_s (Clock.now_ns () - t0) in
     wall_rev := wall_s :: !wall_rev;
+    if collect then last_work := Work.delta ~before:w0 ~after:(Work.totals ());
     (* Every repeat records the same checks; keep the latest drain. *)
     last_checks := take_recorded ();
     if repeats > 1 then Printf.printf "  [%s repeat %d/%d: %.1fs]\n" e.id rep repeats wall_s
     else Printf.printf "  [%s finished in %.1fs]\n" e.id wall_s
   done;
   let metrics = if collect then Metrics.snapshot () else Json.Null in
-  { exp = e; wall_s = List.rev !wall_rev; alloc = !last_alloc; checks = !last_checks; metrics }
+  let util = if collect then util_of_pool (Pool.util ()) else None in
+  {
+    exp = e;
+    wall_s = List.rev !wall_rev;
+    alloc = !last_alloc;
+    work = !last_work;
+    util;
+    checks = !last_checks;
+    metrics;
+  }
 
 let entry_of_outcome o : Report.entry
     =
@@ -107,6 +157,8 @@ let entry_of_outcome o : Report.entry
     claim = o.exp.claim;
     wall_s = o.wall_s;
     alloc = o.alloc;
+    work = o.work;
+    util = o.util;
     holds;
     total = List.length o.checks;
     checks = Json.List (List.map row_json o.checks);

@@ -9,11 +9,15 @@
      wx arboricity <family> <size>             exact (flow) vs bounds
      wx bench record [--out F] [--repeats K] [--force]
                                                run the experiment zoo, write a
-                                               wx-bench/3 report (baseline);
+                                               wx-bench/4 report (baseline);
                                                refuses to overwrite sans --force
-     wx bench diff OLD.json NEW.json           noise-aware wall-time gate plus a
+     wx bench diff OLD.json NEW.json           noise-aware wall-time gate, a
                                                deterministic allocation gate
                                                (--alloc-tolerance, --alloc-only)
+                                               and a noise-aware throughput gate
+                                               (--rate-tolerance, --rate-only)
+     wx bench util REPORT.json                 pool-utilization summary of one
+                                               report (busy fractions, idle tail)
      wx prof [--out F] [--alloc] -- <cmd> ...  run under Chrome tracing, print
                                                the hottest spans (by self time,
                                                or self-allocation with --alloc)
@@ -104,6 +108,10 @@ let run_cmd name json metrics jobs f =
   let obs = { json; metrics } in
   if json || metrics then Obs.Metrics.enable ();
   if json then begin
+    (* Progress heartbeats write free-form lines to stderr; under --json
+       stderr carries the human rendering of the run, so suppress them even
+       if WX_PROGRESS=1 is set. *)
+    Obs.Progress.disable ();
     Obs.Sink.install (Obs.Sink.make ~fmt:Obs.Sink.Ndjson stdout);
     exit_cleanly_on_signals ()
   end;
@@ -483,10 +491,50 @@ let provenance_line (r : Report.t) =
         ", commit " ^ String.sub c 0 (min 12 (String.length c))
     | _ -> "")
 
-(* Exit codes: 0 clean (or --soft), 1 regression (wall or alloc; alloc only
-   with --alloc-only), 2 malformed/unreadable report — so CI can treat
-   "slower" and "not a report" differently. *)
-let cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only soft old_path new_path =
+(* One line per experiment that carries a utilization block on either side:
+   busy fraction and mean idle tail, old -> new, so a diff shows scheduling
+   drift (e.g. skewed sharding getting worse) next to the rate verdicts. *)
+let print_util_deltas obs deltas =
+  let interesting =
+    List.filter
+      (fun (d : Report.delta) -> d.Report.old_util <> None || d.Report.new_util <> None)
+      deltas
+  in
+  if interesting <> [] then begin
+    let t =
+      T.create
+        [
+          "experiment"; "busy frac (old)"; "busy frac (new)"; "idle tail ms (old)";
+          "idle tail ms (new)"; "pool runs (new)";
+        ]
+    in
+    let busy = function
+      | None -> "-"
+      | Some (u : Report.util) -> T.ff ~dec:3 u.Report.ut_busy_frac
+    in
+    let tail = function
+      | None -> "-"
+      | Some (u : Report.util) -> T.ff ~dec:2 u.Report.ut_idle_tail_ms
+    in
+    let runs = function None -> "-" | Some (u : Report.util) -> T.fi u.Report.ut_runs in
+    List.iter
+      (fun (d : Report.delta) ->
+        T.add_row t
+          [
+            d.Report.d_id; busy d.Report.old_util; busy d.Report.new_util;
+            tail d.Report.old_util; tail d.Report.new_util; runs d.Report.new_util;
+          ])
+      interesting;
+    say obs "\n-- pool utilization (informational, never gated) --\n";
+    say obs "%s" (T.render t)
+  end
+
+(* Exit codes: 0 clean (or --soft), 1 regression (wall, alloc or rate by
+   default; one family only under --alloc-only / --rate-only), 2
+   malformed/unreadable report — so CI can treat "slower" and "not a
+   report" differently. *)
+let cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only rate_tolerance rate_only
+    soft old_path new_path =
   match (Report.load old_path, Report.load new_path) with
   | Error m, _ | _, Error m ->
       Printf.eprintf "bench diff: malformed report: %s\n" m;
@@ -496,12 +544,15 @@ let cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only soft old_pa
       List.iter
         (fun w -> Printf.eprintf "warning: %s\n" w)
         (Report.compat_warnings ~old_ ~new_);
-      let deltas = Report.diff ~tolerance ~min_wall_s:min_wall ~alloc_tolerance ~old_ ~new_ () in
+      let deltas =
+        Report.diff ~tolerance ~min_wall_s:min_wall ~alloc_tolerance ~rate_tolerance ~old_ ~new_
+          ()
+      in
       let t =
         T.create
           [
             "experiment"; "old median (s)"; "new median (s)"; "ratio"; "verdict";
-            "old minor (w)"; "new minor (w)"; "alloc";
+            "old minor (w)"; "new minor (w)"; "alloc"; "rate ratio"; "rate";
           ]
       in
       List.iter
@@ -521,6 +572,12 @@ let cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only soft old_pa
               | Some v ->
                   Report.verdict_name v
                   ^ if d.Report.alloc_note = "" then "" else " (" ^ d.Report.alloc_note ^ ")");
+              T.ff ~dec:2 d.Report.rate_ratio;
+              (match d.Report.rate_verdict with
+              | None -> "-"
+              | Some v ->
+                  Report.verdict_name v
+                  ^ if d.Report.rate_note = "" then "" else " (" ^ d.Report.rate_note ^ ")");
             ];
           event obs "bench.delta"
             ([
@@ -530,39 +587,65 @@ let cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only soft old_pa
                ("new_median_s", J.Float d.Report.new_median);
                ("ratio", J.Float d.Report.ratio);
              ]
+            @ (match d.Report.alloc_verdict with
+              | None -> []
+              | Some v ->
+                  [
+                    ("alloc_verdict", J.String (Report.verdict_name v));
+                    ("old_minor_words", J.Float d.Report.old_minor_words);
+                    ("new_minor_words", J.Float d.Report.new_minor_words);
+                    ("alloc_ratio", J.Float d.Report.alloc_ratio);
+                  ])
             @
-            match d.Report.alloc_verdict with
+            match d.Report.rate_verdict with
             | None -> []
             | Some v ->
                 [
-                  ("alloc_verdict", J.String (Report.verdict_name v));
-                  ("old_minor_words", J.Float d.Report.old_minor_words);
-                  ("new_minor_words", J.Float d.Report.new_minor_words);
-                  ("alloc_ratio", J.Float d.Report.alloc_ratio);
+                  ("rate_verdict", J.String (Report.verdict_name v));
+                  ("rate_ratio", J.Float d.Report.rate_ratio);
+                  ("rate_note", J.String d.Report.rate_note);
                 ]))
         deltas;
       say obs "%s" (T.render t);
+      print_util_deltas obs deltas;
       if Report.alloc_skipped deltas then
         Printf.eprintf
           "warning: alloc verdict skipped where a side lacks an alloc block (pre-v3 report or \
            Memgc off); wall-time verdicts are unaffected\n";
+      if Report.rate_skipped deltas then
+        Printf.eprintf
+          "warning: rate verdict skipped where the sides share no work kinds (pre-v4 report or \
+           Metrics off); wall-time verdicts are unaffected\n";
       let wall_regs = Report.regressions deltas in
       let alloc_regs = Report.alloc_regressions deltas in
+      let rate_regs = Report.rate_regressions deltas in
       if wall_regs <> [] then
         Printf.eprintf "%d experiment%s regressed on wall time: %s%s\n" (List.length wall_regs)
           (if List.length wall_regs = 1 then "" else "s")
           (String.concat ", " (List.map (fun (d : Report.delta) -> d.Report.d_id) wall_regs))
-          (if alloc_only then " (--alloc-only: not failing on these)" else "");
+          (if alloc_only || rate_only then " (not failing on these)" else "");
       if alloc_regs <> [] then
-        Printf.eprintf "%d experiment%s regressed on allocation: %s\n" (List.length alloc_regs)
+        Printf.eprintf "%d experiment%s regressed on allocation: %s%s\n" (List.length alloc_regs)
           (if List.length alloc_regs = 1 then "" else "s")
-          (String.concat ", " (List.map (fun (d : Report.delta) -> d.Report.d_id) alloc_regs));
-      let failing = (if alloc_only then [] else wall_regs) @ alloc_regs in
+          (String.concat ", " (List.map (fun (d : Report.delta) -> d.Report.d_id) alloc_regs))
+          (if rate_only then " (--rate-only: not failing on these)" else "");
+      if rate_regs <> [] then
+        Printf.eprintf "%d experiment%s regressed on throughput: %s%s\n" (List.length rate_regs)
+          (if List.length rate_regs = 1 then "" else "s")
+          (String.concat ", " (List.map (fun (d : Report.delta) -> d.Report.d_id) rate_regs))
+          (if alloc_only then " (--alloc-only: not failing on these)" else "");
+      let failing =
+        if alloc_only then alloc_regs
+        else if rate_only then rate_regs
+        else wall_regs @ alloc_regs @ rate_regs
+      in
       if failing = [] then begin
-        say obs "no %sregressions (wall tolerance %.0f%%, floor %.0fms; alloc tolerance %.1f%%)\n"
-          (if alloc_only then "allocation " else "")
+        say obs
+          "no %sregressions (wall tolerance %.0f%%, floor %.0fms; alloc tolerance %.1f%%; rate \
+           tolerance %.0f%%)\n"
+          (if alloc_only then "allocation " else if rate_only then "throughput " else "")
           (100.0 *. tolerance) (1e3 *. min_wall)
-          (100.0 *. alloc_tolerance);
+          (100.0 *. alloc_tolerance) (100.0 *. rate_tolerance);
         0
       end
       else if soft then begin
@@ -570,6 +653,61 @@ let cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only soft old_pa
         0
       end
       else 1
+
+(* Per-experiment pool-utilization summary of a single report: how busy each
+   worker slot was and how long the idle tail ran. Exit 2 on a malformed
+   report, 0 otherwise (a report with no util blocks is not an error — it
+   may predate wx-bench/4 or have been recorded with Metrics off). *)
+let cmd_bench_util obs path =
+  match Report.load path with
+  | Error m ->
+      Printf.eprintf "bench util: malformed report: %s\n" m;
+      2
+  | Ok r ->
+      say obs "report: %s\n" (provenance_line r);
+      let with_util =
+        List.filter_map
+          (fun (e : Report.entry) ->
+            match e.Report.util with Some u -> Some (e, u) | None -> None)
+          r.Report.entries
+      in
+      if with_util = [] then begin
+        say obs
+          "no utilization blocks in %s (pre-wx-bench/4 report, or recorded with metrics off)\n"
+          path;
+        0
+      end
+      else begin
+        let t =
+          T.create
+            [
+              "experiment"; "pool runs"; "seq runs"; "busy frac"; "idle tail ms";
+              "max tail ms"; "per-slot busy"; "per-slot chunks";
+            ]
+        in
+        List.iter
+          (fun ((e : Report.entry), (u : Report.util)) ->
+            T.add_row t
+              [
+                e.Report.id;
+                T.fi u.Report.ut_runs;
+                T.fi u.Report.ut_seq_runs;
+                T.ff ~dec:3 u.Report.ut_busy_frac;
+                T.ff ~dec:2 u.Report.ut_idle_tail_ms;
+                T.ff ~dec:2 u.Report.ut_max_idle_tail_ms;
+                String.concat " "
+                  (List.map
+                     (fun (s : Report.util_slot) -> T.ff ~dec:2 s.Report.us_busy_frac)
+                     u.Report.ut_slots);
+                String.concat " "
+                  (List.map
+                     (fun (s : Report.util_slot) -> T.fi s.Report.us_chunks)
+                     u.Report.ut_slots);
+              ])
+          with_util;
+        say obs "%s" (T.render t);
+        0
+      end
 
 (* ---- prof ---- *)
 
@@ -583,6 +721,7 @@ type span_row = {
   sr_self_ns : int;
   sr_minor : int;
   sr_self_minor : int;
+  sr_work : int;  (* Work units attributed to the span (inclusive of children) *)
 }
 
 let hottest_spans ~by_alloc =
@@ -597,6 +736,7 @@ let hottest_spans ~by_alloc =
         sr_self_ns = Obs.Span.self_ns s;
         sr_minor = s.Obs.Span.minor_words;
         sr_self_minor = Obs.Span.self_minor_words s;
+        sr_work = s.Obs.Span.work_units;
       }
       :: !rows;
     List.iter (go path) (Obs.Span.children s)
@@ -614,10 +754,19 @@ let print_hottest ~alloc ~top =
     if total = 0 then "-"
     else Printf.sprintf "%.1f%%" (100.0 *. float_of_int self /. float_of_int total)
   in
+  (* Throughput of the span over its total (inclusive) duration: work counters
+     move in whichever frame is innermost, so self time would undercount.
+     Spans with no attributed work, or a zero/negative clock delta, render
+     "-" rather than a meaningless number. *)
+  let units_per_s r =
+    if r.sr_work = 0 || r.sr_dur_ns <= 0 then "-"
+    else Printf.sprintf "%.3g" (float_of_int r.sr_work /. Obs.Clock.ns_to_s r.sr_dur_ns)
+  in
   let t =
     T.create
-      (if alloc then [ "span"; "calls"; "total (words)"; "self (words)"; "self %"; "self (ms)" ]
-       else [ "span"; "calls"; "total (ms)"; "self (ms)"; "self %" ])
+      (if alloc then
+         [ "span"; "calls"; "total (words)"; "self (words)"; "self %"; "self (ms)"; "units/s" ]
+       else [ "span"; "calls"; "total (ms)"; "self (ms)"; "self %"; "units/s" ])
   in
   List.iteri
     (fun i r ->
@@ -628,6 +777,7 @@ let print_hottest ~alloc ~top =
                r.sr_path; T.fi r.sr_calls; T.fi r.sr_minor; T.fi r.sr_self_minor;
                pct r.sr_self_minor total_minor;
                T.ff ~dec:3 (Obs.Clock.ns_to_ms r.sr_self_ns);
+               units_per_s r;
              ]
            else
              [
@@ -635,6 +785,7 @@ let print_hottest ~alloc ~top =
                T.ff ~dec:3 (Obs.Clock.ns_to_ms r.sr_dur_ns);
                T.ff ~dec:3 (Obs.Clock.ns_to_ms r.sr_self_ns);
                pct r.sr_self_ns total_ns;
+               units_per_s r;
              ]))
     rows;
   Printf.printf "\n-- hottest spans (top %d of %d, by self %s) --\n"
@@ -781,7 +932,7 @@ let bench_record_cmd =
   in
   Cmd.v
     (Cmd.info "record"
-       ~doc:"Run the experiment zoo and write a wx-bench/3 report (the committed baseline); \
+       ~doc:"Run the experiment zoo and write a wx-bench/4 report (the committed baseline); \
              refuses to overwrite an existing file without --force")
     (with_obs "bench.record"
        Term.(const (fun quick repeats only force out obs ->
@@ -812,6 +963,19 @@ let bench_diff_cmd =
                    still reported but do not affect the exit code. Lets CI run a hard alloc \
                    gate next to a soft wall-time gate.")
   in
+  let rate_tolerance =
+    Arg.(value & opt float Obs.Report.default_rate_tolerance
+         & info [ "rate-tolerance" ] ~docv:"FRAC"
+             ~doc:"Relative units/sec drop needed to call a throughput regression (default \
+                   0.25). Like the wall gate it is noise-aware: the per-kind rate ranges must \
+                   also be disjoint, and experiments under the wall floor never fire.")
+  in
+  let rate_only =
+    Arg.(value & flag
+         & info [ "rate-only" ]
+             ~doc:"Fail (exit 1) only on throughput regressions; wall-time and allocation \
+                   regressions are still reported but do not affect the exit code.")
+  in
   let soft =
     Arg.(value & flag
          & info [ "soft" ]
@@ -823,14 +987,26 @@ let bench_diff_cmd =
     (Cmd.info "diff"
        ~doc:"Compare two wx-bench reports; exit 1 on a regression, 2 on a malformed report")
     (with_obs "bench.diff"
-       Term.(const (fun tolerance min_wall alloc_tolerance alloc_only soft o n obs ->
-                 cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only soft o n)
-             $ tolerance $ min_wall $ alloc_tolerance $ alloc_only $ soft $ old_path $ new_path))
+       Term.(const (fun tolerance min_wall alloc_tolerance alloc_only rate_tolerance rate_only
+                        soft o n obs ->
+                 cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only rate_tolerance
+                   rate_only soft o n)
+             $ tolerance $ min_wall $ alloc_tolerance $ alloc_only $ rate_tolerance $ rate_only
+             $ soft $ old_path $ new_path))
+
+let bench_util_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"REPORT.json") in
+  Cmd.v
+    (Cmd.info "util"
+       ~doc:"Per-experiment pool-utilization summary of one wx-bench report (worker busy \
+             fractions, idle tail); exit 2 on a malformed report")
+    (with_obs "bench.util" Term.(const (fun p obs -> cmd_bench_util obs p) $ path))
 
 let bench_cmd =
   Cmd.group
-    (Cmd.info "bench" ~doc:"Performance-trajectory tools: record baselines, diff reports")
-    [ bench_record_cmd; bench_diff_cmd ]
+    (Cmd.info "bench"
+       ~doc:"Performance-trajectory tools: record baselines, diff reports, utilization")
+    [ bench_record_cmd; bench_diff_cmd; bench_util_cmd ]
 
 let base_cmds =
   [

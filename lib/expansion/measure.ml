@@ -5,6 +5,8 @@ module Rng = Wx_util.Rng
 module Pool = Wx_par.Pool
 module Metrics = Wx_obs.Metrics
 module Span = Wx_obs.Span
+module Work = Wx_obs.Work
+module Progress = Wx_obs.Progress
 
 let m_sets_scored = Metrics.counter "expansion.sets_scored"
 let m_sampled_sets = Metrics.counter "expansion.sampled_sets"
@@ -224,7 +226,12 @@ let wireless_scorer g inc =
         let len = Array.length idxs in
         let m = gray_max_unique_count g inc st idxs len in
         float_of_int m /. float_of_int len);
-    flush = (fun () -> if st.flips > 0 then Metrics.add m_gray_flips st.flips);
+    flush =
+      (fun () ->
+        if st.flips > 0 then begin
+          Metrics.add m_gray_flips st.flips;
+          Work.add Work.gray_steps st.flips
+        end);
   }
 
 (* ---- exact minima, sharded by smallest element ----
@@ -237,8 +244,16 @@ let wireless_scorer g inc =
    integer counters, and the lex tiebreak are all identical to the naive
    scorer's, so values and witnesses are bit-identical at any job count. *)
 
-let min_over_shards name ?jobs g kmax make_scorer =
+(* Progress heartbeat granularity: shards tick once per this many scored
+   sets (a power of two, so the hot-loop test is one [land]); the remainder
+   is flushed when the shard finishes. Coarse enough that a disabled run
+   pays one bool load per batch, fine enough that the heartbeat stays live
+   on slow (wireless) scorers. *)
+let progress_batch = 4096
+
+let min_over_shards name ?(progress_total = 0) ?jobs g kmax make_scorer =
   let n = Graph.n g in
+  let task = Progress.start ~units:"sets" ~label:name ~total:progress_total () in
   let shard a =
     let inc = Nbhd.Inc.create g in
     let sc = make_scorer inc in
@@ -261,6 +276,7 @@ let min_over_shards name ?jobs g kmax make_scorer =
         done;
         prev_len := len;
         incr scored;
+        if !scored land (progress_batch - 1) = 0 then Progress.tick task progress_batch;
         let v = sc.score idxs in
         if (not !have) || v < !best_v || (v = !best_v && lex_less_arr idxs !best_w) then begin
           have := true;
@@ -269,11 +285,21 @@ let min_over_shards name ?jobs g kmax make_scorer =
           best_w := Array.copy idxs
         end);
     sc.flush ();
-    if !scored > 0 then Metrics.add m_sets_scored !scored;
+    if !scored > 0 then begin
+      Metrics.add m_sets_scored !scored;
+      Work.add Work.sets_scored !scored;
+      let rem = !scored land (progress_batch - 1) in
+      if rem > 0 then Progress.tick task rem
+    end;
     if !improvements > 0 then Metrics.add m_improvements !improvements;
     if !have then Some { value = !best_v; witness = Bitset.of_array n !best_w } else None
   in
-  match Pool.parallel_reduce ?jobs ~n ~init:None ~map:shard ~combine:better_opt () with
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Progress.finish task)
+      (fun () -> Pool.parallel_reduce ?jobs ~n ~init:None ~map:shard ~combine:better_opt ())
+  in
+  match result with
   | Some w -> w
   | None -> invalid_arg (name ^ ": no feasible sets")
 
@@ -284,7 +310,7 @@ let min_over_sets name ?(work_limit = 1 lsl 24) ?jobs g kmax make_scorer =
   if n = 0 || kmax = 0 then invalid_arg (name ^ ": no feasible sets");
   let count = count_sets_le name g kmax in
   check_work name count work_limit;
-  min_over_shards name ?jobs g kmax make_scorer
+  min_over_shards name ~progress_total:count ?jobs g kmax make_scorer
 
 (* ---- sampled minima, sharded by sample block ----
 
@@ -311,12 +337,14 @@ let min_over_sampled_sets ?jobs g kmax rng samples score =
   let shard b =
     let r = streams.(b) in
     let best = ref None in
-    for _ = 1 to min sample_block (samples - (b * sample_block)) do
+    let ndraws = min sample_block (samples - (b * sample_block)) in
+    for _ = 1 to ndraws do
       Metrics.incr m_sampled_sets;
       let k = 1 + Rng.int r kmax in
       let s = Bitset.random_of_universe r n k in
       consider best (score s) s ~copy:false
     done;
+    Work.add Work.draws ndraws;
     !best
   in
   match Pool.parallel_reduce ?jobs ~n:nblocks ~init:None ~map:shard ~combine:better_opt () with
@@ -395,6 +423,7 @@ let max_unique_over_subsets ?(work_limit = 1 lsl 24) g s =
     end
   done;
   Metrics.add m_gray_flips (total - 1);
+  Work.add Work.gray_steps (total - 1);
   (!best, !best_set)
 
 let wireless_of_set_exact ?work_limit g s =
@@ -407,7 +436,10 @@ let beta_w_exact ?alpha ?(work_limit = 1 lsl 26) ?jobs g =
       let n = Graph.n g in
       if n = 0 || kmax = 0 then invalid_arg "Measure.beta_w_exact: no feasible sets";
       check_wireless_work "Measure.beta_w_exact" g kmax work_limit;
-      min_over_shards "Measure.beta_w_exact" ?jobs g kmax (wireless_scorer g))
+      (* The heartbeat counts outer sets; the admitted Gray work bounds the
+         subset count, so this is safe to compute after the guard. *)
+      let progress_total = try Combi.subsets_count_le n kmax with Combi.Overflow -> 0 in
+      min_over_shards "Measure.beta_w_exact" ~progress_total ?jobs g kmax (wireless_scorer g))
 
 (* Largest sampled |S| for which the inner 2^|S| maximisation is viable;
    matches the default [inner_work_limit] of 2^22 Gray-code steps. *)
@@ -424,7 +456,8 @@ let beta_w_sampled ?alpha ?(inner_work_limit = 1 lsl 22) ?jobs rng ~samples g =
       let shard b =
         let r = streams.(b) in
         let best = ref None in
-        for _ = 1 to min sample_block (samples - (b * sample_block)) do
+        let ndraws = min sample_block (samples - (b * sample_block)) in
+        for _ = 1 to ndraws do
           Metrics.incr m_sampled_sets;
           let k = 1 + Rng.int r kmax in
           (* Draws above the inner-enumeration cap used to be discarded
@@ -443,6 +476,7 @@ let beta_w_sampled ?alpha ?(inner_work_limit = 1 lsl 22) ?jobs rng ~samples g =
           | m, _ -> consider best (float_of_int m /. float_of_int k) s ~copy:false
           | exception Too_large _ -> Metrics.incr m_inner_pruned
         done;
+        Work.add Work.draws ndraws;
         !best
       in
       match Pool.parallel_reduce ?jobs ~n:nblocks ~init:None ~map:shard ~combine:better_opt () with
@@ -484,7 +518,10 @@ let profile_sizes ?jobs g kmax make_scorer =
           let v = sc.score idxs in
           if v < !best then best := v);
       sc.flush ();
-      if !scored > 0 then Metrics.add m_sets_scored !scored;
+      if !scored > 0 then begin
+        Metrics.add m_sets_scored !scored;
+        Work.add Work.sets_scored !scored
+      end;
       !best
     in
     let best =

@@ -5,7 +5,16 @@
    and gettimeofday jumps. Values are nanoseconds since an arbitrary epoch;
    only differences are meaningful. *)
 
-let now_ns () : int = Int64.to_int (Monotonic_clock.now ())
+(* Test hook mirroring Memgc.gc_read_count: a plain atomic bumped on every
+   monotonic read, so tests can assert "zero clock reads while disabled" on
+   hot paths (the pool's chunk loop, Work/Progress fast paths). Always live —
+   one fetch-and-add per read is far below clock_gettime's own cost. *)
+let reads = Atomic.make 0
+let read_count () = Atomic.get reads
+
+let now_ns () : int =
+  Atomic.incr reads;
+  Int64.to_int (Monotonic_clock.now ())
 
 let ns_to_ms ns = float_of_int ns /. 1e6
 let ns_to_s ns = float_of_int ns /. 1e9

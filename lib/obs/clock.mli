@@ -5,6 +5,11 @@ val now_ns : unit -> int
 (** Monotonic nanoseconds since an arbitrary epoch; only differences are
     meaningful. *)
 
+val read_count : unit -> int
+(** Number of {!now_ns} calls since process start — a test hook (like
+    [Memgc.gc_read_count]) for asserting that disabled instrumentation
+    performs no clock reads on hot paths. *)
+
 val ns_to_ms : int -> float
 val ns_to_s : int -> float
 

@@ -165,6 +165,11 @@ let time t f =
   end
   else f ()
 
+(* Direct read of a counter's running total (enabled or not). Work-unit
+   accounting reads totals mid-run — per-experiment deltas, progress ticks —
+   where a full snapshot would be far too heavy. *)
+let counter_value c = Atomic.get c.count
+
 (* ---- reading ---- *)
 
 (* Merged view of a histogram's per-domain shards. Taken after parallel

@@ -65,6 +65,11 @@ val time : timer -> (unit -> 'a) -> 'a
 
 (** Reading. *)
 
+val counter_value : counter -> int
+(** The counter's running total since the last {!reset}. Cheap (one atomic
+    load) and valid whether or not the registry is enabled — the work-unit
+    layer reads deltas mid-run where a {!snapshot} would be too heavy. *)
+
 val quantile : histogram -> float -> float
 (** Bucket-interpolated quantile estimate ([q] in [0,1]); NaN when empty.
     Accurate to the power-of-two bucket, clamped to the observed range. *)

@@ -1,0 +1,136 @@
+(* Live heartbeat for long runs: coverage, units/sec, ETA on stderr.
+
+   An exact measure over an n-vertex graph enumerates an exponential subset
+   space; at 30+ vertices a run is minutes-to-hours with no sign of life.
+   A Progress task gives it a pulse: hot loops credit batched unit counts
+   with [tick], and at most once per wall-clock interval one of the ticking
+   domains prints a single status line to stderr.
+
+   Contract with the determinism gates: progress NEVER influences computed
+   values or witnesses — it only counts and prints. It is off by default
+   (enable with WX_PROGRESS=1), suppressed under --json by the CLI, and a
+   disabled task's [tick] is one bool load: no clock read, no allocation,
+   no atomic op. Note that an *enabled* heartbeat does allocate (formatting
+   the line), so WX_PROGRESS perturbs the minor-word figures the alloc gate
+   compares — the bench harness leaves it off.
+
+   Domain-safety: [tick] arrives concurrently from pool workers. The unit
+   count is an atomic; the printer is elected by a compare-and-set on the
+   next-print deadline, so exactly one domain formats per interval, and the
+   write itself is serialized by a mutex shared with [finish]. *)
+
+let default_interval_ns = 1_000_000_000
+
+let interval_ns =
+  match Sys.getenv_opt "WX_PROGRESS_INTERVAL_MS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some ms when ms >= 1 -> ms * 1_000_000
+      | _ -> default_interval_ns)
+  | None -> default_interval_ns
+
+let enabled =
+  Atomic.make
+    (match Sys.getenv_opt "WX_PROGRESS" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | _ -> false)
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+type task = {
+  label : string;
+  units : string;
+  total : int; (* <= 0: unknown, no coverage/ETA *)
+  live : bool;
+  done_ : int Atomic.t;
+  t0_ns : int;
+  next_ns : int Atomic.t;
+  tty : bool;
+  lock : Mutex.t;
+  mutable printed : bool;
+}
+
+(* Shared inert task returned while disabled: [tick]/[finish] bail on
+   [live] before touching any field, so sharing is safe and [start] costs
+   nothing on the disabled path. *)
+let dummy =
+  {
+    label = "";
+    units = "";
+    total = 0;
+    live = false;
+    done_ = Atomic.make 0;
+    t0_ns = 0;
+    next_ns = Atomic.make 0;
+    tty = false;
+    lock = Mutex.create ();
+    printed = false;
+  }
+
+let fmt_rate r = if Float.is_finite r && r > 0.0 then Printf.sprintf "%.3g/s" r else "-/s"
+
+let fmt_eta s =
+  if not (Float.is_finite s) || s < 0.0 then "-"
+  else if s < 90.0 then Printf.sprintf "%.1fs" s
+  else if s < 5400.0 then Printf.sprintf "%.1fm" (s /. 60.0)
+  else Printf.sprintf "%.1fh" (s /. 3600.0)
+
+let line t ~now ~done_ =
+  let elapsed = Clock.ns_to_s (now - t.t0_ns) in
+  let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else Float.nan in
+  if t.total > 0 then
+    let pct = 100.0 *. float_of_int done_ /. float_of_int t.total in
+    let eta =
+      if rate > 0.0 then float_of_int (t.total - done_) /. rate else Float.infinity
+    in
+    Printf.sprintf "[progress] %s %5.1f%% %d/%d %s %s eta %s" t.label pct done_ t.total
+      t.units (fmt_rate rate) (fmt_eta eta)
+  else
+    Printf.sprintf "[progress] %s %d %s %s %.1fs" t.label done_ t.units (fmt_rate rate)
+      elapsed
+
+let print t ~now ~done_ =
+  let s = line t ~now ~done_ in
+  Mutex.lock t.lock;
+  t.printed <- true;
+  (* TTY: rewrite one line in place (clear to EOL covers shrinking text).
+     Pipe/file: plain appended lines, one per interval. *)
+  if t.tty then Printf.eprintf "\r%s\x1b[K%!" s else Printf.eprintf "%s\n%!" s;
+  Mutex.unlock t.lock
+
+let start ?(units = "units") ~label ~total () =
+  if not (Atomic.get enabled) then dummy
+  else
+    let t0 = Clock.now_ns () in
+    {
+      label;
+      units;
+      total;
+      live = true;
+      done_ = Atomic.make 0;
+      t0_ns = t0;
+      next_ns = Atomic.make (t0 + interval_ns);
+      tty = (try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false);
+      lock = Mutex.create ();
+      printed = false;
+    }
+
+let tick t n =
+  if t.live then begin
+    let done_ = Atomic.fetch_and_add t.done_ n + n in
+    let now = Clock.now_ns () in
+    let next = Atomic.get t.next_ns in
+    (* CAS elects exactly one printing domain per interval; losers just
+       keep counting. *)
+    if now >= next && Atomic.compare_and_set t.next_ns next (now + interval_ns) then
+      print t ~now ~done_
+  end
+
+let finish t =
+  if t.live then begin
+    Mutex.lock t.lock;
+    if t.printed && t.tty then Printf.eprintf "\r\x1b[K%!";
+    Mutex.unlock t.lock
+  end

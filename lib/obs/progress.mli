@@ -1,0 +1,35 @@
+(** Live heartbeat for long runs: coverage, units/sec and ETA on stderr.
+
+    Off by default; enable with [WX_PROGRESS=1] (interval override:
+    [WX_PROGRESS_INTERVAL_MS], default 1000). The CLI suppresses it under
+    [--json]. TTY-aware: on a terminal the heartbeat rewrites one line in
+    place; piped, it appends one line per interval.
+
+    Progress never influences computed values or witnesses — it only
+    counts and prints — so exact-measure results are bit-identical with it
+    on or off at any job count. It does allocate while printing, so leave
+    it off for allocation-gated bench runs. A disabled task's {!tick} is a
+    single bool load: no clock read, no atomic op, no allocation.
+
+    Domain-safe: {!tick} may be called concurrently from pool workers;
+    one domain per interval is elected to print. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+type task
+
+val start : ?units:string -> label:string -> total:int -> unit -> task
+(** Open a heartbeat. [total] is the known work bound (e.g. the subset
+    count from the enumeration space); pass [0] when unknown — the line
+    then omits coverage and ETA. [units] names the unit (default
+    ["units"]). While disabled this returns an inert task at zero cost. *)
+
+val tick : task -> int -> unit
+(** Credit [n] finished units. Call with batched counts from hot loops
+    (e.g. every 4096 sets), never per-unit. At most one line is printed
+    per interval across all ticking domains. *)
+
+val finish : task -> unit
+(** Close the heartbeat (clears the in-place line on a TTY). *)

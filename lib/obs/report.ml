@@ -1,6 +1,6 @@
-(* Versioned bench reports ("wx-bench/3") and the diff between two of
-   them: a noise-aware wall-time verdict plus a deterministic allocation
-   verdict.
+(* Versioned bench reports ("wx-bench/4") and the diff between two of
+   them: a noise-aware wall-time verdict, a deterministic allocation
+   verdict, and a noise-aware throughput (rate) verdict.
 
    The wx-bench/1 reports of earlier runs recorded one wall time per
    experiment and no provenance, so a number could never be traced back to
@@ -19,13 +19,40 @@
    verdict compares a plain ratio against a 1% tolerance with no floor and
    no range logic — tight where the wall-time verdict must be loose.
 
-   [of_json] still accepts wx-bench/2 and /1 (alloc decodes as None, a
-   scalar v1 wall_s becomes a one-sample list), so historical reports
-   remain diffable; the alloc verdict is simply skipped against them. *)
+   Wall time alone can hide a throughput loss: an experiment that does
+   half the work in the same wall time passes the wall gate. Schema 4
+   records the work-unit deltas (Wx_obs.Work, e.g. sets_scored /
+   gray_steps / draws) each experiment performed, so the diff can compare
+   units/sec per kind — wall noise divides out identically on both sides,
+   which is why the rate verdict reuses the wall gate's median-ratio +
+   disjoint-ranges rule rather than the alloc gate's strict one. Schema 4
+   also records a "util" block (pool busy fraction, per-slot busy
+   fractions and chunk counts, idle tail) — informational in the diff, and
+   the evidence base for the planned work-stealing kernel.
 
-let schema = "wx-bench/3"
+   [of_json] still accepts wx-bench/3, /2 and /1 (work decodes as [],
+   util/alloc as None, a scalar v1 wall_s becomes a one-sample list), so
+   historical reports remain diffable; the rate/util and alloc verdicts
+   are simply skipped against them. *)
+
+let schema = "wx-bench/4"
+let schema_v3 = "wx-bench/3"
 let schema_v2 = "wx-bench/2"
 let schema_v1 = "wx-bench/1"
+
+(* Pool utilization summary, reduced from Wx_par.Pool.util by the bench
+   runner (Report cannot depend on Wx_par — the dependency runs the other
+   way). Fractions are busy/span in [0,1]; slots are worker tids. *)
+type util_slot = { us_busy_frac : float; us_chunks : int }
+
+type util = {
+  ut_runs : int;  (* instrumented parallel pool runs in the experiment *)
+  ut_seq_runs : int;
+  ut_busy_frac : float;  (* total busy / total capacity across runs *)
+  ut_idle_tail_ms : float;  (* mean idle tail per parallel run *)
+  ut_max_idle_tail_ms : float;
+  ut_slots : util_slot list;
+}
 
 type entry = {
   id : string;
@@ -33,6 +60,8 @@ type entry = {
   claim : string;
   wall_s : float list;  (* one sample per repeat, in run order; non-empty *)
   alloc : Memgc.counters option;  (* None when Memgc was off or pre-v3 *)
+  work : (string * int) list;  (* units per Work kind; [] when off or pre-v4 *)
+  util : util option;  (* None when Metrics was off or pre-v4 *)
   holds : int;
   total : int;
   checks : Json.t;  (* opaque per-check rows, passed through verbatim *)
@@ -94,6 +123,33 @@ let make ?(provenance = capture_provenance ()) ~seed ~quick ~jobs ~repeats entri
 
 (* ---- JSON codec ---- *)
 
+let util_json u =
+  Json.Obj
+    [
+      ("runs", Json.Int u.ut_runs);
+      ("seq_runs", Json.Int u.ut_seq_runs);
+      ("busy_frac", Json.Float u.ut_busy_frac);
+      ("idle_tail_ms", Json.Float u.ut_idle_tail_ms);
+      ("max_idle_tail_ms", Json.Float u.ut_max_idle_tail_ms);
+      ( "slots",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [ ("busy_frac", Json.Float s.us_busy_frac); ("chunks", Json.Int s.us_chunks) ])
+             u.ut_slots) );
+    ]
+
+(* Units/sec per kind against the median wall sample — derived, for humans
+   reading the file; the diff recomputes rates per sample from [work]. *)
+let rate_json e =
+  let m = median e.wall_s in
+  Json.Obj
+    (List.map
+       (fun (k, n) ->
+         (k, Json.Float (if m > 0.0 then float_of_int n /. m else Float.nan)))
+       e.work)
+
 let entry_json e =
   Json.Obj
     ([
@@ -110,6 +166,14 @@ let entry_json e =
       ("checks", e.checks);
       ("metrics", e.metrics);
     ]
+    @ (match e.work with
+      | [] -> []
+      | w ->
+          [
+            ("work", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) w));
+            ("rate_per_s", rate_json e);
+          ])
+    @ (match e.util with None -> [] | Some u -> [ ("util", util_json u) ])
     @ match e.alloc with None -> [] | Some a -> [ ("alloc", Memgc.to_json a) ])
 
 let to_json t =
@@ -188,16 +252,80 @@ let entry_of_json ~v1 j =
         | Some c -> Ok (Some c)
         | None -> Error "alloc block is malformed")
   in
-  Ok { id; title; claim; wall_s; alloc; holds; total; checks; metrics }
+  (* Absent before v4 (and when Metrics was off): work decodes as [], util
+     as None — the diff then skips the rate/util verdicts for this entry,
+     mirroring the alloc compat path. *)
+  let* work =
+    match Json.member "work" j with
+    | None -> Ok []
+    | Some (Json.Obj kvs) ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, v) :: rest -> (
+              match Json.to_int_opt v with
+              | Some n -> conv ((k, n) :: acc) rest
+              | None -> Error (Printf.sprintf "work.%s is not an int" k))
+        in
+        conv [] kvs
+    | Some _ -> Error "work is not an object"
+  in
+  let* util =
+    match Json.member "util" j with
+    | None -> Ok None
+    | Some u ->
+        let* runs = int_field "runs" u in
+        let* seq_runs = int_field "seq_runs" u in
+        let num name =
+          let* v = field name u in
+          match Json.to_float_opt v with
+          | Some x -> Ok x
+          | None -> Error (name ^ " is not a number")
+        in
+        let* busy_frac = num "busy_frac" in
+        let* idle_tail_ms = num "idle_tail_ms" in
+        let* max_idle_tail_ms = num "max_idle_tail_ms" in
+        let* slots =
+          match Json.member "slots" u with
+          | None -> Ok []
+          | Some sl -> (
+              match Json.to_list_opt sl with
+              | None -> Error "util.slots is not a list"
+              | Some xs ->
+                  let rec conv acc = function
+                    | [] -> Ok (List.rev acc)
+                    | s :: rest -> (
+                        match
+                          ( Option.bind (Json.member "busy_frac" s) Json.to_float_opt,
+                            Option.bind (Json.member "chunks" s) Json.to_int_opt )
+                        with
+                        | Some f, Some c ->
+                            conv ({ us_busy_frac = f; us_chunks = c } :: acc) rest
+                        | _ -> Error "util slot is malformed")
+                  in
+                  conv [] xs)
+        in
+        Ok
+          (Some
+             {
+               ut_runs = runs;
+               ut_seq_runs = seq_runs;
+               ut_busy_frac = busy_frac;
+               ut_idle_tail_ms = idle_tail_ms;
+               ut_max_idle_tail_ms = max_idle_tail_ms;
+               ut_slots = slots;
+             })
+  in
+  Ok { id; title; claim; wall_s; alloc; work; util; holds; total; checks; metrics }
 
 let of_json j =
   let* s = str_field "schema" j in
   let* v1 =
-    if s = schema || s = schema_v2 then Ok false
+    if s = schema || s = schema_v3 || s = schema_v2 then Ok false
     else if s = schema_v1 then Ok true
     else
       Error
-        (Printf.sprintf "unsupported schema %S (want %s, %s or %s)" s schema schema_v2 schema_v1)
+        (Printf.sprintf "unsupported schema %S (want %s, %s, %s or %s)" s schema schema_v3
+           schema_v2 schema_v1)
   in
   let* generated = str_field "generated" j in
   let* seed = int_field "seed" j in
@@ -266,10 +394,20 @@ type delta = {
   new_minor_words : float;  (* nan when unknown *)
   alloc_ratio : float;  (* new/old minor words; nan when not comparable *)
   alloc_note : string;
+  rate_verdict : verdict option;  (* None when either side has no work *)
+  rate_ratio : float;  (* new/old units-per-sec of the worst kind; nan *)
+  rate_note : string;
+  old_util : util option;  (* passed through for rendering deltas *)
+  new_util : util option;
 }
 
 let default_tolerance = 0.25
 let default_min_wall_s = 0.05
+
+(* Rates inherit wall noise (units are deterministic, the denominator is
+   not), so the rate gate reuses the wall gate's posture: same default
+   tolerance, same disjoint-ranges requirement, same floor. *)
+let default_rate_tolerance = 0.25
 
 (* Minor-word counts are deterministic per seed/jobs (DESIGN.md §8), so
    1% is not a noise allowance — it only forgives genuinely tiny drifts
@@ -281,8 +419,67 @@ let minor_words_of = function
   | Some (a : Memgc.counters) -> float_of_int a.Memgc.minor_words
   | None -> Float.nan
 
+(* Rate verdict for one work kind: per-sample units/sec on each side
+   (units are per-experiment constants, so every wall sample yields a rate
+   sample), then the wall gate's rule on the rate axis — median ratio
+   beyond tolerance AND disjoint sample ranges, under the same wall floor.
+   Regression means the NEW side is slower: ratio < 1/(1+tol). *)
+let rate_verdict_one ~tolerance ~min_wall_s ~ou ~nu oe ne =
+  let rates units samples = List.map (fun w -> float_of_int units /. w) samples in
+  let or_ = rates ou oe.wall_s and nr = rates nu ne.wall_s in
+  let om = median or_ and nm = median nr in
+  let ratio = nm /. om in
+  if median oe.wall_s < min_wall_s && median ne.wall_s < min_wall_s then
+    (Within_noise, ratio, Printf.sprintf "both under %.0fms floor" (1e3 *. min_wall_s))
+  else if ratio < 1.0 /. (1.0 +. tolerance) && max_sample nr < min_sample or_ then
+    ( Regression,
+      ratio,
+      Printf.sprintf "%.0f%% fewer units/s and ranges disjoint (%.3g..%.3g vs %.3g..%.3g)"
+        (100.0 *. (1.0 -. ratio))
+        (min_sample or_) (max_sample or_) (min_sample nr) (max_sample nr) )
+  else if ratio > 1.0 +. tolerance && min_sample nr > max_sample or_ then
+    (Improvement, ratio, Printf.sprintf "+%.0f%% units/s and ranges disjoint" (100.0 *. (ratio -. 1.0)))
+  else (Within_noise, ratio, "")
+
+(* Across kinds the worst verdict wins: any regressed kind regresses the
+   experiment (doing 30% fewer sets/sec is not excused by drawing samples
+   faster); absent regressions, any improved kind reports improvement. *)
+let rate_verdict ~tolerance ~min_wall_s oe ne =
+  let common =
+    List.filter_map
+      (fun (k, ou) ->
+        match List.assoc_opt k ne.work with Some nu -> Some (k, ou, nu) | None -> None)
+      oe.work
+  in
+  match common with
+  (* No shared kinds. The note distinguishes "nothing to measure on either
+     side" (a work-less experiment: not a skip) from "one side carries
+     kinds the other lacks" (a v3-or-older side, or Metrics off during one
+     recording: a genuine skip worth warning about). The note is only
+     rendered next to a Some verdict, so it doubles as this flag for free. *)
+  | [] -> (None, Float.nan, if oe.work = [] && ne.work = [] then "" else "no common work kinds")
+  | _ ->
+      let judged =
+        List.map
+          (fun (k, ou, nu) ->
+            let v, r, note = rate_verdict_one ~tolerance ~min_wall_s ~ou ~nu oe ne in
+            (k, v, r, note))
+          common
+      in
+      let pick v = List.find_opt (fun (_, v', _, _) -> v' = v) judged in
+      let k, v, r, note =
+        match pick Regression with
+        | Some x -> x
+        | None -> (
+            match pick Improvement with
+            | Some x -> x
+            | None -> List.hd judged)
+      in
+      (Some v, r, if note = "" then "" else Printf.sprintf "%s %s" k note)
+
 let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s)
-    ?(alloc_tolerance = default_alloc_tolerance) ~old_ ~new_ () =
+    ?(alloc_tolerance = default_alloc_tolerance) ?(rate_tolerance = default_rate_tolerance)
+    ~old_ ~new_ () =
   let find t id = List.find_opt (fun e -> e.id = id) t.entries in
   let compare_one oe ne =
     let om = median oe.wall_s and nm = median ne.wall_s in
@@ -323,6 +520,9 @@ let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s)
           else (Some Within_noise, ow, nw, r, "")
       | _ -> (None, minor_words_of oe.alloc, minor_words_of ne.alloc, Float.nan, "")
     in
+    let rate_verdict, rate_ratio, rate_note =
+      rate_verdict ~tolerance:rate_tolerance ~min_wall_s oe ne
+    in
     {
       d_id = oe.id;
       verdict;
@@ -335,6 +535,11 @@ let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s)
       new_minor_words = new_mw;
       alloc_ratio;
       alloc_note;
+      rate_verdict;
+      rate_ratio;
+      rate_note;
+      old_util = oe.util;
+      new_util = ne.util;
     }
   in
   let from_old =
@@ -355,6 +560,11 @@ let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s)
               new_minor_words = Float.nan;
               alloc_ratio = Float.nan;
               alloc_note = "";
+              rate_verdict = None;
+              rate_ratio = Float.nan;
+              rate_note = "";
+              old_util = oe.util;
+              new_util = None;
             })
       old_.entries
   in
@@ -375,6 +585,11 @@ let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s)
               new_minor_words = minor_words_of ne.alloc;
               alloc_ratio = Float.nan;
               alloc_note = "";
+              rate_verdict = None;
+              rate_ratio = Float.nan;
+              rate_note = "";
+              old_util = None;
+              new_util = ne.util;
             }
         else None)
       new_.entries
@@ -383,6 +598,7 @@ let diff ?(tolerance = default_tolerance) ?(min_wall_s = default_min_wall_s)
 
 let regressions deltas = List.filter (fun d -> d.verdict = Regression) deltas
 let alloc_regressions deltas = List.filter (fun d -> d.alloc_verdict = Some Regression) deltas
+let rate_regressions deltas = List.filter (fun d -> d.rate_verdict = Some Regression) deltas
 
 (* The mixed-version case (v2 baseline vs v3 report, or Memgc off on one
    side): some compared pair has alloc on neither or only one side, so the
@@ -392,6 +608,17 @@ let alloc_skipped deltas =
   List.exists
     (fun d ->
       d.alloc_verdict = None && d.verdict <> Added && d.verdict <> Removed)
+    deltas
+
+(* Same shape for rate, with one refinement: a v3-or-older side decodes
+   with work = [], so every compared pair loses its rate verdict and the
+   diff must say so instead of quietly printing a clean gate — but an
+   experiment that counts no work on either side has nothing to skip, so
+   an all-v4 diff over such entries stays warning-free. *)
+let rate_skipped deltas =
+  List.exists
+    (fun d ->
+      d.rate_verdict = None && d.rate_note <> "" && d.verdict <> Added && d.verdict <> Removed)
     deltas
 
 (* Configuration mismatches don't fail a diff, but a wall-time comparison

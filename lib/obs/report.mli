@@ -1,6 +1,6 @@
-(** Versioned bench reports ([wx-bench/3]) and the diff between two of
-    them: a noise-aware wall-time verdict plus a deterministic allocation
-    verdict.
+(** Versioned bench reports ([wx-bench/4]) and the diff between two of
+    them: a noise-aware wall-time verdict, a deterministic allocation
+    verdict, and a noise-aware throughput (rate) verdict.
 
     A report records, per experiment, the full list of wall-time samples
     (one per repeat), an optional GC/allocation block ({!Memgc.counters}
@@ -15,13 +15,35 @@
     against a 1% tolerance ({!default_alloc_tolerance}) gates far tighter
     than wall time ever could.
 
-    {!of_json} also accepts the legacy [wx-bench/2] schema (no alloc
-    block — the alloc verdict is skipped, see {!alloc_skipped}) and
+    Schema 4 adds the throughput axis: per-experiment [work] (units done
+    per {!Work} kind — sets scored, Gray steps, draws, rounds) and a pool
+    [util] block (busy fraction, per-slot busy/chunks, idle tail). Units
+    are deterministic per seed/jobs but the wall denominator is not, so
+    the rate verdict reuses the wall gate's median-ratio + disjoint-range
+    rule per kind, with the worst kind deciding the experiment.
+
+    {!of_json} also accepts the legacy [wx-bench/3] schema (no work/util —
+    rate verdicts are skipped, see {!rate_skipped}), [wx-bench/2] (no
+    alloc block — the alloc verdict is skipped, see {!alloc_skipped}) and
     [wx-bench/1] (scalar wall time, no provenance), decoding the latter as
     a one-sample, one-repeat report. *)
 
 val schema : string
-(** ["wx-bench/3"]. *)
+(** ["wx-bench/4"]. *)
+
+(** Pool utilization summary, reduced from [Wx_par.Pool.util] by the bench
+    runner (this module cannot depend on [Wx_par]). Fractions are
+    busy-time over slot span, in [0, 1]. *)
+type util_slot = { us_busy_frac : float; us_chunks : int }
+
+type util = {
+  ut_runs : int;  (** instrumented parallel pool runs in the experiment *)
+  ut_seq_runs : int;
+  ut_busy_frac : float;  (** total busy / total capacity across runs *)
+  ut_idle_tail_ms : float;  (** mean idle tail per parallel run *)
+  ut_max_idle_tail_ms : float;
+  ut_slots : util_slot list;  (** indexed by worker tid (0 = caller) *)
+}
 
 type entry = {
   id : string;
@@ -29,6 +51,9 @@ type entry = {
   claim : string;
   wall_s : float list;  (** one sample per repeat, in run order; non-empty *)
   alloc : Memgc.counters option;  (** [None] when Memgc was off or pre-v3 *)
+  work : (string * int) list;
+      (** units done per {!Work} kind; [[]] when Metrics was off or pre-v4 *)
+  util : util option;  (** [None] when Metrics was off or pre-v4 *)
   holds : int;
   total : int;
   checks : Json.t;  (** opaque per-check rows, passed through verbatim *)
@@ -97,6 +122,15 @@ type delta = {
   new_minor_words : float;  (** NaN when unknown *)
   alloc_ratio : float;  (** new/old minor words; NaN when not comparable *)
   alloc_note : string;
+  rate_verdict : verdict option;
+      (** [None] when the two sides share no work kind (pre-v4 report or
+          Metrics off), or the entry was added/removed *)
+  rate_ratio : float;
+      (** new/old units-per-sec of the verdict-deciding kind; NaN when not
+          comparable *)
+  rate_note : string;  (** names the deciding kind when non-empty *)
+  old_util : util option;  (** passed through for rendering util deltas *)
+  new_util : util option;
 }
 
 val default_tolerance : float
@@ -110,10 +144,15 @@ val default_alloc_tolerance : float
 (** 0.01 — minor words are deterministic per seed/jobs, so 1% only
     forgives genuinely tiny drifts; no floor is needed. *)
 
+val default_rate_tolerance : float
+(** 0.25 — rates inherit wall noise, so the rate gate mirrors the wall
+    gate's tolerance rather than the alloc gate's strictness. *)
+
 val diff :
   ?tolerance:float ->
   ?min_wall_s:float ->
   ?alloc_tolerance:float ->
+  ?rate_tolerance:float ->
   old_:t ->
   new_:t ->
   unit ->
@@ -124,17 +163,28 @@ val diff :
     ([new min > old max]); improvement is the mirror image. The alloc
     verdict is a plain minor-words ratio against [1 + alloc_tolerance]
     (regression) / [1 - alloc_tolerance] (improvement), computed only when
-    both sides carry an alloc block. *)
+    both sides carry an alloc block. The rate verdict turns each wall
+    sample into a units/sec sample per shared work kind and applies the
+    wall rule per kind (regression when the new median rate falls below
+    [1 / (1 + rate_tolerance)] of the old with disjoint rate ranges, under
+    the same [min_wall_s] floor); the worst kind decides. *)
 
 val regressions : delta list -> delta list
 (** Wall-time regressions only. *)
 
 val alloc_regressions : delta list -> delta list
+val rate_regressions : delta list -> delta list
 
 val alloc_skipped : delta list -> bool
 (** True when some compared pair (not added/removed) lacked an alloc block
     on at least one side — the mixed-version case a caller should warn
     about. *)
+
+val rate_skipped : delta list -> bool
+(** Same for work/rate: true when some compared pair carries work kinds on
+    at least one side but shares none (one side pre-v4 or recorded with
+    Metrics off). Pairs with no work on either side have nothing to skip
+    and never trigger this. *)
 
 val compat_warnings : old_:t -> new_:t -> string list
 (** Human-readable warnings when quick mode, job count, or seed differ —

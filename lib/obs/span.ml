@@ -19,6 +19,7 @@ type t = {
   mutable promoted_words : int;
   mutable major_words : int;
   mutable gc_collections : int; (* minor + major collections while open *)
+  mutable work_units : int; (* Work units credited while open (cumulative) *)
   mutable children : t list; (* newest first; reversed on read *)
 }
 
@@ -55,6 +56,7 @@ let with_ ~name f =
               promoted_words = 0;
               major_words = 0;
               gc_collections = 0;
+              work_units = 0;
               children = [];
             }
           in
@@ -66,6 +68,11 @@ let with_ ~name f =
     stack := span :: !stack;
     let mem = Memgc.is_enabled () in
     let g0 = if mem then Memgc.read () else Memgc.zero in
+    (* Work attribution rides the Metrics flag: kinds only count while the
+       registry is on, and grand_total is two loads per registered kind —
+       cheap at span granularity, meaningless when counts are frozen. *)
+    let met = Metrics.is_enabled () in
+    let w0 = if met then Work.grand_total () else 0 in
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
@@ -90,6 +97,7 @@ let with_ ~name f =
               ("major_words", float_of_int g1.Memgc.major_words);
             ]
         end;
+        if met then span.work_units <- span.work_units + (Work.grand_total () - w0);
         (* Spans are main-domain only (see DESIGN.md §6), so they all land
            on the caller's track, where the pool's chunk slices nest. *)
         Trace_export.slice ~tid:0 ~name ~t0_ns:t0 ~dur_ns:dur ();
@@ -128,6 +136,7 @@ let rec to_json_one s =
        ("wall_ms", Json.Float (Clock.ns_to_ms s.dur_ns));
        ("self_ms", Json.Float (Clock.ns_to_ms (self_ns s)));
      ]
+    @ (if s.work_units = 0 then [] else [ ("work_units", Json.Int s.work_units) ])
     @ alloc_fields s
     @
     match children s with

@@ -21,6 +21,10 @@ type t = {
   mutable promoted_words : int;
   mutable major_words : int;
   mutable gc_collections : int;  (** minor + major collections while open *)
+  mutable work_units : int;
+      (** {!Work} units credited while the span was open (cumulative, like
+          [dur_ns]); 0 unless {!Metrics} was on. Basis of the units/sec
+          column in [wx prof --top]. *)
   mutable children : t list;  (** newest first; use {!children} for order *)
 }
 

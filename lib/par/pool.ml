@@ -41,6 +41,102 @@ let join_t = Metrics.timer "pool.join_wait"
 let worker_minor_h = Metrics.histogram "pool.worker_minor_words"
 let chunk_minor_h = Metrics.histogram "pool.chunk_minor_words"
 
+(* Utilization instruments: per-slot busy fraction (percent of the slot's
+   own start-to-finish span spent inside chunks), chunks claimed per slot,
+   and the per-run idle tail (last worker finish minus first worker finish
+   — the straggler cost of skewed sharding). *)
+let util_busy_frac_h = Metrics.histogram "pool.util.busy_frac_pct"
+let util_slot_chunks_h = Metrics.histogram "pool.util.slot_chunks"
+let util_idle_tail_t = Metrics.timer "pool.util.idle_tail"
+
+(* ---- cross-run utilization accounting ----
+
+   The bench runner wants a per-experiment utilization summary, and one
+   parallel_reduce call is too fine a grain (an exact measure makes one
+   call, a sampled measure several). So every instrumented run folds its
+   per-slot numbers into this process-global accumulator under a mutex
+   (cold path: once per run, not per chunk); [reset_util]/[util] bracket an
+   experiment the same way [Metrics.reset]/[snapshot] do. *)
+
+type slot_util = { s_busy_ns : int; s_span_ns : int; s_chunks : int }
+
+type util = {
+  u_runs : int;
+  u_seq_runs : int;
+  u_capacity_ns : int;
+  u_busy_ns : int;
+  u_idle_tail_ns : int;
+  u_max_idle_tail_ns : int;
+  u_slots : slot_util array;
+}
+
+type slot_acc = { mutable a_busy : int; mutable a_span : int; mutable a_chunks : int }
+
+let util_lock = Mutex.create ()
+let util_slots : slot_acc array ref = ref [||]
+let util_runs = ref 0
+let util_seq_runs = ref 0
+let util_capacity = ref 0
+let util_busy = ref 0
+let util_idle_tail = ref 0
+let util_max_idle_tail = ref 0
+
+let reset_util () =
+  Mutex.lock util_lock;
+  util_slots := [||];
+  util_runs := 0;
+  util_seq_runs := 0;
+  util_capacity := 0;
+  util_busy := 0;
+  util_idle_tail := 0;
+  util_max_idle_tail := 0;
+  Mutex.unlock util_lock
+
+let util () =
+  Mutex.lock util_lock;
+  let u =
+    {
+      u_runs = !util_runs;
+      u_seq_runs = !util_seq_runs;
+      u_capacity_ns = !util_capacity;
+      u_busy_ns = !util_busy;
+      u_idle_tail_ns = !util_idle_tail;
+      u_max_idle_tail_ns = !util_max_idle_tail;
+      u_slots =
+        Array.map
+          (fun a -> { s_busy_ns = a.a_busy; s_span_ns = a.a_span; s_chunks = a.a_chunks })
+          !util_slots;
+    }
+  in
+  Mutex.unlock util_lock;
+  u
+
+(* Fold one run's per-slot arrays into the global accumulator. [seq] runs
+   have one slot and by construction no idle tail. Called with the workers
+   already joined, so the distinct-slot writes are stable. *)
+let util_record ~seq ~jobs ~run_span ~busy ~spans ~chunks ~idle_tail =
+  Mutex.lock util_lock;
+  if Array.length !util_slots < jobs then begin
+    let grown =
+      Array.init jobs (fun i ->
+          if i < Array.length !util_slots then !util_slots.(i)
+          else { a_busy = 0; a_span = 0; a_chunks = 0 })
+    in
+    util_slots := grown
+  end;
+  for tid = 0 to jobs - 1 do
+    let a = !util_slots.(tid) in
+    a.a_busy <- a.a_busy + busy.(tid);
+    a.a_span <- a.a_span + spans.(tid);
+    a.a_chunks <- a.a_chunks + chunks.(tid)
+  done;
+  if seq then incr util_seq_runs else incr util_runs;
+  util_capacity := !util_capacity + (jobs * run_span);
+  util_busy := !util_busy + Array.fold_left ( + ) 0 (Array.sub busy 0 jobs);
+  util_idle_tail := !util_idle_tail + idle_tail;
+  if idle_tail > !util_max_idle_tail then util_max_idle_tail := idle_tail;
+  Mutex.unlock util_lock
+
 let recommended_jobs () = max 1 (min max_domains (Domain.recommended_domain_count ()))
 
 let env_jobs () =
@@ -92,6 +188,16 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
     let mem = instrumented && memgc_on in
     let now () = if instrumented then Clock.now_ns () else 0 in
     let own_words () = if memgc_on then Memgc.own_minor_words () else 0.0 in
+    (* Per-run utilization state, one slot per worker tid. Distinct slots
+       are written only by their owner; the caller reads them after the
+       joins. Sized by [jobs] (not nchunks), so the allocation is a
+       deterministic function of the call shape — the alloc gate depends
+       on that. Empty when uninstrumented: no cost, and run_chunk never
+       touches them on that path. *)
+    let busy_a = if instrumented then Array.make jobs 0 else [||] in
+    let spans_a = if instrumented then Array.make jobs 0 else [||] in
+    let chunks_a = if instrumented then Array.make jobs 0 else [||] in
+    let finish_a = if instrumented then Array.make jobs 0 else [||] in
     (* Left fold of [map] over one chunk's indices — the innermost loop of
        every exact measure, so no per-index allocation beyond [map]'s own. *)
     let chunk_result c =
@@ -112,6 +218,10 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
       if instrumented then begin
         let t_done = Clock.now_ns () in
         let dw = if mem then Memgc.own_minor_words () -. w0 else 0.0 in
+        (* Busy time = time inside chunks, on the stamps already taken for
+           the chunk timer — utilization adds no clock reads here. *)
+        busy_a.(tid) <- busy_a.(tid) + (t_done - t_claim);
+        chunks_a.(tid) <- chunks_a.(tid) + 1;
         Metrics.incr chunks_c;
         Metrics.observe_ns chunk_t (t_done - t_claim);
         if mem then Metrics.observe chunk_minor_h dw;
@@ -128,10 +238,21 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
         Metrics.incr seq_runs_c;
         Metrics.set jobs_g 1.0
       end;
+      let t_seq0 = now () in
       let acc = ref init in
       for c = 0 to nchunks - 1 do
         acc := combine !acc (run_chunk ~tid:0 ~t_claim:(now ()) c)
       done;
+      if instrumented then begin
+        let span = Clock.now_ns () - t_seq0 in
+        spans_a.(0) <- span;
+        Metrics.observe util_busy_frac_h
+          (if span > 0 then 100.0 *. float_of_int busy_a.(0) /. float_of_int span else 0.0);
+        Metrics.observe util_slot_chunks_h (float_of_int chunks_a.(0));
+        Metrics.observe_ns util_idle_tail_t 0;
+        util_record ~seq:true ~jobs:1 ~run_span:span ~busy:busy_a ~spans:spans_a
+          ~chunks:chunks_a ~idle_tail:0
+      end;
       !acc
     end
     else begin
@@ -176,6 +297,14 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
                 continue_ := false
           end
         done;
+        (* Finish stamp / slot span for the utilization summary: read once
+           per worker exit, outside the chunk loop. The caller consumes
+           these after the joins. *)
+        if instrumented then begin
+          let t_fin = Clock.now_ns () in
+          finish_a.(tid) <- t_fin;
+          spans_a.(tid) <- t_fin - t_start
+        end;
         (* Per-worker attribution: the worker's OWN minor-word delta,
            observed from the worker domain itself so it lands in that
            domain's histogram shard (merged at snapshot after joins).
@@ -188,7 +317,10 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
         if instrumented && tid > 0 then
           let t_exit = Clock.now_ns () in
           Trace_export.slice ~tid ~name:"worker" ~t0_ns:t_start ~dur_ns:(t_exit - t_start)
-            ~args:(if mem then [ ("minor_words", Json.Float w_delta) ] else [])
+            ~args:
+              (("chunks", Json.Int chunks_a.(tid))
+              :: ("busy_ms", Json.Float (Clock.ns_to_ms busy_a.(tid)))
+              :: (if mem then [ ("minor_words", Json.Float w_delta) ] else []))
             ()
       in
       let domains = Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
@@ -204,7 +336,36 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
         Trace_export.slice ~tid:0 ~name:"parallel_reduce" ~t0_ns:t_run0
           ~dur_ns:(t_joined - t_run0)
           ~args:[ ("n", Json.Int n); ("chunks", Json.Int nchunks); ("jobs", Json.Int jobs) ]
-          ()
+          ();
+        (* Utilization summary for this run. The joins above published the
+           workers' slot writes, so the arrays are stable here. *)
+        let fin_min = ref max_int and fin_max = ref min_int in
+        for tid = 0 to jobs - 1 do
+          if finish_a.(tid) < !fin_min then fin_min := finish_a.(tid);
+          if finish_a.(tid) > !fin_max then fin_max := finish_a.(tid);
+          Metrics.observe util_busy_frac_h
+            (if spans_a.(tid) > 0 then
+               100.0 *. float_of_int busy_a.(tid) /. float_of_int spans_a.(tid)
+             else 0.0);
+          Metrics.observe util_slot_chunks_h (float_of_int chunks_a.(tid))
+        done;
+        let idle_tail = max 0 (!fin_max - !fin_min) in
+        Metrics.observe_ns util_idle_tail_t idle_tail;
+        (* Counter track stepping down at each worker finish: the idle tail
+           renders as a staircase in chrome://tracing / wx prof. *)
+        if Trace_export.is_enabled () then begin
+          Trace_export.counter ~name:"pool.active_workers" ~t_ns:t_run0
+            [ ("active", float_of_int jobs) ];
+          let fins = Array.sub finish_a 0 jobs in
+          Array.sort compare fins;
+          Array.iteri
+            (fun i t ->
+              Trace_export.counter ~name:"pool.active_workers" ~t_ns:t
+                [ ("active", float_of_int (jobs - i - 1)) ])
+            fins
+        end;
+        util_record ~seq:false ~jobs ~run_span:(t_joined - t_run0) ~busy:busy_a
+          ~spans:spans_a ~chunks:chunks_a ~idle_tail
       end;
       (match Atomic.get failure with Some e -> raise e | None -> ());
       (* All chunks completed (no failure), so every slot is filled; the

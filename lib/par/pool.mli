@@ -39,7 +39,45 @@
     a Chrome-trace slice on the track of the worker slot that ran it
     (tid 0 = calling domain, tids 1..jobs-1 = spawned workers), with
     [worker]/[join]/[parallel_reduce] envelope slices. With both systems
-    off the hot loop performs no clock reads. *)
+    off the hot loop performs no clock reads (assertable via
+    [Wx_obs.Clock.read_count]).
+
+    {2 Utilization}
+
+    Instrumented runs additionally attribute busy/idle time per worker
+    slot: busy nanoseconds (time inside chunks, on the stamps the chunk
+    timer already takes), chunks claimed, slot span (worker start to
+    finish) and the per-run {e idle tail} — last worker finish minus first
+    worker finish, the straggler cost of skewed sharding. Per-run numbers
+    feed the [pool.util.*] instruments and a [pool.active_workers] counter
+    track in the exported trace; cross-run sums accumulate in a global
+    summary read by {!util} and cleared by {!reset_util}, which the bench
+    runner brackets around each experiment to produce the [wx-bench/4]
+    [util] block. *)
+
+type slot_util = {
+  s_busy_ns : int;  (** time inside chunks on this worker slot *)
+  s_span_ns : int;  (** slot start-to-finish span, summed over runs *)
+  s_chunks : int;  (** chunks claimed by this slot *)
+}
+
+type util = {
+  u_runs : int;  (** instrumented parallel runs accumulated *)
+  u_seq_runs : int;  (** instrumented sequential (jobs=1) runs *)
+  u_capacity_ns : int;  (** [jobs * run_span] summed over runs *)
+  u_busy_ns : int;  (** busy time summed over all slots and runs *)
+  u_idle_tail_ns : int;  (** idle tails summed over parallel runs *)
+  u_max_idle_tail_ns : int;  (** worst single-run idle tail *)
+  u_slots : slot_util array;  (** indexed by worker tid (0 = caller) *)
+}
+
+val util : unit -> util
+(** Snapshot of the cross-run utilization accumulator (zeroes and an empty
+    slot array if no instrumented run happened since {!reset_util}). *)
+
+val reset_util : unit -> unit
+(** Clear the cross-run utilization accumulator. Call between joined
+    parallel sections, like [Metrics.reset]. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count], clamped to [1, 128]. *)

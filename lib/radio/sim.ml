@@ -59,6 +59,7 @@ let run_until ?max_rounds ?on_round g ~source protocol rng ~stop =
       in
       if Metrics.is_enabled () then begin
         Metrics.incr m_rounds;
+        Wx_obs.Work.incr Wx_obs.Work.rounds_simulated;
         Metrics.add m_transmissions info.transmitters;
         Metrics.add m_collisions info.collisions_this_round;
         Metrics.add m_newly_informed info.newly_informed;

@@ -16,8 +16,12 @@ cd "$(dirname "$0")/.."
 
 baseline=bench/baseline.json
 # The code whose cost the baseline certifies: the exact-measure hot path,
-# its enumeration layer, and the experiment definitions themselves.
-watched=(lib/expansion lib/util/combi.ml lib/util/combi.mli bench/*.ml)
+# its enumeration layer, the experiment definitions themselves, and —
+# since the baseline carries work counts, units/sec series and pool
+# utilization (wx-bench/4) — the pool scheduler, the work-unit taxonomy
+# and the radio simulator whose rounds are a counted work kind.
+watched=(lib/expansion lib/util/combi.ml lib/util/combi.mli bench/*.ml
+         lib/par lib/obs/work.ml lib/obs/work.mli lib/radio/sim.ml)
 
 if [ ! -f "$baseline" ]; then
   echo "error: $baseline missing" >&2

@@ -220,6 +220,123 @@ let test_metric_totals_job_independent () =
       check_int (Printf.sprintf "improvements jobs=%d" jobs) imp1 imp)
     [ 2; 8 ]
 
+(* ---- named work units (Wx_obs.Work) ---- *)
+
+let test_work_totals_job_independent () =
+  let g = Gen.cycle 10 in
+  let n = 10 in
+  let kmax = Measure.max_set_size g in
+  let module Work = Wx_obs.Work in
+  let run jobs =
+    with_metrics (fun () ->
+        ignore (Measure.beta_exact ~jobs g);
+        ignore (Measure.beta_w_exact ~jobs g);
+        ignore (Measure.beta_sampled ~jobs (Rng.create 3) ~samples:100 g);
+        (Work.count Work.sets_scored, Work.count Work.gray_steps, Work.count Work.draws))
+  in
+  let sets1, flips1, draws1 = run 1 in
+  (* Two exact measures score every non-empty set of size <= kmax once. *)
+  check_int "work sets" (2 * Wx_util.Combi.subsets_count_le n kmax) sets1;
+  let expected_flips = ref 0 in
+  for k = 1 to kmax do
+    expected_flips := !expected_flips + (Wx_util.Combi.binomial n k * ((1 lsl k) - 1))
+  done;
+  check_int "work gray steps" !expected_flips flips1;
+  check_int "work draws" 100 draws1;
+  List.iter
+    (fun jobs ->
+      let sets, flips, draws = run jobs in
+      check_int (Printf.sprintf "work sets jobs=%d" jobs) sets1 sets;
+      check_int (Printf.sprintf "work gray steps jobs=%d" jobs) flips1 flips;
+      check_int (Printf.sprintf "work draws jobs=%d" jobs) draws1 draws)
+    [ 2; 8 ];
+  (* Work counters ride the Metrics registry: disabled means frozen. *)
+  let before = Work.count Work.sets_scored in
+  ignore (Measure.beta_exact ~jobs:1 g);
+  check_int "work frozen while metrics disabled" before (Work.count Work.sets_scored)
+
+(* ---- per-worker busy/idle utilization ---- *)
+
+(* A deterministic-shape workload: every index sleeps, so each claimed
+   chunk contributes measurable busy time and the per-slot chunk counts
+   must add up to the chunk count exactly. *)
+let test_util_attribution () =
+  with_metrics (fun () ->
+      Pool.reset_util ();
+      let n = 8 in
+      let sum =
+        Pool.parallel_reduce ~jobs:4 ~chunk:1 ~n ~init:0
+          ~map:(fun i ->
+            Unix.sleepf 0.002;
+            i)
+          ~combine:( + ) ()
+      in
+      check_int "reduce correct under util accounting" (n * (n - 1) / 2) sum;
+      let u = Pool.util () in
+      check_int "one parallel run" 1 u.Pool.u_runs;
+      check_int "no sequential runs" 0 u.Pool.u_seq_runs;
+      check_int "chunks conserved" n
+        (Array.fold_left (fun acc s -> acc + s.Pool.s_chunks) 0 u.Pool.u_slots);
+      (* 8 sleeping chunks of ~2ms: at least half must show up as busy. *)
+      check_true "busy time attributed" (u.Pool.u_busy_ns > 8_000_000);
+      check_true "busy never exceeds capacity" (u.Pool.u_busy_ns <= u.Pool.u_capacity_ns);
+      Array.iter
+        (fun s -> check_true "slot busy within its span" (s.Pool.s_busy_ns <= s.Pool.s_span_ns))
+        u.Pool.u_slots;
+      check_true "idle tail non-negative" (u.Pool.u_idle_tail_ns >= 0);
+      check_true "max tail >= mean tail"
+        (u.Pool.u_max_idle_tail_ns * u.Pool.u_runs >= u.Pool.u_idle_tail_ns);
+      (* jobs:1 takes the sequential path and lands in the other bucket. *)
+      Pool.reset_util ();
+      ignore (Pool.parallel_reduce ~jobs:1 ~n ~init:0 ~map:Fun.id ~combine:( + ) ());
+      let u = Pool.util () in
+      check_int "sequential run recorded" 1 u.Pool.u_seq_runs;
+      check_int "no parallel runs" 0 u.Pool.u_runs;
+      check_int "caller slot owns every chunk" n
+        (Array.fold_left (fun acc s -> acc + s.Pool.s_chunks) 0 u.Pool.u_slots))
+
+(* The zero-cost contract, now assertable: an uninstrumented pool run may
+   not touch the monotonic clock at all (Metrics, tracing and progress all
+   off — the only Clock.now_ns calls are behind the instrumented flag). *)
+let test_no_clock_reads_while_disabled () =
+  Metrics.disable ();
+  Wx_obs.Trace_export.disable ();
+  Wx_obs.Progress.disable ();
+  (* Warm the pool separately: domain spawn paths are not part of the
+     contract, steady-state runs are. *)
+  ignore (Pool.parallel_reduce ~jobs:4 ~n:32 ~init:0 ~map:Fun.id ~combine:( + ) ());
+  let before = Wx_obs.Clock.read_count () in
+  let sum = Pool.parallel_reduce ~jobs:4 ~n:256 ~init:0 ~map:Fun.id ~combine:( + ) () in
+  let after = Wx_obs.Clock.read_count () in
+  check_int "reduce still correct" (256 * 255 / 2) sum;
+  check_int "zero clock reads while disabled" 0 (after - before);
+  (* And the same run under metrics does read the clock. *)
+  with_metrics (fun () ->
+      let before = Wx_obs.Clock.read_count () in
+      ignore (Pool.parallel_reduce ~jobs:4 ~n:256 ~init:0 ~map:Fun.id ~combine:( + ) ());
+      check_true "instrumented run reads the clock" (Wx_obs.Clock.read_count () > before))
+
+(* ---- live progress: reporting must never perturb results ---- *)
+
+let test_progress_identical_results () =
+  let module Progress = Wx_obs.Progress in
+  let g = Gen.gnp (rng ~salt:78 ()) 11 0.35 in
+  let base = Measure.beta_w_exact ~jobs:1 g in
+  check_true "progress off by default" (not (Progress.is_enabled ()));
+  Progress.enable ();
+  Fun.protect ~finally:Progress.disable (fun () ->
+      List.iter
+        (fun jobs ->
+          check_witnessed
+            (Printf.sprintf "beta_w with progress jobs=%d" jobs)
+            base
+            (Measure.beta_w_exact ~jobs g))
+        [ 1; 4 ]);
+  (* Once disabled again, ticking the shared dummy task stays inert. *)
+  let t = Progress.start ~label:"idle" ~total:100 () in
+  Progress.tick t 50;
+  Progress.finish t
+
 (* ---- metrics under concurrency ---- *)
 
 let test_counters_race_free () =
@@ -267,6 +384,10 @@ let suite =
     Alcotest.test_case "sampled clamp counts draws" `Quick test_sampled_clamp_counts_draws;
     Alcotest.test_case "batched counter totals job-independent" `Quick
       test_metric_totals_job_independent;
+    Alcotest.test_case "work totals job-independent" `Quick test_work_totals_job_independent;
+    Alcotest.test_case "utilization attribution deterministic" `Quick test_util_attribution;
+    Alcotest.test_case "no clock reads while disabled" `Quick test_no_clock_reads_while_disabled;
+    Alcotest.test_case "progress never perturbs results" `Quick test_progress_identical_results;
     Alcotest.test_case "counters race-free" `Quick test_counters_race_free;
     Alcotest.test_case "histogram shards merge" `Quick test_histogram_shards_merge;
   ]

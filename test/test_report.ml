@@ -1,8 +1,8 @@
-(* The performance-trajectory layer: the wx-bench/3 schema (and its v2/v1
-   ancestors) round-trips through Wx_obs.Json, bench-diff wall-time and
-   allocation verdicts on synthetic report pairs, and the catapult traces
-   Trace_export emits are well-formed (every event carries ph/ts/pid/tid,
-   one track per pool worker). *)
+(* The performance-trajectory layer: the wx-bench/4 schema (and its
+   v3/v2/v1 ancestors) round-trips through Wx_obs.Json, bench-diff
+   wall-time, allocation and throughput verdicts on synthetic report
+   pairs, and the catapult traces Trace_export emits are well-formed
+   (every event carries ph/ts/pid/tid, one track per pool worker). *)
 
 module Json = Wx_obs.Json
 module Report = Wx_obs.Report
@@ -22,17 +22,34 @@ let minor_words w =
     top_heap_words = 4096;
   }
 
-let entry ?(holds = 1) ?(total = 1) ?alloc id wall_s =
+let entry ?(holds = 1) ?(total = 1) ?alloc ?(work = []) ?util id wall_s =
   {
     Report.id;
     title = "title of " ^ id;
     claim = "claim of " ^ id;
     wall_s;
     alloc;
+    work;
+    util;
     holds;
     total;
     checks = Json.List [ Json.Obj [ ("claim", Json.String id); ("holds", Json.Bool true) ] ];
     metrics = Json.Null;
+  }
+
+(* A plausible two-slot utilization block for round-trip tests. *)
+let some_util =
+  {
+    Report.ut_runs = 4;
+    ut_seq_runs = 1;
+    ut_busy_frac = 0.82;
+    ut_idle_tail_ms = 3.5;
+    ut_max_idle_tail_ms = 9.25;
+    ut_slots =
+      [
+        { Report.us_busy_frac = 0.9; us_chunks = 17 };
+        { Report.us_busy_frac = 0.74; us_chunks = 15 };
+      ];
   }
 
 let report ?(quick = true) ?(jobs = 2) ?(repeats = 3) entries =
@@ -52,8 +69,10 @@ let test_round_trip () =
   let r =
     report
       [
-        entry ~alloc:(minor_words 650_489) "e1" [ 1.0; 1.2; 0.9 ];
-        (* Alloc-less entry in the same v3 report: Memgc was off. *)
+        entry ~alloc:(minor_words 650_489)
+          ~work:[ ("gray_steps", 120_000); ("sets_scored", 4_500) ]
+          ~util:some_util "e1" [ 1.0; 1.2; 0.9 ];
+        (* Entry with neither alloc nor work/util: Memgc and Metrics off. *)
         entry ~holds:5 ~total:7 "e2" [ 0.25 ];
       ]
   in
@@ -67,8 +86,31 @@ let test_round_trip () =
   check_true "round trip preserves everything" (decoded = r);
   (* Spot-check the schema marker actually written. *)
   match Json.member "schema" (Report.to_json r) with
-  | Some (Json.String s) -> check_true "schema is wx-bench/3" (s = Report.schema)
+  | Some (Json.String s) -> check_true "schema is wx-bench/4" (s = Report.schema)
   | _ -> Alcotest.fail "no schema field"
+
+let test_v3_compat () =
+  (* A wx-bench/3 document is a v4 document with no work/util blocks (and
+     no derived rate series); decoding must succeed with [work = []] and
+     [util = None] everywhere. *)
+  let v3 =
+    match Report.to_json (report [ entry ~alloc:(minor_words 1_000) "e1" [ 1.0; 1.1 ] ]) with
+    | Json.Obj kvs ->
+        Json.Obj
+          (List.map
+             (function "schema", _ -> ("schema", Json.String "wx-bench/3") | kv -> kv)
+             kvs)
+    | _ -> assert false
+  in
+  match Report.of_json v3 with
+  | Error m -> Alcotest.failf "v3 rejected: %s" m
+  | Ok r ->
+      check_true "v3 entries decode with work = [] and util = None"
+        (List.for_all
+           (fun (e : Report.entry) -> e.Report.work = [] && e.Report.util = None)
+           r.Report.entries);
+      check_true "v3 keeps its alloc blocks"
+        (List.for_all (fun (e : Report.entry) -> e.Report.alloc <> None) r.Report.entries)
 
 let test_v2_compat () =
   (* A wx-bench/2 document is exactly a v3 document with no alloc blocks;
@@ -294,6 +336,112 @@ let test_alloc_mixed_versions () =
   check_true "added entry has no alloc verdict" (alloc_verdict_of deltas "fresh" = None);
   check_true "added/removed do not count as skipped" (not (Report.alloc_skipped deltas))
 
+(* ---- throughput (rate) verdicts ---- *)
+
+let rate_verdict_of deltas id =
+  match List.find_opt (fun d -> d.Report.d_id = id) deltas with
+  | Some d -> d.Report.rate_verdict
+  | None -> Alcotest.failf "no delta for %s" id
+
+let test_rate_verdicts () =
+  (* Rates are derived per sample: units / wall_s. Equal work with slower
+     walls means a lower rate, so the wall and rate verdicts usually agree
+     — the interesting rows are the ones where they diverge because the
+     work count itself moved. *)
+  let w = [ ("gray_steps", 1_000_000) ] in
+  let old_ =
+    report
+      [
+        (* Work halves at identical wall: only the rate gate can see it. *)
+        entry ~work:[ ("gray_steps", 2_000_000) ] "less_work" [ 1.0; 1.05; 0.95 ];
+        (* Wall +45% with equal work: both gates fire. *)
+        entry ~work:w "reg" [ 1.0; 1.05; 0.95 ];
+        (* Rate dips 30% but sample ranges overlap: noise. *)
+        entry ~work:w "overlap" [ 1.0; 1.05; 0.95 ];
+        (* Work doubles at identical wall: a rate improvement. *)
+        entry ~work:w "imp" [ 1.0; 1.05; 0.95 ];
+        (* Everything under the 50ms wall floor: never a rate verdict firing. *)
+        entry ~work:w "tiny" [ 0.010; 0.012; 0.011 ];
+        (* No work on either side: verdict skipped, not Within_noise. *)
+        entry "nowork" [ 1.0 ];
+      ]
+  in
+  let new_ =
+    report
+      [
+        entry ~work:w "less_work" [ 1.0; 1.05; 0.95 ];
+        entry ~work:w "reg" [ 1.45; 1.40; 1.50 ];
+        entry ~work:w "overlap" [ 1.30; 1.50; 1.02 ];
+        entry ~work:[ ("gray_steps", 2_000_000) ] "imp" [ 1.0; 1.05; 0.95 ];
+        entry ~work:w "tiny" [ 0.040; 0.042; 0.041 ];
+        entry "nowork" [ 1.0 ];
+      ]
+  in
+  let deltas = Report.diff ~old_ ~new_ () in
+  check_true "halved work at equal wall regresses"
+    (rate_verdict_of deltas "less_work" = Some Report.Regression);
+  check_true "the wall gate cannot see it" (verdict_of deltas "less_work" = Report.Within_noise);
+  check_true "slower wall at equal work regresses"
+    (rate_verdict_of deltas "reg" = Some Report.Regression);
+  check_true "overlapping rate ranges are noise"
+    (rate_verdict_of deltas "overlap" = Some Report.Within_noise);
+  check_true "doubled work improves" (rate_verdict_of deltas "imp" = Some Report.Improvement);
+  check_true "under the wall floor is noise"
+    (rate_verdict_of deltas "tiny" = Some Report.Within_noise);
+  check_true "no shared kinds skips the verdict" (rate_verdict_of deltas "nowork" = None);
+  (* Work-less on BOTH sides is not a skip: nothing was lost, so an
+     all-v4 diff over such entries stays warning-free. *)
+  check_true "both-sides-empty is not flagged" (not (Report.rate_skipped deltas));
+  check_int "two rate regressions total" 2 (List.length (Report.rate_regressions deltas));
+  (* The note names the deciding kind. *)
+  (match List.find_opt (fun d -> d.Report.d_id = "less_work") deltas with
+  | Some d ->
+      check_true "note names the kind"
+        (String.length d.Report.rate_note >= String.length "gray_steps"
+        && String.sub d.Report.rate_note 0 (String.length "gray_steps") = "gray_steps")
+  | None -> Alcotest.fail "no delta for less_work");
+  (* A lax tolerance swallows the halving. *)
+  let lax = Report.diff ~rate_tolerance:1.5 ~old_ ~new_ () in
+  check_true "2x drop is noise at 150% tolerance"
+    (rate_verdict_of lax "less_work" = Some Report.Within_noise);
+  (* Self-diff: every computed rate verdict is clean. *)
+  let self = Report.diff ~old_ ~new_:old_ () in
+  check_true "self diff has no rate regressions" (Report.rate_regressions self = [])
+
+let test_rate_worst_kind_wins () =
+  (* Two kinds, one steady and one collapsing: the collapsing kind decides. *)
+  let old_ = report [ entry ~work:[ ("a", 1000); ("b", 1000) ] "e" [ 1.0; 1.0; 1.0 ] ] in
+  let new_ = report [ entry ~work:[ ("a", 1000); ("b", 100) ] "e" [ 1.0; 1.0; 1.0 ] ] in
+  let deltas = Report.diff ~old_ ~new_ () in
+  check_true "worst kind decides" (rate_verdict_of deltas "e" = Some Report.Regression);
+  (match deltas with
+  | [ d ] -> check_true "note names the collapsing kind" (d.Report.rate_note <> "" && String.sub d.Report.rate_note 0 1 = "b")
+  | _ -> Alcotest.fail "expected one delta");
+  (* Kinds present on only one side are ignored (no common basis). *)
+  let old_ = report [ entry ~work:[ ("a", 1000) ] "e" [ 1.0 ] ] in
+  let new_ = report [ entry ~work:[ ("b", 1000) ] "e" [ 1.0 ] ] in
+  let deltas = Report.diff ~old_ ~new_ () in
+  check_true "disjoint kind sets skip" (rate_verdict_of deltas "e" = None);
+  check_true "disjoint kind sets are a flagged skip" (Report.rate_skipped deltas)
+
+let test_rate_mixed_versions () =
+  (* v3-shaped old (no work) vs v4 new: rate skipped, wall still gates,
+     and added/removed entries never produce a rate verdict. *)
+  let old_ = report [ entry "e" [ 1.0; 1.0; 1.0 ] ] in
+  let new_ = report [ entry ~work:[ ("sets_scored", 10) ] "e" [ 2.0; 2.1; 1.9 ] ] in
+  let deltas = Report.diff ~old_ ~new_ () in
+  check_true "rate verdict skipped" (rate_verdict_of deltas "e" = None);
+  check_true "skip is flagged" (Report.rate_skipped deltas);
+  check_true "wall verdict still computed" (verdict_of deltas "e" = Report.Regression);
+  let grown =
+    report [ entry ~work:[ ("a", 1) ] "e" [ 1.0 ]; entry ~work:[ ("a", 1) ] "fresh" [ 1.0 ] ]
+  in
+  let deltas =
+    Report.diff ~old_:(report [ entry ~work:[ ("a", 1) ] "e" [ 1.0 ] ]) ~new_:grown ()
+  in
+  check_true "added entry has no rate verdict" (rate_verdict_of deltas "fresh" = None);
+  check_true "added/removed do not count as skipped" (not (Report.rate_skipped deltas))
+
 (* ---- catapult traces ---- *)
 
 let with_trace f =
@@ -374,7 +522,8 @@ let test_trace_disabled_records_nothing () =
 let suite =
   [
     Alcotest.test_case "median / spread helpers" `Quick test_median;
-    Alcotest.test_case "wx-bench/3 round trip" `Quick test_round_trip;
+    Alcotest.test_case "wx-bench/4 round trip" `Quick test_round_trip;
+    Alcotest.test_case "wx-bench/3 compatibility" `Quick test_v3_compat;
     Alcotest.test_case "wx-bench/2 compatibility" `Quick test_v2_compat;
     Alcotest.test_case "wx-bench/1 compatibility" `Quick test_v1_compat;
     Alcotest.test_case "malformed reports rejected" `Quick test_malformed;
@@ -382,6 +531,9 @@ let suite =
     Alcotest.test_case "diff tolerance + compat warnings" `Quick test_diff_tolerance_and_warnings;
     Alcotest.test_case "alloc verdicts on synthetic pairs" `Quick test_alloc_verdicts;
     Alcotest.test_case "alloc verdict across schema versions" `Quick test_alloc_mixed_versions;
+    Alcotest.test_case "rate verdicts on synthetic pairs" `Quick test_rate_verdicts;
+    Alcotest.test_case "rate verdict: worst kind wins" `Quick test_rate_worst_kind_wins;
+    Alcotest.test_case "rate verdict across schema versions" `Quick test_rate_mixed_versions;
     Alcotest.test_case "catapult trace well-formed" `Quick test_catapult_well_formed;
     Alcotest.test_case "trace disabled records nothing" `Quick test_trace_disabled_records_nothing;
   ]
