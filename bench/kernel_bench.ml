@@ -2,20 +2,26 @@
    experiment so `wx bench record/diff` (and the CI alloc gate) watch the
    delta-scoring engine directly rather than only end-to-end experiments.
 
-   Per measure it drives the same subset space three times: once with the
-   pre-engine from-scratch scorer (fresh neighborhood bitsets / counter
-   arrays per set, closure-based adjacency walks), once through the
-   incremental path the exact measures now use (sequential — the kernel
-   under test is the scorer), and once through the pool at the default job
-   count. The parallel pass is what populates the KERN entry's utilization
-   block: smallest-element sharding is skewed, so its idle tail is the
-   recorded evidence for the planned work-stealing kernel.
+   Per measure it drives the same subset space several times: once with
+   the from-scratch reference scorer (adjacency bitset rows combined with
+   the fused union/diff count kernels — the strongest naive baseline, so
+   the comparison isolates enumeration strategy rather than allocator
+   traffic), once through the incremental path with pruning disabled (the
+   bit-identical reference enumeration), once with branch-and-bound
+   pruning on (sequential — the kernel under test is the pruned scorer),
+   and once through the pool at the default job count, where the shared
+   incumbent lets one work unit's find prune the others and oversized
+   shards are split for stealing. The parallel pass is what populates the
+   KERN entry's utilization block.
 
    Throughput lands in the report, not just the local table: the
-   incremental/parallel passes credit Work.sets_scored / Work.gray_steps
-   from inside Measure, and the naive passes credit the same step counts
-   to the "naive_steps" kind here — so wx-bench/4 carries units/sec for
-   every engine and `wx bench diff` gates on them. *)
+   incremental/pruned/parallel passes credit Work.sets_scored /
+   Work.gray_steps from inside Measure, and the naive passes credit the
+   same step counts to the "naive_steps" kind here — so wx-bench/4
+   carries units/sec for every engine and `wx bench diff` gates on them.
+   Pruning wins are recorded (steps/sec rows plus an informational
+   pruning-ratio claim), not asserted: the gate stays on values and on
+   the alloc counters. *)
 
 open Bench_common
 module Combi = Wx_util.Combi
@@ -28,7 +34,18 @@ module Pool = Wx_par.Pool
    instrumented incremental path. *)
 let naive_steps_kind = Work.kind "naive_steps"
 
-(* ---- from-scratch reference scorers (the pre-engine shapes) ---- *)
+(* ---- from-scratch reference scorers ----
+
+   Adjacency as precomputed bitset rows; neighborhood sizes via the fused
+   word-parallel count kernels, so the per-set cost is O(k · n/word) with
+   no per-set allocation. *)
+
+let adjacency_rows g =
+  let n = Graph.n g in
+  Array.init n (fun v ->
+      let row = Bitset.create n in
+      Graph.iter_neighbors g v (Bitset.add_inplace row);
+      row)
 
 let naive_min_value g kmax score =
   let n = Graph.n g in
@@ -37,12 +54,41 @@ let naive_min_value g kmax score =
   Combi.iter_subsets_le n kmax (fun idxs ->
       Bitset.clear_inplace buf;
       Array.iter (Bitset.add_inplace buf) idxs;
-      let v = score buf in
+      let v = score buf (Array.length idxs) in
       if v < !best then best := v);
   !best
 
-let naive_beta g kmax = naive_min_value g kmax (Nbhd.expansion_of_set g)
-let naive_beta_u g kmax = naive_min_value g kmax (Nbhd.unique_expansion_of_set g)
+let naive_beta g kmax =
+  let adj = adjacency_rows g in
+  let acc = Bitset.create (Graph.n g) in
+  naive_min_value g kmax (fun s k ->
+      (* Γ(S) by row unions, then |Γ(S) \ S| in one fused pass. *)
+      Bitset.clear_inplace acc;
+      Bitset.iter (fun v -> Bitset.union_inplace acc adj.(v)) s;
+      float_of_int (Bitset.diff_cardinal acc s) /. float_of_int k)
+
+let naive_beta_u g kmax =
+  let n = Graph.n g in
+  let adj = adjacency_rows g in
+  let seen = Bitset.create n in
+  let twice = Bitset.create n in
+  let tmp = Bitset.create n in
+  naive_min_value g kmax (fun s k ->
+      (* Covered-once = seen \ twice, maintained by row: anything already
+         seen that a new row hits again is covered at least twice. *)
+      Bitset.clear_inplace seen;
+      Bitset.clear_inplace twice;
+      Bitset.iter
+        (fun v ->
+          let row = adj.(v) in
+          Bitset.clear_inplace tmp;
+          Bitset.union_inplace tmp seen;
+          Bitset.inter_inplace tmp row;
+          Bitset.union_inplace twice tmp;
+          Bitset.union_inplace seen row)
+        s;
+      Bitset.diff_inplace seen twice;
+      float_of_int (Bitset.diff_cardinal seen s) /. float_of_int k)
 
 (* Old inner wireless maximisation: per outer set, a fresh n-int counter
    array and tracking bitset, with closure-based neighbor iteration. *)
@@ -85,8 +131,8 @@ let naive_wireless_of_set g s =
   !best
 
 let naive_beta_w g kmax =
-  naive_min_value g kmax (fun s ->
-      float_of_int (naive_wireless_of_set g s) /. float_of_int (Bitset.cardinal s))
+  naive_min_value g kmax (fun s k ->
+      float_of_int (naive_wireless_of_set g s) /. float_of_int k)
 
 (* ---- harness ---- *)
 
@@ -94,6 +140,14 @@ let timed f =
   let t0 = Clock.now_ns () in
   let v = f () in
   (v, Clock.ns_to_s (Clock.now_ns () - t0))
+
+(* Timed pass that also reports how many steps of [step_kind] it drove
+   through the instrumented engine — the pruned passes do fewer than the
+   closed-form count, and the difference IS the result. *)
+let timed_counted step_kind f =
+  let c0 = Work.count step_kind in
+  let v, dt = timed f in
+  (v, dt, Work.count step_kind - c0)
 
 let gray_steps n kmax =
   let acc = ref 0 in
@@ -120,54 +174,75 @@ let run ~quick =
       [ measure; engine; Table.fi steps; Printf.sprintf "%.3e" (per_sec steps dt) ]
   in
   let jobs = Pool.default_jobs () in
-  let kernel name steps naive inc par =
+  let kernel name steps step_kind naive exact =
     let instance = Printf.sprintf "gnp n=%d" (if name = "beta_w" then nw else nb) in
     let naive_v, naive_dt = timed naive in
     Work.add naive_steps_kind steps;
-    let inc_v, inc_dt = timed inc in
-    let par_v, par_dt = timed par in
+    let (unpruned : Measure.witnessed), unpruned_dt, unpruned_steps =
+      timed_counted step_kind (fun () -> exact ~prune:false ~jobs:1)
+    in
+    let (pruned : Measure.witnessed), pruned_dt, pruned_steps =
+      timed_counted step_kind (fun () -> exact ~prune:true ~jobs:1)
+    in
+    let (par : Measure.witnessed), par_dt, par_steps =
+      timed_counted step_kind (fun () -> exact ~prune:true ~jobs)
+    in
     row name "naive" steps naive_dt;
-    row name "incremental" steps inc_dt;
-    row name (Printf.sprintf "parallel(j=%d)" jobs) steps par_dt;
-    let agree = naive_v = inc_v in
-    incr total;
-    if agree then incr ok;
-    record
-      ~claim:(Printf.sprintf "kernel %s: incremental value = naive value" name)
-      ~instance ~predicted:naive_v ~measured:inc_v agree;
-    let par_agree = par_v = inc_v in
-    incr total;
-    if par_agree then incr ok;
-    record
-      ~claim:(Printf.sprintf "kernel %s: parallel value = incremental value" name)
-      ~instance ~predicted:inc_v ~measured:par_v par_agree;
-    let sane = inc_dt > 0.0 in
-    incr total;
-    if sane then incr ok;
-    record
-      ~claim:(Printf.sprintf "kernel %s: incremental speedup (informational)" name)
-      ~instance ~predicted:1.0
-      ~measured:(naive_dt /. Float.max inc_dt 1e-12)
-      sane
+    row name "incremental" unpruned_steps unpruned_dt;
+    row name "pruned(j=1)" pruned_steps pruned_dt;
+    row name (Printf.sprintf "pruned(j=%d)" jobs) par_steps par_dt;
+    let check claim predicted measured holds =
+      incr total;
+      if holds then incr ok;
+      record ~claim ~instance ~predicted ~measured holds
+    in
+    check
+      (Printf.sprintf "kernel %s: incremental value = naive value" name)
+      naive_v unpruned.Measure.value
+      (naive_v = unpruned.Measure.value);
+    check
+      (Printf.sprintf "kernel %s: pruned value = unpruned value" name)
+      unpruned.Measure.value pruned.Measure.value
+      (pruned.Measure.value = unpruned.Measure.value);
+    check
+      (Printf.sprintf "kernel %s: pruned witness = unpruned witness" name)
+      1.0
+      (if Bitset.equal pruned.Measure.witness unpruned.Measure.witness then 1.0 else 0.0)
+      (Bitset.equal pruned.Measure.witness unpruned.Measure.witness);
+    check
+      (Printf.sprintf "kernel %s: parallel pruned = sequential pruned" name)
+      pruned.Measure.value par.Measure.value
+      (par.Measure.value = pruned.Measure.value
+      && Bitset.equal par.Measure.witness pruned.Measure.witness);
+    (* Informational: how much of the reference enumeration the pruning
+       skipped (>= 0 always holds; `wx bench diff` tracks the number). *)
+    check
+      (Printf.sprintf "kernel %s: pruning ratio (informational)" name)
+      0.0
+      (1.0 -. (float_of_int pruned_steps /. float_of_int (max 1 unpruned_steps)))
+      (pruned_steps <= unpruned_steps);
+    check
+      (Printf.sprintf "kernel %s: pruned speedup (informational)" name)
+      1.0
+      (unpruned_dt /. Float.max pruned_dt 1e-12)
+      (pruned_dt > 0.0)
   in
-  kernel "beta" set_steps (fun () -> naive_beta gb kb)
-    (fun () -> (Measure.beta_exact ~jobs:1 gb).Measure.value)
-    (fun () -> (Measure.beta_exact ~jobs gb).Measure.value);
-  kernel "beta_u" set_steps
+  kernel "beta" set_steps Work.sets_scored
+    (fun () -> naive_beta gb kb)
+    (fun ~prune ~jobs -> Measure.beta_exact ~prune ~jobs gb);
+  kernel "beta_u" set_steps Work.sets_scored
     (fun () -> naive_beta_u gb kb)
-    (fun () -> (Measure.beta_u_exact ~jobs:1 gb).Measure.value)
-    (fun () -> (Measure.beta_u_exact ~jobs gb).Measure.value);
-  kernel "beta_w" flip_steps
+    (fun ~prune ~jobs -> Measure.beta_u_exact ~prune ~jobs gb);
+  kernel "beta_w" flip_steps Work.gray_steps
     (fun () -> naive_beta_w gw kw)
-    (fun () -> (Measure.beta_w_exact ~jobs:1 gw).Measure.value)
-    (fun () -> (Measure.beta_w_exact ~jobs gw).Measure.value);
+    (fun ~prune ~jobs -> Measure.beta_w_exact ~prune ~jobs gw);
   Table.print t;
   verdict !ok !total
 
 let experiment =
   {
     id = "kern";
-    title = "enumeration kernel: naive vs incremental delta scoring";
+    title = "enumeration kernel: naive vs incremental vs branch-and-bound";
     claim = "engine validation (no paper claim)";
     run;
   }

@@ -1,6 +1,7 @@
 module Bitset = Wx_util.Bitset
 module Graph = Wx_graph.Graph
 module Combi = Wx_util.Combi
+module Guard = Wx_util.Guard
 module Rng = Wx_util.Rng
 module Pool = Wx_par.Pool
 module Metrics = Wx_obs.Metrics
@@ -15,10 +16,16 @@ let m_improvements = Metrics.counter "expansion.witness_improvements"
 let m_work_rejected = Metrics.counter "expansion.work_rejected"
 let m_inner_pruned = Metrics.counter "expansion.sampled_inner_pruned"
 let m_sampled_clamped = Metrics.counter "expansion.sampled_clamped"
+let m_subtrees_pruned = Metrics.counter "expansion.subtrees_pruned"
+let work_subtrees_pruned = Work.kind "subtrees_pruned"
 
 type witnessed = { value : float; witness : Bitset.t }
 
-exception Too_large of string
+(* Rebinding, not a fresh exception: [Measure.Too_large] and
+   [Wx_util.Guard.Too_large] are the same constructor, so a handler
+   written against either name catches work refused by any layer —
+   including [Bitset.iter_subsets]. *)
+exception Too_large = Guard.Too_large
 
 let max_set_size ?(alpha = 0.5) g =
   if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Measure: alpha must be in (0, 1]";
@@ -37,9 +44,9 @@ let max_set_size ?(alpha = 0.5) g =
 let lex_less a b = compare (Bitset.elements a) (Bitset.elements b) < 0
 
 (* Same order as [lex_less] on sorted element arrays (element-wise, with an
-   exhausted prefix comparing smaller), without materialising lists. *)
-let lex_less_arr a b =
-  let la = Array.length a and lb = Array.length b in
+   exhausted prefix comparing smaller), without materialising lists. The
+   [_len] variant reads only the first [la]/[lb] slots of reused buffers. *)
+let lex_less_arr_len a la b lb =
   let rec go i =
     if i >= la then la < lb
     else if i >= lb then false
@@ -115,25 +122,15 @@ let check_wireless_work name g kmax work_limit =
             name n kmax work_limit))
   end
 
-(* Largest k for which [1 lsl k] is a positive int — the native-int ceiling
-   on Gray-code step counts (61 on a 64-bit platform). *)
-let max_gray_bits = Sys.int_size - 2
+let max_gray_bits = Guard.max_gray_bits
 
-(* Single-set Gray enumeration guard. The effective step bound is
-   [min work_limit 2^max_gray_bits]: a shift past [max_gray_bits] does not
-   produce a meaningful step count, so even [~work_limit:max_int] cannot
-   admit such a set. Both the admission test and the reported bound derive
-   from that one number. *)
+(* Single-set Gray enumeration guard — the shared {!Wx_util.Guard}
+   contract, plus this layer's rejection counter. *)
 let check_gray_work name k work_limit =
-  let ceiling = 1 lsl max_gray_bits in
-  let bound = if work_limit < ceiling then work_limit else ceiling in
-  if k > max_gray_bits || 1 lsl k > bound then begin
+  try Guard.check_gray_work name k work_limit
+  with Too_large _ as e ->
     Metrics.incr m_work_rejected;
-    raise
-      (Too_large
-         (Printf.sprintf "%s: 2^%d Gray-code steps exceed the step bound %d%s" name k bound
-            (if bound = ceiling && work_limit > ceiling then " (native-int ceiling)" else "")))
-  end
+    raise e
 
 (* ---- incremental scoring engine ----
 
@@ -145,17 +142,43 @@ let check_gray_work name k work_limit =
    allocation (the old path built a fresh neighborhood bitset per set).
 
    A scorer couples the arena to a measure. [score] reads the arena (and
-   for the wireless measure runs the inner Gray-code maximisation);
-   [flush] publishes any batched counters once the shard finishes, so the
-   hot loop performs no atomic operations. *)
+   for the wireless measure runs the inner Gray-code maximisation) for the
+   set in the first [len] slots of the (possibly longer, reused) buffer;
+   [bound_num] is the branch-and-bound numerator floor — a lower bound on
+   the measure's numerator over {e every} strict extension of the set just
+   scored by at most [budget] vertices, all larger than [last] (so it must
+   be called while the arena still holds that set); [flush] publishes any
+   batched counters once the shard finishes, so the hot loop performs no
+   atomic operations. *)
 
-type inc_scorer = { score : int array -> float; flush : unit -> unit }
+type inc_scorer = {
+  score : int array -> len:int -> float;
+  bound_num : last:int -> budget:int -> int;
+  flush : unit -> unit;
+}
 
 let expansion_scorer inc =
-  { score = (fun _ -> Nbhd.Inc.expansion inc); flush = (fun () -> ()) }
+  {
+    score = (fun _ ~len:_ -> Nbhd.Inc.expansion inc);
+    bound_num = (fun ~last:_ ~budget -> Nbhd.Inc.boundary_floor inc ~budget);
+    flush = (fun () -> ());
+  }
 
-let unique_scorer inc =
-  { score = (fun _ -> Nbhd.Inc.unique_expansion inc); flush = (fun () -> ()) }
+let unique_scorer g inc =
+  (* [smax.(v)] = max degree over vertices >= v: the DFS only ever appends
+     elements larger than the current maximum, so it bounds the degree of
+     every vertex an extension could add. *)
+  let n = Graph.n g in
+  let smax = Array.make (n + 1) 0 in
+  for v = n - 1 downto 0 do
+    smax.(v) <- max (Graph.degree g v) smax.(v + 1)
+  done;
+  {
+    score = (fun _ ~len:_ -> Nbhd.Inc.unique_expansion inc);
+    bound_num =
+      (fun ~last ~budget -> Nbhd.Inc.unique_floor inc ~budget ~max_add_degree:smax.(last + 1));
+    flush = (fun () -> ());
+  }
 
 (* Scratch for the count-only inner Gray kernel: per-vertex neighbor counts
    plus mutable int fields (a boxed record, allocated once per shard, so
@@ -222,10 +245,18 @@ let wireless_scorer g inc =
   let st = { cnt = Array.make (Graph.n g) 0; flips = 0; uniq = 0; best = 0 } in
   {
     score =
-      (fun idxs ->
-        let len = Array.length idxs in
+      (fun idxs ~len ->
         let m = gray_max_unique_count g inc st idxs len in
         float_of_int m /. float_of_int len);
+    bound_num =
+      (fun ~last:_ ~budget ->
+        (* [st.best] is max_{S'⊆S} |Γ¹_S(S')| for the set just scored. For
+           any T ⊇ S the same S' is still a candidate, and moving a vertex
+           into T removes at most that vertex itself from Γ¹_T(S') — the
+           per-N-vertex counts w.r.t. the fixed S' do not change. So
+           w(T) >= st.best - budget. *)
+        let b = st.best - budget in
+        if b > 0 then b else 0);
     flush =
       (fun () ->
         if st.flips > 0 then begin
@@ -237,12 +268,27 @@ let wireless_scorer g inc =
 (* ---- exact minima, sharded by smallest element ----
 
    Shard a = all subsets whose smallest element is a; shards are
-   independent, similar in cost, and jointly exhaustive. Each shard drives
-   one arena through the delta enumeration and keeps its best as a plain
-   (value, sorted index array) pair; the witness bitset is materialised
-   once, when the shard returns. Determinism: the enumeration order, the
-   integer counters, and the lex tiebreak are all identical to the naive
-   scorer's, so values and witnesses are bit-identical at any job count. *)
+   independent and jointly exhaustive, and the weighted pool splits
+   oversized ones into contiguous second-element sub-ranges so idle
+   workers steal from the heavy low-[a] shards. Each work unit drives one
+   arena through the pre-order DFS enumeration and keeps its best as a
+   plain (value, sorted index buffer) pair; the witness bitset is
+   materialised once, when the unit returns.
+
+   Branch-and-bound: after scoring a set S the scorer's [bound_num] gives
+   a floor on the measure's numerator over every strict extension of S;
+   dividing by the largest reachable set size lower-bounds the measure
+   over the whole subtree. The subtree is cut only when that bound is
+   STRICTLY above the shared incumbent — the smallest value any unit has
+   scored so far, which only decreases toward the true minimum — so no
+   minimiser or equal-valued (tie-broken) set is ever skipped. Correctly
+   rounded float division is monotone in its real argument, so the float
+   comparison inherits the soundness of the integer inequality. Values
+   and witnesses are therefore bit-identical to the unpruned enumeration
+   at any job count; only the visit COUNT is timing-dependent (DESIGN
+   §11). Determinism of the result never rests on the incumbent: the
+   min + lex tiebreak is order-independent, and the pool combines unit
+   results in (shard, part) order. *)
 
 (* Progress heartbeat granularity: shards tick once per this many scored
    sets (a power of two, so the hot-loop test is one [land]); the remainder
@@ -251,39 +297,78 @@ let wireless_scorer g inc =
    on slow (wireless) scorers. *)
 let progress_batch = 4096
 
-let min_over_shards name ?(progress_total = 0) ?jobs g kmax make_scorer =
+let min_over_shards name ?(progress_total = 0) ?(prune = true) ?jobs g kmax make_scorer =
   let n = Graph.n g in
   let task = Progress.start ~units:"sets" ~label:name ~total:progress_total () in
-  let shard a =
+  (* Shared incumbent, read by every unit's pruning test. Stored as a
+     boxed float Atomic: OCaml ints cannot hold the bit pattern of every
+     double, and the box only allocates on publication — which the CAS
+     loop attempts only on strict improvement. *)
+  let incumbent = Atomic.make infinity in
+  let rec publish v =
+    let cur = Atomic.get incumbent in
+    if v < cur && not (Atomic.compare_and_set incumbent cur v) then publish v
+  in
+  let scratch = max 1 (min kmax n) in
+  (* One work unit: the sub-shard of smallest-element [a] whose second
+     element lies in [blo, bhi), plus the singleton {a} iff [self]. *)
+  let unit_body a ~blo ~bhi ~self =
     let inc = Nbhd.Inc.create g in
     let sc = make_scorer inc in
-    let prev = Array.make (max 1 (min kmax n)) 0 in
+    let prev = Array.make scratch 0 in
     let prev_len = ref 0 in
     let scored = ref 0 in
+    let cut = ref 0 in
     let improvements = ref 0 in
     let have = ref false in
-    let best_v = ref infinity in
-    let best_w = ref [||] in
-    Combi.iter_subsets_le_with_min_delta n kmax a (fun idxs ~kept ->
+    (* 1-slot float array: improvements store without boxing, so the only
+       timing-dependent allocation in a pruned run is incumbent boxes. *)
+    let best_v = Array.make 1 infinity in
+    let best_w = Array.make scratch 0 in
+    let best_len = ref 0 in
+    Combi.iter_subshard_le_prune n kmax a ~blo ~bhi ~self (fun buf ~len ~kept ->
         for j = !prev_len - 1 downto kept do
           Nbhd.Inc.remove inc prev.(j)
         done;
-        let len = Array.length idxs in
         for j = kept to len - 1 do
-          let v = idxs.(j) in
+          let v = buf.(j) in
           Nbhd.Inc.add inc v;
           prev.(j) <- v
         done;
         prev_len := len;
         incr scored;
         if !scored land (progress_batch - 1) = 0 then Progress.tick task progress_batch;
-        let v = sc.score idxs in
-        if (not !have) || v < !best_v || (v = !best_v && lex_less_arr idxs !best_w) then begin
+        let v = sc.score buf ~len in
+        if
+          (not !have)
+          || v < best_v.(0)
+          || (v = best_v.(0) && lex_less_arr_len buf len best_w !best_len)
+        then begin
           have := true;
           incr improvements;
-          best_v := v;
-          best_w := Array.copy idxs
-        end);
+          best_v.(0) <- v;
+          Array.blit buf 0 best_w 0 len;
+          best_len := len
+        end;
+        (* Prune decision for the subtree of strict extensions. [budget] =
+           how many vertices an extension can still add; the largest
+           reachable size [len + budget] is the denominator floor's mate.
+           Strict [>]: equal-valued subtrees survive so the lex tiebreak
+           sees every candidate witness it would have seen unpruned. *)
+        prune
+        && begin
+             if v < Atomic.get incumbent then publish v;
+             let budget = min (kmax - len) (n - 1 - buf.(len - 1)) in
+             budget > 0
+             && begin
+                  let floor_num = sc.bound_num ~last:buf.(len - 1) ~budget in
+                  let lb = float_of_int floor_num /. float_of_int (len + budget) in
+                  lb > Atomic.get incumbent
+                  &&
+                  (incr cut;
+                   true)
+                end
+           end);
     sc.flush ();
     if !scored > 0 then begin
       Metrics.add m_sets_scored !scored;
@@ -291,13 +376,52 @@ let min_over_shards name ?(progress_total = 0) ?jobs g kmax make_scorer =
       let rem = !scored land (progress_batch - 1) in
       if rem > 0 then Progress.tick task rem
     end;
+    if !cut > 0 then begin
+      Metrics.add m_subtrees_pruned !cut;
+      Work.add work_subtrees_pruned !cut
+    end;
     if !improvements > 0 then Metrics.add m_improvements !improvements;
-    if !have then Some { value = !best_v; witness = Bitset.of_array n !best_w } else None
+    if !have then
+      Some { value = best_v.(0); witness = Bitset.of_array n (Array.sub best_w 0 !best_len) }
+    else None
+  in
+  (* Steal weights: |shard a| = Σ_{j<=kmax-1} C(n-a-1, j) subsets. The
+     pool splits heavy shards into [parts] units; the split point between
+     parts is by cumulative second-element weight, recomputed identically
+     by every unit of the shard (same floats, same order), so the ranges
+     are consistent and partition [a+1, n). *)
+  let shard_weight a = Combi.count_subsets_upto_float (n - 1 - a) (kmax - 1) in
+  let map a ~part ~parts =
+    if parts = 1 then unit_body a ~blo:(a + 1) ~bhi:n ~self:true
+    else begin
+      let wgt b = Combi.count_subsets_upto_float (n - 1 - b) (kmax - 2) in
+      let total = ref 0.0 in
+      for b = a + 1 to n - 1 do
+        total := !total +. wgt b
+      done;
+      let lo p =
+        if p <= 0 then a + 1
+        else if p >= parts then n
+        else begin
+          let thresh = !total *. float_of_int p /. float_of_int parts in
+          let acc = ref 0.0 in
+          let b = ref (a + 1) in
+          while !b < n && !acc +. wgt !b <= thresh do
+            acc := !acc +. wgt !b;
+            incr b
+          done;
+          !b
+        end
+      in
+      unit_body a ~blo:(lo part) ~bhi:(lo (part + 1)) ~self:(part = 0)
+    end
   in
   let result =
     Fun.protect
       ~finally:(fun () -> Progress.finish task)
-      (fun () -> Pool.parallel_reduce ?jobs ~n ~init:None ~map:shard ~combine:better_opt ())
+      (fun () ->
+        Pool.parallel_reduce_weighted ?jobs ~n ~weight:shard_weight ~init:None ~map
+          ~combine:better_opt ())
   in
   match result with
   | Some w -> w
@@ -305,12 +429,12 @@ let min_over_shards name ?(progress_total = 0) ?jobs g kmax make_scorer =
 
 (* Generic exact minimum of a measure over non-empty subsets of size <= kmax,
    guarded by the candidate-set count. *)
-let min_over_sets name ?(work_limit = 1 lsl 24) ?jobs g kmax make_scorer =
+let min_over_sets name ?(work_limit = 1 lsl 24) ?prune ?jobs g kmax make_scorer =
   let n = Graph.n g in
   if n = 0 || kmax = 0 then invalid_arg (name ^ ": no feasible sets");
   let count = count_sets_le name g kmax in
   check_work name count work_limit;
-  min_over_shards name ~progress_total:count ?jobs g kmax make_scorer
+  min_over_shards name ~progress_total:count ?prune ?jobs g kmax make_scorer
 
 (* ---- sampled minima, sharded by sample block ----
 
@@ -341,6 +465,17 @@ let min_over_sampled_sets ?jobs g kmax rng samples score =
     for _ = 1 to ndraws do
       Metrics.incr m_sampled_sets;
       let k = 1 + Rng.int r kmax in
+      (* [kmax] is not necessarily <= n for direct callers; a draw above n
+         cannot be materialised. Clamp it — after the draw, so the stream
+         stays aligned — and account for the distortion, exactly like the
+         wireless sampler's inner-cap clamp. *)
+      let k =
+        if k > n then begin
+          Metrics.incr m_sampled_clamped;
+          n
+        end
+        else k
+      in
       let s = Bitset.random_of_universe r n k in
       consider best (score s) s ~copy:false
     done;
@@ -351,9 +486,9 @@ let min_over_sampled_sets ?jobs g kmax rng samples score =
   | Some w -> w
   | None -> assert false
 
-let beta_exact ?alpha ?work_limit ?jobs g =
+let beta_exact ?alpha ?work_limit ?prune ?jobs g =
   Span.with_ ~name:"measure.beta_exact" (fun () ->
-      min_over_sets "Measure.beta_exact" ?work_limit ?jobs g (max_set_size ?alpha g)
+      min_over_sets "Measure.beta_exact" ?work_limit ?prune ?jobs g (max_set_size ?alpha g)
         expansion_scorer)
 
 let beta_sampled ?alpha ?jobs rng ~samples g =
@@ -361,10 +496,10 @@ let beta_sampled ?alpha ?jobs rng ~samples g =
       min_over_sampled_sets ?jobs g (max_set_size ?alpha g) rng samples
         (Nbhd.expansion_of_set g))
 
-let beta_u_exact ?alpha ?work_limit ?jobs g =
+let beta_u_exact ?alpha ?work_limit ?prune ?jobs g =
   Span.with_ ~name:"measure.beta_u_exact" (fun () ->
-      min_over_sets "Measure.beta_u_exact" ?work_limit ?jobs g (max_set_size ?alpha g)
-        unique_scorer)
+      min_over_sets "Measure.beta_u_exact" ?work_limit ?prune ?jobs g (max_set_size ?alpha g)
+        (unique_scorer g))
 
 let beta_u_sampled ?alpha ?jobs rng ~samples g =
   Span.with_ ~name:"measure.beta_u_sampled" (fun () ->
@@ -430,7 +565,7 @@ let wireless_of_set_exact ?work_limit g s =
   let m, s' = max_unique_over_subsets ?work_limit g s in
   { value = float_of_int m /. float_of_int (Bitset.cardinal s); witness = s' }
 
-let beta_w_exact ?alpha ?(work_limit = 1 lsl 26) ?jobs g =
+let beta_w_exact ?alpha ?(work_limit = 1 lsl 26) ?prune ?jobs g =
   Span.with_ ~name:"measure.beta_w_exact" (fun () ->
       let kmax = max_set_size ?alpha g in
       let n = Graph.n g in
@@ -439,7 +574,8 @@ let beta_w_exact ?alpha ?(work_limit = 1 lsl 26) ?jobs g =
       (* The heartbeat counts outer sets; the admitted Gray work bounds the
          subset count, so this is safe to compute after the guard. *)
       let progress_total = try Combi.subsets_count_le n kmax with Combi.Overflow -> 0 in
-      min_over_shards "Measure.beta_w_exact" ~progress_total ?jobs g kmax (wireless_scorer g))
+      min_over_shards "Measure.beta_w_exact" ~progress_total ?prune ?jobs g kmax
+        (wireless_scorer g))
 
 (* Largest sampled |S| for which the inner 2^|S| maximisation is viable;
    matches the default [inner_work_limit] of 2^22 Gray-code steps. *)
@@ -515,7 +651,7 @@ let profile_sizes ?jobs g kmax make_scorer =
           done;
           prev_len := k;
           incr scored;
-          let v = sc.score idxs in
+          let v = sc.score idxs ~len:k in
           if v < !best then best := v);
       sc.flush ();
       if !scored > 0 then begin
@@ -541,7 +677,7 @@ let profile_beta_u ?alpha ?(work_limit = 1 lsl 24) ?jobs g =
   let kmax = max_set_size ?alpha g in
   let count = count_sets_le "Measure.profile_beta_u" g kmax in
   check_work "Measure.profile_beta_u" count work_limit;
-  profile_sizes ?jobs g kmax unique_scorer
+  profile_sizes ?jobs g kmax (unique_scorer g)
 
 let profile_beta_w ?alpha ?(work_limit = 1 lsl 26) ?jobs g =
   let kmax = max_set_size ?alpha g in

@@ -18,12 +18,28 @@
     of OCaml 5 domains ([?jobs], default {!Wx_par.Pool.default_jobs} —
     settable via [--jobs] or [WX_JOBS]). Results are deterministic at any
     job count:
-    - exact measures partition the subset space by smallest element and
-      report the {e lexicographically smallest} minimising witness, so
-      values and witnesses are identical at [jobs = 1] and [jobs = 64];
+    - exact measures partition the subset space by smallest element
+      (oversized shards are further split by second element and stolen by
+      idle workers) and report the {e lexicographically smallest}
+      minimising witness, so values and witnesses are identical at
+      [jobs = 1] and [jobs = 64];
     - sampled measures pre-split one [Rng.split] child stream per
       fixed-size sample block, so for a fixed seed the drawn sets — and
-      hence the certificate — do not depend on the job count. *)
+      hence the certificate — do not depend on the job count.
+
+    {2 Branch-and-bound pruning}
+
+    The exact enumerations walk the subset space as a pre-order DFS and
+    cut whole subtrees whose monotone lower bound is {e strictly} worse
+    than the best value found so far — an incumbent shared across worker
+    domains, so one shard's find prunes the others. Because only
+    strictly-worse subtrees are cut and the incumbent only decreases
+    toward the true minimum, pruning changes the number of sets visited
+    (timing-dependent, observable in the [expansion.subtrees_pruned]
+    counter) but never the value or the lex-smallest witness: both stay
+    bit-identical to the unpruned enumeration, which [~prune:false]
+    selects (the reference path, and the bench's comparison baseline).
+    DESIGN.md §11 derives the per-measure bounds. *)
 
 module Bitset = Wx_util.Bitset
 module Graph = Wx_graph.Graph
@@ -33,23 +49,39 @@ type witnessed = { value : float; witness : Bitset.t }
 
 exception Too_large of string
 (** Raised when an exact enumeration would exceed its work limit (including
-    when the candidate-set count itself overflows the native int). *)
+    when the candidate-set count itself overflows the native int). This is
+    a rebinding of {!Wx_util.Guard.Too_large} — the same constructor every
+    guarded enumeration kernel raises (e.g. [Bitset.iter_subsets]), so one
+    handler catches refused work from any layer. *)
 
 val max_set_size : ?alpha:float -> Graph.t -> int
 (** [⌊α·n⌋], default [α = 1/2]. *)
 
 (** {1 Ordinary expansion} *)
 
-val beta_exact : ?alpha:float -> ?work_limit:int -> ?jobs:int -> Graph.t -> witnessed
+val beta_exact :
+  ?alpha:float -> ?work_limit:int -> ?prune:bool -> ?jobs:int -> Graph.t -> witnessed
 (** Minimum of [|Γ⁻(S)|/|S|] over non-empty [S], [|S| ≤ αn]. The work limit
-    (default [2^24]) bounds the number of sets enumerated. *)
+    (default [2^24]) bounds the number of sets enumerated. [?prune]
+    (default [true]) enables branch-and-bound; the result is identical
+    either way (see the module preamble). *)
 
 val beta_sampled :
   ?alpha:float -> ?jobs:int -> Wx_util.Rng.t -> samples:int -> Graph.t -> witnessed
 
+val min_over_sampled_sets :
+  ?jobs:int -> Graph.t -> int -> Wx_util.Rng.t -> int -> (Bitset.t -> float) -> witnessed
+(** [min_over_sampled_sets g kmax rng samples score]: the generic sampled
+    minimiser behind the [*_sampled] measures — [samples] uniform draws of
+    a size in [1, kmax] then a uniform set of that size, scored by
+    [score]. Sizes above [n] (possible when a caller passes its own
+    [kmax]) are clamped to [n] {e after} the draw, so the stream stays
+    aligned; clamps count in the [expansion.sampled_clamped] metric. *)
+
 (** {1 Unique-neighbor expansion} *)
 
-val beta_u_exact : ?alpha:float -> ?work_limit:int -> ?jobs:int -> Graph.t -> witnessed
+val beta_u_exact :
+  ?alpha:float -> ?work_limit:int -> ?prune:bool -> ?jobs:int -> Graph.t -> witnessed
 
 val beta_u_sampled :
   ?alpha:float -> ?jobs:int -> Wx_util.Rng.t -> samples:int -> Graph.t -> witnessed
@@ -62,7 +94,8 @@ val wireless_of_set_exact : ?work_limit:int -> Graph.t -> Bitset.t -> witnessed
     Gray-code walk is inherently sequential and runs on the calling
     domain. *)
 
-val beta_w_exact : ?alpha:float -> ?work_limit:int -> ?jobs:int -> Graph.t -> witnessed
+val beta_w_exact :
+  ?alpha:float -> ?work_limit:int -> ?prune:bool -> ?jobs:int -> Graph.t -> witnessed
 (** Exact wireless expansion: min over S of max over S′. Cost ~3^n; the
     work limit (default 2^26 elementary steps) keeps this to [n ≲ 16].
     The witness is the minimizing [S]. *)

@@ -150,6 +150,24 @@ module Inc = struct
 
   let unique_expansion t =
     if t.size = 0 then nan else float_of_int t.uniq /. float_of_int t.size
+
+  (* Branch-and-bound numerator floors. Both are monotone consequences of
+     the arena's single-vertex deltas, so they hold for EVERY superset
+     reachable by at most [budget] further [add]s — the soundness the
+     pruned enumeration in Measure leans on. *)
+
+  let[@inline] boundary_floor t ~budget =
+    (* Adding one vertex removes at most itself from Γ⁻(S): neighbors only
+       ever join the boundary when their count rises from 0. *)
+    let b = t.boundary - budget in
+    if b > 0 then b else 0
+
+  let[@inline] unique_floor t ~budget ~max_add_degree =
+    (* Adding vertex v can delete at most 1 + deg(v) members of Γ¹(S): v
+       itself, plus each neighbor whose inside-count rises from 1 to 2.
+       [max_add_degree] bounds deg(v) over the vertices still addable. *)
+    let u = t.uniq - (budget * (1 + max_add_degree)) in
+    if u > 0 then u else 0
 end
 
 module Bip = struct

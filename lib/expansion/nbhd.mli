@@ -77,6 +77,28 @@ module Inc : sig
 
   val unique_expansion : t -> float
   (** [unique / cardinal]; [nan] on the empty set. *)
+
+  (** {2 Branch-and-bound floors}
+
+      Monotone lower bounds on the numerators of the expansion measures,
+      valid for {e every} superset T ⊇ S reachable with at most [budget]
+      further {!add}s. They follow from the per-vertex deltas the arena
+      maintains: an added vertex removes at most itself from [Γ⁻(S)], and
+      at most [1 + deg v] vertices from [Γ¹(S)]. Dividing a floor by the
+      maximum final size gives a lower bound on the measure over the whole
+      subtree of extensions — the pruning test of
+      {!Wx_expansion.Measure}. O(1), no allocation. *)
+
+  val boundary_floor : t -> budget:int -> int
+  (** [boundary_floor t ~budget] is [max 0 (boundary t - budget)]
+      — [|Γ⁻(T)| ≥ boundary_floor] for every T ⊇ S with
+      [|T| - |S| <= budget]. *)
+
+  val unique_floor : t -> budget:int -> max_add_degree:int -> int
+  (** [unique_floor t ~budget ~max_add_degree] is
+      [max 0 (unique t - budget * (1 + max_add_degree))] — a floor on
+      [|Γ¹(T)|] when every addable vertex has degree at most
+      [max_add_degree]. *)
 end
 
 (** The same operators on a bipartite instance [(S, N, E)], where subsets

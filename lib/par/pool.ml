@@ -26,8 +26,10 @@ let max_domains = 128
    observing domain inside Metrics, so concurrent workers never contend. *)
 let runs_c = Metrics.counter "pool.runs"
 let seq_runs_c = Metrics.counter "pool.runs_seq"
+let weighted_runs_c = Metrics.counter "pool.runs_weighted"
 let spawned_c = Metrics.counter "pool.domains_spawned"
 let chunks_c = Metrics.counter "pool.chunks"
+let units_split_c = Metrics.counter "pool.units_split"
 let empty_claims_c = Metrics.counter "pool.claims_empty"
 let jobs_g = Metrics.gauge "pool.jobs"
 let chunk_t = Metrics.timer "pool.chunk"
@@ -160,19 +162,20 @@ let set_default_jobs n =
   if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
   Atomic.set default (min n max_domains)
 
-let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
-  if chunk < 1 then invalid_arg "Pool.parallel_reduce: chunk must be >= 1";
-  if n < 0 then invalid_arg "Pool.parallel_reduce: n must be >= 0";
-  if n = 0 then init
-  else begin
-    let nchunks = (n + chunk - 1) / chunk in
-    let jobs =
-      match jobs with
-      | Some j when j >= 1 -> min j max_domains
-      | Some _ -> invalid_arg "Pool.parallel_reduce: jobs must be >= 1"
-      | None -> default_jobs ()
-    in
-    let jobs = min jobs nchunks in
+let resolve_jobs jobs =
+  match jobs with
+  | Some j when j >= 1 -> min j max_domains
+  | Some _ -> invalid_arg "Pool.parallel_reduce: jobs must be >= 1"
+  | None -> default_jobs ()
+
+(* Shared instrumented core. [ntasks] tasks indexed [0, ntasks); results
+   land in a slot array indexed by task id and are folded in id order, so
+   determinism never depends on which domain ran which task. [order]
+   permutes the {e claim} sequence only (the work-stealing paths hand out
+   heavy units first); it never affects the combine order. *)
+let run_tasks ~jobs ~ntasks ~order ~task ~init ~combine ~trace_args =
+  begin
+    let jobs = min jobs ntasks in
     (* One flag for the whole call: observe/slice below self-gate on their
        own system's flag, so a trace-only run skips histogram writes and a
        metrics-only run skips slice pushes — but an uninstrumented run pays
@@ -190,31 +193,22 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
     let own_words () = if memgc_on then Memgc.own_minor_words () else 0.0 in
     (* Per-run utilization state, one slot per worker tid. Distinct slots
        are written only by their owner; the caller reads them after the
-       joins. Sized by [jobs] (not nchunks), so the allocation is a
+       joins. Sized by [jobs] (not ntasks), so the allocation is a
        deterministic function of the call shape — the alloc gate depends
-       on that. Empty when uninstrumented: no cost, and run_chunk never
+       on that. Empty when uninstrumented: no cost, and run_task never
        touches them on that path. *)
     let busy_a = if instrumented then Array.make jobs 0 else [||] in
     let spans_a = if instrumented then Array.make jobs 0 else [||] in
     let chunks_a = if instrumented then Array.make jobs 0 else [||] in
     let finish_a = if instrumented then Array.make jobs 0 else [||] in
-    (* Left fold of [map] over one chunk's indices — the innermost loop of
-       every exact measure, so no per-index allocation beyond [map]'s own. *)
-    let chunk_result c =
-      let lo = c * chunk in
-      let hi = min n (lo + chunk) in
-      let acc = ref (map lo) in
-      for i = lo + 1 to hi - 1 do
-        acc := combine !acc (map i)
-      done;
-      !acc
-    in
     (* Timed wrapper shared by both paths: [tid] is the worker slot (0 =
-       calling domain), [t_claim] the stamp just after the chunk was
-       claimed. *)
-    let run_chunk ~tid ~t_claim c =
+       calling domain), [t_claim] the stamp just after the task was
+       claimed. Trace/metric names keep the historical "chunk" vocabulary —
+       a task IS a chunk on the chunked path, and a finer work unit on the
+       weighted one. *)
+    let run_task ~tid ~t_claim c =
       let w0 = if mem then Memgc.own_minor_words () else 0.0 in
-      let r = chunk_result c in
+      let r = task c in
       if instrumented then begin
         let t_done = Clock.now_ns () in
         let dw = if mem then Memgc.own_minor_words () -. w0 else 0.0 in
@@ -240,8 +234,8 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
       end;
       let t_seq0 = now () in
       let acc = ref init in
-      for c = 0 to nchunks - 1 do
-        acc := combine !acc (run_chunk ~tid:0 ~t_claim:(now ()) c)
+      for c = 0 to ntasks - 1 do
+        acc := combine !acc (run_task ~tid:0 ~t_claim:(now ()) c)
       done;
       if instrumented then begin
         let span = Clock.now_ns () - t_seq0 in
@@ -262,7 +256,7 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
         Metrics.set jobs_g (float_of_int jobs)
       end;
       let t_run0 = now () in
-      let results = Array.make nchunks None in
+      let results = Array.make ntasks None in
       let cursor = Atomic.make 0 in
       let failure = Atomic.make None in
       let worker tid =
@@ -280,15 +274,20 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
         let t_prev = ref t_start in
         let continue_ = ref true in
         while !continue_ do
-          let c = Atomic.fetch_and_add cursor 1 in
-          if c >= nchunks || Atomic.get failure <> None then begin
-            if instrumented && c >= nchunks then Metrics.incr empty_claims_c;
+          (* The cursor hands out {e claim slots}; [order] maps a slot to
+             the task it carries (identity on the chunked path, LPT order
+             on the weighted one). Results land in [results.(c)] keyed by
+             task id, so the permutation is invisible to the combine. *)
+          let u = Atomic.fetch_and_add cursor 1 in
+          if u >= ntasks || Atomic.get failure <> None then begin
+            if instrumented && u >= ntasks then Metrics.incr empty_claims_c;
             continue_ := false
           end
           else begin
+            let c = match order with None -> u | Some o -> Array.unsafe_get o u in
             let t_claim = now () in
             if instrumented then Metrics.observe_ns claim_t (t_claim - !t_prev);
-            match run_chunk ~tid ~t_claim c with
+            match run_task ~tid ~t_claim c with
             | r ->
                 results.(c) <- Some r;
                 t_prev := now ()
@@ -312,7 +311,12 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
            accumulator — the caller's post-join Memgc.read depends on it —
            and that credit happens-before the join that publishes it. *)
         let w_delta = if memgc_on then Memgc.own_minor_words () -. w_start else 0.0 in
-        if memgc_on && tid > 0 then Memgc.add_foreign_minor_words (int_of_float w_delta);
+        (* Round, don't truncate: Gc.minor_words deltas are integral in
+           practice, but if a runtime ever reports fractional words the
+           nearest int keeps the pool credit reconciled with the
+           per-worker histogram sum instead of drifting low. *)
+        if memgc_on && tid > 0 then
+          Memgc.add_foreign_minor_words (int_of_float (Float.round w_delta));
         if mem then Metrics.observe worker_minor_h w_delta;
         if instrumented && tid > 0 then
           let t_exit = Clock.now_ns () in
@@ -334,9 +338,7 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
         Metrics.observe_ns join_t (t_joined - t_drain);
         Trace_export.slice ~tid:0 ~name:"join" ~t0_ns:t_drain ~dur_ns:(t_joined - t_drain) ();
         Trace_export.slice ~tid:0 ~name:"parallel_reduce" ~t0_ns:t_run0
-          ~dur_ns:(t_joined - t_run0)
-          ~args:[ ("n", Json.Int n); ("chunks", Json.Int nchunks); ("jobs", Json.Int jobs) ]
-          ();
+          ~dur_ns:(t_joined - t_run0) ~args:trace_args ();
         (* Utilization summary for this run. The joins above published the
            workers' slot writes, so the arrays are stable here. *)
         let fin_min = ref max_int and fin_max = ref min_int in
@@ -368,16 +370,95 @@ let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
           ~spans:spans_a ~chunks:chunks_a ~idle_tail
       end;
       (match Atomic.get failure with Some e -> raise e | None -> ());
-      (* All chunks completed (no failure), so every slot is filled; the
+      (* All tasks completed (no failure), so every slot is filled; the
          joins above publish the workers' writes to this domain. *)
       let acc = ref init in
-      for c = 0 to nchunks - 1 do
+      for c = 0 to ntasks - 1 do
         match results.(c) with
         | Some r -> acc := combine !acc r
         | None -> assert false
       done;
       !acc
     end
+  end
+
+let parallel_reduce ?jobs ?(chunk = 1) ~n ~init ~map ~combine () =
+  if chunk < 1 then invalid_arg "Pool.parallel_reduce: chunk must be >= 1";
+  if n < 0 then invalid_arg "Pool.parallel_reduce: n must be >= 0";
+  if n = 0 then init
+  else begin
+    let nchunks = (n + chunk - 1) / chunk in
+    let jobs = min (resolve_jobs jobs) nchunks in
+    (* Left fold of [map] over one chunk's indices — the innermost loop of
+       every exact measure, so no per-index allocation beyond [map]'s own. *)
+    let task c =
+      let lo = c * chunk in
+      let hi = min n (lo + chunk) in
+      let acc = ref (map lo) in
+      for i = lo + 1 to hi - 1 do
+        acc := combine !acc (map i)
+      done;
+      !acc
+    in
+    run_tasks ~jobs ~ntasks:nchunks ~order:None ~task ~init ~combine
+      ~trace_args:[ ("n", Json.Int n); ("chunks", Json.Int nchunks); ("jobs", Json.Int jobs) ]
+  end
+
+let parallel_reduce_weighted ?jobs ?(oversubscribe = 8) ~n ~weight ~init ~map ~combine () =
+  if oversubscribe < 1 then invalid_arg "Pool.parallel_reduce_weighted: oversubscribe must be >= 1";
+  if n < 0 then invalid_arg "Pool.parallel_reduce_weighted: n must be >= 0";
+  if n = 0 then init
+  else begin
+    let jobs = resolve_jobs jobs in
+    let w =
+      Array.init n (fun i ->
+          let x = weight i in
+          if not (x >= 0.0) then
+            invalid_arg "Pool.parallel_reduce_weighted: weights must be >= 0";
+          x)
+    in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    (* Target unit weight: enough units that the heaviest still leaves
+       [oversubscribe] claimable pieces per worker on average — PR 6's
+       utilization data showed the idle tail is exactly one oversized
+       trailing chunk, so the split bounds the tail by [total/slots]. *)
+    let slots = jobs * oversubscribe in
+    let target = total /. float_of_int slots in
+    let parts =
+      Array.map
+        (fun wi ->
+          if target > 0.0 && wi > target then
+            min slots (int_of_float (Float.ceil (wi /. target)))
+          else 1)
+        w
+    in
+    let nunits = Array.fold_left ( + ) 0 parts in
+    let unit_idx = Array.make nunits 0 in
+    let unit_part = Array.make nunits 0 in
+    let u = ref 0 in
+    for i = 0 to n - 1 do
+      for p = 0 to parts.(i) - 1 do
+        unit_idx.(!u) <- i;
+        unit_part.(!u) <- p;
+        incr u
+      done
+    done;
+    (* LPT claim order: heaviest units are handed out first so the light
+       ones backfill the tail. Stable sort keeps natural order among equal
+       weights. The permutation affects only which domain runs what, never
+       the combine order, so results stay bit-identical to order:None. *)
+    let order = Array.init nunits (fun k -> k) in
+    let unit_w k = w.(unit_idx.(k)) /. float_of_int parts.(unit_idx.(k)) in
+    Array.stable_sort (fun a b -> compare (unit_w b) (unit_w a)) order;
+    if Metrics.is_enabled () then begin
+      Metrics.incr weighted_runs_c;
+      Metrics.add units_split_c (nunits - n)
+    end;
+    let jobs = min jobs nunits in
+    let task k = map unit_idx.(k) ~part:unit_part.(k) ~parts:parts.(unit_idx.(k)) in
+    run_tasks ~jobs ~ntasks:nunits ~order:(Some order) ~task ~init ~combine
+      ~trace_args:
+        [ ("n", Json.Int n); ("units", Json.Int nunits); ("jobs", Json.Int jobs) ]
   end
 
 let parallel_for ?jobs ?chunk ~n f =

@@ -14,6 +14,12 @@
     stored into a slot array and finally folded {e in chunk order} by the
     calling domain.
 
+    {!parallel_reduce_weighted} is the work-stealing variant for loads the
+    fixed-size splitter cannot balance: the caller supplies a per-index
+    weight estimate, oversized indices are split into finer work units
+    claimed off the same atomic cursor, and the heaviest units are handed
+    out first (LPT order) so light units backfill the idle tail.
+
     {2 Determinism}
 
     Because chunk boundaries depend only on [n] and [chunk] (never on
@@ -35,6 +41,9 @@
     [pool.join_wait] (caller-side wait for stragglers after its own queue
     ran dry — the load-imbalance signal), plus [pool.runs], [pool.chunks],
     [pool.claims_empty], [pool.domains_spawned] and the [pool.jobs] gauge.
+    Weighted runs additionally count [pool.runs_weighted] and
+    [pool.units_split] (extra work units the splitter created beyond one
+    per index).
     While [Wx_obs.Trace_export] is enabled, each chunk additionally becomes
     a Chrome-trace slice on the track of the worker slot that ran it
     (tid 0 = calling domain, tids 1..jobs-1 = spawned workers), with
@@ -105,6 +114,31 @@ val parallel_reduce :
     [jobs] domains (default {!default_jobs}) in chunks of [chunk]
     (default 1) indices. Requires [combine] associative and [init]
     neutral for a deterministic result; see the module preamble. *)
+
+val parallel_reduce_weighted :
+  ?jobs:int ->
+  ?oversubscribe:int ->
+  n:int ->
+  weight:(int -> float) ->
+  init:'a ->
+  map:(int -> part:int -> parts:int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  unit ->
+  'a
+(** [parallel_reduce_weighted ~n ~weight ~init ~map ~combine ()] reduces
+    over indices [0, n) like {!parallel_reduce}, but splits each index [i]
+    into [parts_i = ceil (weight i / target)] work units, where [target]
+    is the total weight divided by [jobs * oversubscribe] (default
+    oversubscribe 8) and [parts_i] is capped at [jobs * oversubscribe].
+    [map i ~part ~parts] computes part [part] of [0..parts-1] of index
+    [i]'s reduction; the caller decides how a part maps onto its work (and
+    must cover index [i] exactly once across its parts). Units are claimed
+    heaviest-first off the shared cursor, but results are combined in
+    [(index, part)] order, so the answer is bit-identical to a sequential
+    run whenever [combine] is associative with [init] neutral —
+    scheduling, job count and claim order are unobservable. [weight] must
+    return non-negative finite floats; it is called once per index before
+    the run. *)
 
 val parallel_for : ?jobs:int -> ?chunk:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for ~n f] runs [f i] for [i] in [0, n) across the pool.

@@ -118,6 +118,27 @@ let inter_inplace a b = blit2 ( land ) a b
 let diff_inplace a b = blit2 (fun x y -> x land lnot y) a b
 let clear_inplace a = Array.fill a.words 0 (Array.length a.words) 0
 
+(* Fused combine-and-count kernels: one word-parallel pass, no
+   intermediate set. The naive reference scorers accumulate neighborhood
+   unions and then need |acc ∪ b| or |acc \ b| — materialising the
+   combined set per scored subset is exactly the allocation the
+   incremental engine was built to avoid, so the reference engines get
+   the allocation-free counts too and the bench compares enumeration
+   strategies, not allocator traffic. *)
+
+let count2 f a b =
+  same_universe a b;
+  let aw = a.words and bw = b.words in
+  let acc = ref 0 in
+  for i = 0 to Array.length aw - 1 do
+    acc := !acc + popcount_word (f (Array.unsafe_get aw i) (Array.unsafe_get bw i))
+  done;
+  !acc
+
+let union_cardinal a b = count2 ( lor ) a b
+let inter_cardinal a b = count2 ( land ) a b
+let diff_cardinal a b = count2 (fun x y -> x land lnot y) a b
+
 let complement t =
   let f = full t.n in
   diff f t
@@ -202,7 +223,11 @@ let random_of_universe rng n k =
 let iter_subsets s f =
   let elts = to_array s in
   let k = Array.length elts in
-  if k > 30 then invalid_arg "Bitset.iter_subsets: set too large";
+  (* Unified work contract: reject at the native-int ceiling on Gray-code
+     step counts (not an arbitrary 30) with the catchable [Guard.Too_large]
+     the measure layer rebinds — callers handle this the same way they
+     handle a refused [wireless_of_set_exact]. *)
+  Guard.check_gray_work "Bitset.iter_subsets" k max_int;
   let buf = create s.n in
   let total = 1 lsl k in
   (* Gray-code order: successive subsets differ in one element, so each step

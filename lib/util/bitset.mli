@@ -47,6 +47,18 @@ val inter_inplace : t -> t -> unit
 val diff_inplace : t -> t -> unit
 val clear_inplace : t -> unit
 
+val union_cardinal : t -> t -> int
+(** [|a ∪ b|] in one fused word-parallel pass — no intermediate set is
+    allocated. The neighborhood-union count of the naive reference
+    scorers. *)
+
+val inter_cardinal : t -> t -> int
+(** [|a ∩ b|], fused like {!union_cardinal}. *)
+
+val diff_cardinal : t -> t -> int
+(** [|a \ b|], fused like {!union_cardinal} — e.g. [|Γ(S) \ S|] without
+    materialising [Γ⁻(S)]. *)
+
 val complement : t -> t
 (** Complement within the universe. *)
 
@@ -82,7 +94,10 @@ val iter_subsets : t -> (t -> unit) -> unit
 (** [iter_subsets s f] calls [f] on every subset of [s] (including the empty
     set and [s] itself), reusing a single buffer: the set passed to [f] is
     only valid during the call. Cost O(2^|s| · |s| / word). Intended for
-    exact wireless-expansion computations on small sets ([|s|] ≲ 22). *)
+    exact wireless-expansion computations on small sets ([|s|] ≲ 22).
+    Raises {!Guard.Too_large} when [|s|] exceeds {!Guard.max_gray_bits}
+    (the native-int ceiling on Gray-code step counts), so callers can
+    catch it exactly like a refused exact measure. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [{0, 3, 7}]. *)

@@ -92,6 +92,73 @@ let iter_subsets_le_with_min_delta n k a f =
 let iter_subsets_le_with_min n k a f =
   iter_subsets_le_with_min_delta n k a (fun out ~kept:_ -> f out)
 
+(* ---- prunable sharded enumeration ----
+
+   Branch-and-bound needs the enumeration to expose its prefix tree: a
+   node is a sorted prefix, its children extend it by one larger element,
+   and a whole subtree must be skippable once a bound proves it cannot
+   beat the incumbent. The size-by-size iterators above hide that tree
+   (they restart the prefix at every size boundary), so the prunable
+   walk is a pre-order DFS over increasing sequences instead: each set is
+   visited immediately after its longest proper prefix, which is exactly
+   the order an incremental arena absorbs for free. The family visited —
+   all subsets of size <= kmax with the given smallest element — is
+   identical to [iter_subsets_le_with_min_delta]'s; only the order
+   differs, which callers that minimise with an explicit lex tiebreak
+   cannot observe. *)
+
+let iter_subshard_le_prune n kmax a ~blo ~bhi ~self f =
+  if kmax < 1 || a < 0 || a >= n then invalid_arg "Combi.iter_subshard_le_prune"
+  else begin
+    let cap = min kmax (n - a) in
+    let buf = Array.make cap a in
+    (* [kept] = leading slots shared with the previously visited set; the
+       next node is either the current one's first child (shares all of
+       it) or a sibling at some shallower slot (the loops below clamp). *)
+    let kept = ref 0 in
+    let visit len =
+      let skip = f buf ~len ~kept:!kept in
+      kept := len;
+      skip
+    in
+    let rec extend len =
+      if len < cap then
+        for v = buf.(len - 1) + 1 to n - 1 do
+          if !kept > len then kept := len;
+          buf.(len) <- v;
+          if not (visit (len + 1)) then extend (len + 1)
+        done
+    in
+    let self_skip = if self then visit 1 else false in
+    if (not self_skip) && cap >= 2 then begin
+      let lo = max blo (a + 1) and hi = min bhi n in
+      for b = lo to hi - 1 do
+        if !kept > 1 then kept := 1;
+        buf.(1) <- b;
+        if not (visit 2) then extend 2
+      done
+    end
+  end
+
+let iter_subsets_le_with_min_prune n kmax a f =
+  iter_subshard_le_prune n kmax a ~blo:(a + 1) ~bhi:n ~self:true f
+
+(* Σ_{j=0..k} C(m, j) as a float — the work-unit weight of a prefix with
+   [m] addable elements and [k] slots left. Float on purpose: weights
+   only steer the splitter, and the exact counts overflow the native int
+   long before the guards would admit the enumeration anyway. *)
+let count_subsets_upto_float m k =
+  if m < 0 then 0.0
+  else begin
+    let acc = ref 1.0 and c = ref 1.0 in
+    let k = min k m in
+    for j = 1 to k do
+      c := !c *. float_of_int (m - j + 1) /. float_of_int j;
+      acc := !acc +. !c
+    done;
+    !acc
+  end
+
 let subsets_count_le n k =
   let acc = ref 0 in
   for size = 1 to min k n do

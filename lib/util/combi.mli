@@ -73,6 +73,51 @@ val iter_subsets_le_with_min_delta :
 (** Delta-aware {!iter_subsets_le_with_min}. [kept = 0] at each size
     boundary. *)
 
+(** {2 Prunable sharded enumeration}
+
+    Branch-and-bound over the subset space needs the prefix tree of the
+    enumeration to be visible: every sorted set is visited immediately
+    after its longest proper prefix (pre-order DFS over increasing
+    sequences), and the callback can cut a whole subtree. The visited
+    family is exactly the one {!iter_subsets_le_with_min_delta} visits;
+    only the order differs. *)
+
+val iter_subsets_le_with_min_prune :
+  int -> int -> int -> (int array -> len:int -> kept:int -> bool) -> unit
+(** [iter_subsets_le_with_min_prune n kmax a f] visits every non-empty
+    subset of [0..n-1] with smallest element [a] and size at most [kmax],
+    in pre-order DFS over increasing sequences. The callback receives a
+    reused buffer whose first [len] slots hold the current sorted set and
+    [~kept], the number of leading slots unchanged since the previous
+    callback (same incremental contract as the [_delta] iterators).
+    Returning [true] skips every {e strict extension} of the current set
+    — the subtree of supersets obtained by appending larger elements —
+    without visiting it; the current set itself has already been
+    visited. *)
+
+val iter_subshard_le_prune :
+  int ->
+  int ->
+  int ->
+  blo:int ->
+  bhi:int ->
+  self:bool ->
+  (int array -> len:int -> kept:int -> bool) ->
+  unit
+(** Work-stealing sub-shard of {!iter_subsets_le_with_min_prune}: only
+    the singleton [{a}] (iff [self]) and the sets whose {e second}
+    smallest element lies in [\[blo, bhi)] are visited. The sub-shards
+    [(self, blo..bhi)] partition the shard, so idle workers can claim
+    slices of one oversized smallest-element shard. A [true] return from
+    the singleton visit skips the rest of this sub-shard (its sets all
+    extend [{a}]). *)
+
+val count_subsets_upto_float : int -> int -> float
+(** [count_subsets_upto_float m k] is [Σ_{j=0..min k m} C(m, j)] as a
+    float — the number of ways to extend a prefix that has [m] addable
+    elements and [k] free slots (including not extending it). The
+    work-unit weight the splitter feeds {!Wx_par.Pool}. *)
+
 val subsets_count_le : int -> int -> int
 (** Number of non-empty subsets of size at most [k] — used to refuse
     enumerations that would not terminate in reasonable time. *)

@@ -1,0 +1,25 @@
+(* Shared work-guard contract for exponential enumerations.
+
+   PR 5 unified the Gray-code admission test inside the measure layer:
+   one exception, one bound derived from [min work_limit 2^max_gray_bits].
+   Enumeration kernels living below the measure layer (Bitset, Combi)
+   used to reject oversized inputs with ad-hoc [invalid_arg]s and
+   arbitrary ceilings (k > 30); hoisting the contract here lets every
+   layer raise the same catchable exception with the same message shape,
+   and lets the measure layer rebind it so existing [Measure.Too_large]
+   handlers keep working unchanged. *)
+
+exception Too_large of string
+
+(* Largest k for which [1 lsl k] is a positive int — the native-int
+   ceiling on Gray-code step counts (61 on a 64-bit platform). *)
+let max_gray_bits = Sys.int_size - 2
+
+let check_gray_work name k work_limit =
+  let ceiling = 1 lsl max_gray_bits in
+  let bound = if work_limit < ceiling then work_limit else ceiling in
+  if k > max_gray_bits || 1 lsl k > bound then
+    raise
+      (Too_large
+         (Printf.sprintf "%s: 2^%d Gray-code steps exceed the step bound %d%s" name k bound
+            (if bound = ceiling && work_limit > ceiling then " (native-int ceiling)" else "")))

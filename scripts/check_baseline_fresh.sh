@@ -16,11 +16,15 @@ cd "$(dirname "$0")/.."
 
 baseline=bench/baseline.json
 # The code whose cost the baseline certifies: the exact-measure hot path,
-# its enumeration layer, the experiment definitions themselves, and —
-# since the baseline carries work counts, units/sec series and pool
-# utilization (wx-bench/4) — the pool scheduler, the work-unit taxonomy
-# and the radio simulator whose rounds are a counted work kind.
-watched=(lib/expansion lib/util/combi.ml lib/util/combi.mli bench/*.ml
+# its enumeration layer (including the bitset count kernels KERN's naive
+# rows and the scorers lean on, and the guard that bounds it), the
+# experiment definitions themselves, and — since the baseline carries
+# work counts, units/sec series and pool utilization (wx-bench/4) — the
+# pool scheduler, the work-unit taxonomy and the radio simulator whose
+# rounds are a counted work kind.
+watched=(lib/expansion lib/util/combi.ml lib/util/combi.mli
+         lib/util/bitset.ml lib/util/bitset.mli
+         lib/util/guard.ml lib/util/guard.mli bench/*.ml
          lib/par lib/obs/work.ml lib/obs/work.mli lib/radio/sim.ml)
 
 if [ ! -f "$baseline" ]; then

@@ -111,6 +111,28 @@ let test_iter_subsets_count () =
       Hashtbl.add seen key ());
   check_int "2^4 subsets" 16 !count
 
+let test_iter_subsets_too_large () =
+  (* The Gray-code walk over a large set would overflow the native int;
+     the unified guard refuses it up front with the shared Too_large
+     constructor, catchable from any layer under either name. *)
+  let s = Bitset.full 70 in
+  (try
+     Bitset.iter_subsets s (fun _ -> Alcotest.fail "callback must not run");
+     Alcotest.fail "expected Too_large"
+   with Wx_util.Guard.Too_large msg ->
+     check_true "names the caller"
+       (String.length msg > 0 && String.sub msg 0 19 = "Bitset.iter_subsets");
+     check_true "explains the ceiling"
+       (let sub = "native-int ceiling" in
+        let n = String.length msg and m = String.length sub in
+        let rec find i = i + m <= n && (String.sub msg i m = sub || find (i + 1)) in
+        find 0));
+  (* Same exception through the Measure rebinding. *)
+  (try
+     Bitset.iter_subsets s ignore;
+     Alcotest.fail "expected Too_large"
+   with Wx_expansion.Measure.Too_large _ -> ())
+
 let test_random_subset () =
   let r = rng ~salt:20 () in
   let s = Bitset.full 200 in
@@ -159,6 +181,22 @@ let qcheck_tests =
         let s = Bitset.of_list n xs in
         Bitset.cardinal s = List.length (Bitset.elements s))
       arbitrary_pair;
+    qcheck "union_cardinal = |union|"
+      (fun (n, xs, ys) ->
+        let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+        Bitset.union_cardinal a b = Bitset.cardinal (Bitset.union a b))
+      arbitrary_pair;
+    qcheck "inter_cardinal = |inter|"
+      (fun (n, xs, ys) ->
+        let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+        Bitset.inter_cardinal a b = Bitset.cardinal (Bitset.inter a b))
+      arbitrary_pair;
+    qcheck "diff_cardinal = |diff| (both orders)"
+      (fun (n, xs, ys) ->
+        let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
+        Bitset.diff_cardinal a b = Bitset.cardinal (Bitset.diff a b)
+        && Bitset.diff_cardinal b a = Bitset.cardinal (Bitset.diff b a))
+      arbitrary_pair;
     qcheck "de morgan"
       (fun (n, xs, ys) ->
         let a = Bitset.of_list n xs and b = Bitset.of_list n ys in
@@ -184,6 +222,7 @@ let suite =
     Alcotest.test_case "choose" `Quick test_choose;
     Alcotest.test_case "complement" `Quick test_complement;
     Alcotest.test_case "iter_subsets" `Quick test_iter_subsets_count;
+    Alcotest.test_case "iter_subsets too large" `Quick test_iter_subsets_too_large;
     Alcotest.test_case "random subset" `Quick test_random_subset;
     Alcotest.test_case "random of universe" `Quick test_random_of_universe;
     Alcotest.test_case "array roundtrip" `Quick test_to_array_of_array;

@@ -29,4 +29,5 @@ let () =
       ("memgc", Test_memgc.suite);
       ("report", Test_report.suite);
       ("par", Test_par.suite);
+      ("prune", Test_prune.suite);
     ]

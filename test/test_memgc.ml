@@ -140,6 +140,45 @@ let test_pool_worker_attribution () =
         (csum >= float_of_int (64 * block_words));
       check_true "workers cover their chunks" (wsum >= csum *. 0.99))
 
+let test_pool_credit_matches_worker_histogram () =
+  (* Regression for the worker-exit credit: spawned workers push their
+     minor-word delta into Memgc's foreign accumulator with a {e rounded}
+     conversion (a truncating one drifts low against the per-worker
+     histogram). Reconciliation: the histogram records every worker's
+     delta including the caller domain (tid 0), the foreign accumulator
+     only the spawned ones — so (hist sum − foreign credit) must be tid
+     0's share: non-negative and bounded by the caller's own delta, with
+     half a word of rounding slack per spawned worker. *)
+  with_memgc ~metrics:true (fun () ->
+      let jobs = 4 in
+      let foreign0 = Memgc.foreign_minor_words () in
+      let own0 = Memgc.own_minor_words () in
+      let sum =
+        Pool.parallel_reduce ~jobs ~chunk:4 ~n:128 ~init:0
+          ~map:(fun i -> ignore (Sys.opaque_identity (Bytes.create 512)); i)
+          ~combine:( + ) ()
+      in
+      let own_delta = Memgc.own_minor_words () -. own0 in
+      let foreign_delta = float_of_int (Memgc.foreign_minor_words () - foreign0) in
+      check_int "reduce correct" (128 * 127 / 2) sum;
+      let snap = Metrics.snapshot () in
+      let wcount, wsum =
+        match Json.member "histograms" snap with
+        | Some hs -> (
+            match Json.member "pool.worker_minor_words" hs with
+            | Some h ->
+                ( Option.get (Json.to_int_opt (Option.get (Json.member "count" h))),
+                  Option.get (Json.to_float_opt (Option.get (Json.member "sum" h))) )
+            | None -> Alcotest.fail "worker histogram missing")
+        | None -> Alcotest.fail "no histograms"
+      in
+      check_int "one observation per worker" jobs wcount;
+      let slack = 0.5 *. float_of_int (jobs - 1) in
+      let tid0_share = wsum -. foreign_delta in
+      check_true "credit never exceeds the histogram" (tid0_share >= -.slack);
+      check_true "histogram minus credit is the caller domain's share"
+        (tid0_share <= own_delta +. slack))
+
 let test_delta_determinism () =
   with_memgc (fun () ->
       let workload () =
@@ -201,6 +240,8 @@ let suite =
     Alcotest.test_case "counters monotone, diff sane" `Quick test_monotone_and_diff;
     Alcotest.test_case "disabled mode performs zero Gc reads" `Quick test_disabled_is_free;
     Alcotest.test_case "pool attributes worker allocation" `Quick test_pool_worker_attribution;
+    Alcotest.test_case "pool credit reconciles with worker histogram" `Quick
+      test_pool_credit_matches_worker_histogram;
     Alcotest.test_case "deltas deterministic over identical work" `Quick test_delta_determinism;
     Alcotest.test_case "major-cycle alarm fires" `Quick test_alarm;
     Alcotest.test_case "counters codec round trip" `Quick test_codec;

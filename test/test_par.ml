@@ -63,6 +63,95 @@ let test_worker_exception_propagates () =
   | _ -> Alcotest.fail "expected the worker exception to re-raise"
   | exception Failure m -> check_true "original exception" (m = "boom")
 
+(* ---- weighted reduction (work stealing) ---- *)
+
+let test_weighted_reduce_order_is_sequential () =
+  (* Same append-into-a-list oracle as the plain reduction, but across the
+     splitting geometries: heavily skewed weights force one index into
+     many units, zero weights collapse to single units, and every
+     (jobs, oversubscribe) pair exercises a different LPT claim order.
+     Each index's parts cover it exactly once, so the folded result must
+     still be the exact index sequence. *)
+  let weights =
+    [
+      ("uniform", fun _ -> 1.0);
+      ("skewed", fun i -> if i = 0 then 1e6 else 1.0);
+      ("geometric", fun i -> 2.0 ** float_of_int (i mod 20));
+      ("zero", fun _ -> 0.0);
+    ]
+  in
+  List.iter
+    (fun (wname, weight) ->
+      List.iter
+        (fun (jobs, oversubscribe) ->
+          List.iter
+            (fun n ->
+              let hits = Array.make (max n 1) 0 in
+              let got =
+                Pool.parallel_reduce_weighted ~jobs ~oversubscribe ~n ~weight ~init:[]
+                  ~map:(fun i ~part ~parts ->
+                    check_true "part in range" (0 <= part && part < parts);
+                    (* Cover index i on part 0 only: the contract says the
+                       caller must cover i exactly once across its parts. *)
+                    if part = 0 then begin
+                      hits.(i) <- hits.(i) + 1;
+                      [ i ]
+                    end
+                    else [])
+                  ~combine:(fun a b -> a @ b) ()
+              in
+              Alcotest.(check (list int))
+                (Printf.sprintf "%s n=%d jobs=%d over=%d" wname n jobs oversubscribe)
+                (List.init n Fun.id) got;
+              for i = 0 to n - 1 do
+                check_int (Printf.sprintf "%s part-0 of %d seen once" wname i) 1 hits.(i)
+              done)
+            [ 0; 1; 7; 64 ])
+        [ (1, 1); (2, 8); (4, 8); (8, 3) ])
+    weights
+
+let test_weighted_reduce_splits_cover_ranges () =
+  (* Range-splitting usage, as Measure does it: each index owns an integer
+     range, parts slice it by recomputing identical boundaries. The global
+     sum must match no matter how the units were stolen. *)
+  let n = 13 in
+  let width i = (i * 37 mod 101) + 1 in
+  let bound i part parts = width i * part / parts in
+  let expected = ref 0 in
+  for i = 0 to n - 1 do
+    expected := !expected + (width i * ((width i) - 1) / 2)
+  done;
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.parallel_reduce_weighted ~jobs ~n
+          ~weight:(fun i -> float_of_int (width i))
+          ~init:0
+          ~map:(fun i ~part ~parts ->
+            let acc = ref 0 in
+            for x = bound i part parts to bound i (part + 1) parts - 1 do
+              acc := !acc + x
+            done;
+            !acc)
+          ~combine:( + ) ()
+      in
+      check_int (Printf.sprintf "range sum jobs=%d" jobs) !expected got)
+    [ 1; 2; 4; 8 ]
+
+let test_weighted_reduce_rejects_bad_args () =
+  let run ?oversubscribe ?(weight = fun _ -> 1.0) () =
+    ignore
+      (Pool.parallel_reduce_weighted ~jobs:2 ?oversubscribe ~n:4 ~weight ~init:0
+         ~map:(fun i ~part:_ ~parts:_ -> i)
+         ~combine:( + ) ())
+  in
+  Alcotest.check_raises "oversubscribe 0"
+    (Invalid_argument "Pool.parallel_reduce_weighted: oversubscribe must be >= 1")
+    (fun () -> run ~oversubscribe:0 ());
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Pool.parallel_reduce_weighted: weights must be >= 0")
+    (fun () -> run ~weight:(fun i -> if i = 3 then -1.0 else 1.0) ())
+
 (* ---- exact measures: values and witnesses identical at any job count ---- *)
 
 let exact_zoo () =
@@ -182,9 +271,13 @@ let test_sampled_clamp_counts_draws () =
 (* ---- batched hot-loop counters ----
 
    The exact loops accumulate sets_scored / gray_flips / improvements in
-   shard-local ints and flush once per shard; the published totals must be
-   exactly the per-subset counts — independent of job count, and equal to
-   the closed-form enumeration sizes. *)
+   unit-local ints and flush once per work unit; on the unpruned reference
+   path ([~prune:false]) the published totals must be exactly the
+   per-subset counts — independent of job count, and equal to the
+   closed-form enumeration sizes. (With pruning, the visit count is the
+   point of the optimisation and is timing-dependent; improvement counts
+   additionally depend on the work-stealing unit split, which varies with
+   the job count.) *)
 
 let test_metric_totals_job_independent () =
   let g = Gen.cycle 10 in
@@ -192,16 +285,17 @@ let test_metric_totals_job_independent () =
   let kmax = Measure.max_set_size g in
   let run jobs =
     with_metrics (fun () ->
-        ignore (Measure.beta_exact ~jobs g);
-        ignore (Measure.beta_u_exact ~jobs g);
-        ignore (Measure.beta_w_exact ~jobs g);
+        ignore (Measure.beta_exact ~prune:false ~jobs g);
+        ignore (Measure.beta_u_exact ~prune:false ~jobs g);
+        ignore (Measure.beta_w_exact ~prune:false ~jobs g);
         let snap = Metrics.snapshot () in
         let get name = Option.value ~default:0 (counter_value name snap) in
         ( get "expansion.sets_scored",
           get "expansion.gray_flips",
-          get "expansion.witness_improvements" ))
+          get "expansion.witness_improvements",
+          get "expansion.subtrees_pruned" ))
   in
-  let sets1, flips1, imp1 = run 1 in
+  let sets1, flips1, imp1, cut1 = run 1 in
   (* Three exact measures, each scoring every non-empty set of size <= kmax
      exactly once. *)
   check_int "sets scored" (3 * Wx_util.Combi.subsets_count_le n kmax) sets1;
@@ -212,12 +306,14 @@ let test_metric_totals_job_independent () =
   done;
   check_int "gray flips" !expected_flips flips1;
   check_true "improvements recorded" (imp1 > 0);
+  check_int "unpruned run cuts nothing" 0 cut1;
   List.iter
     (fun jobs ->
-      let sets, flips, imp = run jobs in
+      let sets, flips, imp, cut = run jobs in
       check_int (Printf.sprintf "sets scored jobs=%d" jobs) sets1 sets;
       check_int (Printf.sprintf "gray flips jobs=%d" jobs) flips1 flips;
-      check_int (Printf.sprintf "improvements jobs=%d" jobs) imp1 imp)
+      check_true (Printf.sprintf "improvements recorded jobs=%d" jobs) (imp > 0);
+      check_int (Printf.sprintf "no cuts jobs=%d" jobs) 0 cut)
     [ 2; 8 ]
 
 (* ---- named work units (Wx_obs.Work) ---- *)
@@ -229,8 +325,8 @@ let test_work_totals_job_independent () =
   let module Work = Wx_obs.Work in
   let run jobs =
     with_metrics (fun () ->
-        ignore (Measure.beta_exact ~jobs g);
-        ignore (Measure.beta_w_exact ~jobs g);
+        ignore (Measure.beta_exact ~prune:false ~jobs g);
+        ignore (Measure.beta_w_exact ~prune:false ~jobs g);
         ignore (Measure.beta_sampled ~jobs (Rng.create 3) ~samples:100 g);
         (Work.count Work.sets_scored, Work.count Work.gray_steps, Work.count Work.draws))
   in
@@ -377,6 +473,12 @@ let suite =
     Alcotest.test_case "reduce matches fold" `Quick test_reduce_matches_fold;
     Alcotest.test_case "for covers every index once" `Quick test_parallel_for_covers_each_index_once;
     Alcotest.test_case "worker exception propagates" `Quick test_worker_exception_propagates;
+    Alcotest.test_case "weighted reduce preserves fold order" `Quick
+      test_weighted_reduce_order_is_sequential;
+    Alcotest.test_case "weighted reduce splits cover ranges" `Quick
+      test_weighted_reduce_splits_cover_ranges;
+    Alcotest.test_case "weighted reduce rejects bad args" `Quick
+      test_weighted_reduce_rejects_bad_args;
     Alcotest.test_case "exact values+witnesses job-independent" `Quick test_exact_job_independent;
     Alcotest.test_case "profiles job-independent" `Quick test_profiles_job_independent;
     Alcotest.test_case "witness is lex-smallest" `Quick test_witness_is_lex_smallest;
