@@ -18,9 +18,22 @@
                                                (--rate-tolerance, --rate-only)
      wx bench util REPORT.json                 pool-utilization summary of one
                                                report (busy fractions, idle tail)
-     wx prof [--out F] [--alloc] -- <cmd> ...  run under Chrome tracing, print
+     wx bench history append REPORT.json       digest a report into the perf-
+                                               trajectory ledger (dedup by commit)
+     wx bench history show [--metric M] [-e E] entries + per-experiment series
+                                               with sparklines (wall|alloc|rate)
+     wx bench history gate [--window K]        trend gate: newest entry vs the
+                                               preceding window, diff's noise
+                                               postures per metric; exit 0/1/2
+     wx prof [--out F] [--folded F] [--alloc] -- <cmd> ...
+                                               run under Chrome tracing, print
                                                the hottest spans (by self time,
-                                               or self-allocation with --alloc)
+                                               or self-allocation with --alloc),
+                                               optionally emit collapsed stacks;
+                                               exit status follows the inner cmd
+     wx prof diff OLD.trace NEW.trace          differential profile: per-span
+                                               self-time/alloc deltas,
+                                               regressions first; exit 0/1/2
 
    Every measurement subcommand takes --json (machine-readable NDJSON
    events on stdout, human text on stderr), --metrics (collect the Wx_obs
@@ -639,20 +652,28 @@ let cmd_bench_diff obs tolerance min_wall alloc_tolerance alloc_only rate_tolera
         else if rate_only then rate_regs
         else wall_regs @ alloc_regs @ rate_regs
       in
-      if failing = [] then begin
+      let code = if failing = [] || soft then 0 else 1 in
+      (* One machine-readable summary event closes every diff: CI and the
+         ledger tooling read the verdict here instead of scraping stderr. *)
+      let ids l = J.List (List.map (fun (d : Report.delta) -> J.String d.Report.d_id) l) in
+      event obs "bench.verdict"
+        [
+          ("wall_regressions", ids wall_regs);
+          ("alloc_regressions", ids alloc_regs);
+          ("rate_regressions", ids rate_regs);
+          ("failing", ids failing);
+          ("soft", J.Bool soft);
+          ("exit_code", J.Int code);
+        ];
+      if failing = [] then
         say obs
           "no %sregressions (wall tolerance %.0f%%, floor %.0fms; alloc tolerance %.1f%%; rate \
            tolerance %.0f%%)\n"
           (if alloc_only then "allocation " else if rate_only then "throughput " else "")
           (100.0 *. tolerance) (1e3 *. min_wall)
-          (100.0 *. alloc_tolerance) (100.0 *. rate_tolerance);
-        0
-      end
-      else if soft then begin
-        Printf.eprintf "(--soft: reporting only, not failing)\n";
-        0
-      end
-      else 1
+          (100.0 *. alloc_tolerance) (100.0 *. rate_tolerance)
+      else if soft then Printf.eprintf "(--soft: reporting only, not failing)\n";
+      code
 
 (* Per-experiment pool-utilization summary of a single report: how busy each
    worker slot was and how long the idle tail ran. Exit 2 on a malformed
@@ -708,6 +729,249 @@ let cmd_bench_util obs path =
         say obs "%s" (T.render t);
         0
       end
+
+(* ---- bench history (perf-trajectory ledger) ---- *)
+
+module Ledger = Obs.Ledger
+
+let default_ledger = "bench/ledger.ndjson"
+let short_commit c = if String.length c > 10 then String.sub c 0 10 else c
+
+let metric_fmt metric v =
+  if Float.is_nan v then "-"
+  else
+    match metric with
+    | Ledger.Wall -> T.ff ~dec:3 v
+    | Ledger.Alloc -> T.ff ~dec:0 v
+    | Ledger.Rate -> T.ff ~dec:1 v
+
+(* Digest one report into the ledger. A re-record at the same commit
+   replaces the old entry (Ledger.append), so running this in CI on every
+   push keeps exactly one line per commit. Exit 2 on a malformed report or
+   ledger — never silently drop history. *)
+let cmd_history_append obs ledger_path report_path =
+  match Report.load report_path with
+  | Error m ->
+      Printf.eprintf "bench history append: malformed report: %s\n" m;
+      2
+  | Ok r -> (
+      let existing = if Sys.file_exists ledger_path then Ledger.load ledger_path else Ok [] in
+      match existing with
+      | Error m ->
+          Printf.eprintf "bench history append: malformed ledger: %s\n" m;
+          2
+      | Ok entries ->
+          let entry = Ledger.digest r in
+          let replaced =
+            entry.Ledger.l_commit <> "unknown"
+            && List.exists
+                 (fun (e : Ledger.entry) -> e.Ledger.l_commit = entry.Ledger.l_commit)
+                 entries
+          in
+          let entries' = Ledger.append entries entry in
+          Ledger.save ledger_path entries';
+          say obs "%s %s (%s%s, %d experiment%s) -> %s (%d entr%s)\n"
+            (if replaced then "replaced" else "appended")
+            (short_commit entry.Ledger.l_commit)
+            entry.Ledger.l_generated
+            (if entry.Ledger.l_dirty then ", dirty" else "")
+            (List.length entry.Ledger.l_exps)
+            (if List.length entry.Ledger.l_exps = 1 then "" else "s")
+            ledger_path (List.length entries')
+            (if List.length entries' = 1 then "y" else "ies");
+          event obs "history.append"
+            [
+              ("ledger", J.String ledger_path);
+              ("commit", J.String entry.Ledger.l_commit);
+              ("dirty", J.Bool entry.Ledger.l_dirty);
+              ("replaced", J.Bool replaced);
+              ("entries", J.Int (List.length entries'));
+            ];
+          0)
+
+(* Longitudinal view of one metric: a value series per experiment (per work
+   kind for rates) across every ledger entry, with a sparkline so a slow
+   drift is visible at a glance in a terminal. *)
+let cmd_history_show obs metric exp_filter ledger_path =
+  match Ledger.load ledger_path with
+  | Error m ->
+      Printf.eprintf "bench history show: %s\n" m;
+      2
+  | Ok [] ->
+      say obs "empty ledger: %s\n" ledger_path;
+      0
+  | Ok entries ->
+      let et =
+        T.create
+          [ "#"; "commit"; "dirty"; "generated"; "seed"; "quick"; "jobs"; "repeats"; "exps" ]
+      in
+      List.iteri
+        (fun i (e : Ledger.entry) ->
+          T.add_row et
+            [
+              T.fi i;
+              short_commit e.Ledger.l_commit;
+              (if e.Ledger.l_dirty then "yes" else "no");
+              e.Ledger.l_generated;
+              T.fi e.Ledger.l_seed;
+              (if e.Ledger.l_quick then "yes" else "no");
+              T.fi e.Ledger.l_jobs;
+              T.fi e.Ledger.l_repeats;
+              T.fi (List.length e.Ledger.l_exps);
+            ])
+        entries;
+      say obs "-- ledger %s (%d entr%s, oldest first) --\n%s" ledger_path (List.length entries)
+        (if List.length entries = 1 then "y" else "ies")
+        (T.render et);
+      let ids =
+        match exp_filter with Some id -> [ id ] | None -> Ledger.exp_ids entries
+      in
+      let unit_name =
+        match metric with
+        | Ledger.Wall -> "median wall (s)"
+        | Ledger.Alloc -> "minor words"
+        | Ledger.Rate -> "units/sec"
+      in
+      let mt =
+        T.create [ "experiment"; "kind"; "n"; "latest"; "min"; "max"; "oldest..newest" ]
+      in
+      let add_series id kind =
+        let s =
+          Ledger.series metric ?kind:(if kind = "" then None else Some kind) ~id entries
+        in
+        let known = List.filter (fun v -> not (Float.is_nan v)) s in
+        let latest = match List.rev known with v :: _ -> v | [] -> Float.nan in
+        T.add_row mt
+          [
+            id;
+            (if kind = "" then "-" else kind);
+            T.fi (List.length known);
+            metric_fmt metric latest;
+            (match known with
+            | [] -> "-"
+            | _ -> metric_fmt metric (List.fold_left Float.min infinity known));
+            (match known with
+            | [] -> "-"
+            | _ -> metric_fmt metric (List.fold_left Float.max neg_infinity known));
+            Ledger.sparkline s;
+          ];
+        event obs "history.series"
+          [
+            ("id", J.String id);
+            ("metric", J.String (Ledger.metric_name metric));
+            ("kind", J.String kind);
+            ("values", J.List (List.map (fun v -> J.Float v) s));
+          ]
+      in
+      List.iter
+        (fun id ->
+          match metric with
+          | Ledger.Rate -> List.iter (add_series id) (Ledger.rate_kinds ~id entries)
+          | Ledger.Wall | Ledger.Alloc -> add_series id "")
+        ids;
+      say obs "\n-- %s per experiment (%s) --\n%s" (Ledger.metric_name metric) unit_name
+        (T.render mt);
+      0
+
+(* Trend gate: the newest ledger entry judged against the window that
+   precedes it, with the diff's own noise posture per metric (see
+   Ledger.gate). Exit codes mirror bench diff: 0 clean (or --soft), 1 a
+   trend regression, 2 malformed ledger. *)
+let cmd_history_gate obs tolerance min_wall alloc_tolerance rate_tolerance window soft
+    ledger_path =
+  match Ledger.load ledger_path with
+  | Error m ->
+      Printf.eprintf "bench history gate: %s\n" m;
+      2
+  | Ok [] ->
+      say obs "empty ledger %s: nothing to gate\n" ledger_path;
+      0
+  | Ok entries ->
+      let trends =
+        Ledger.gate ~tolerance ~min_wall_s:min_wall ~alloc_tolerance ~rate_tolerance ~window
+          entries
+      in
+      let newest = List.nth entries (List.length entries - 1) in
+      say obs "gating %s (%s%s) against the %d preceding entr%s of %s\n"
+        (short_commit newest.Ledger.l_commit)
+        newest.Ledger.l_generated
+        (if newest.Ledger.l_dirty then ", dirty" else "")
+        (min (window - 1) (List.length entries - 1))
+        (if min (window - 1) (List.length entries - 1) = 1 then "y" else "ies")
+        ledger_path;
+      let t =
+        T.create
+          [ "experiment"; "metric"; "kind"; "baseline"; "latest"; "ratio"; "verdict"; "window" ]
+      in
+      List.iter
+        (fun (tr : Ledger.trend) ->
+          T.add_row t
+            [
+              tr.Ledger.t_exp;
+              Ledger.metric_name tr.Ledger.t_metric;
+              (if tr.Ledger.t_kind = "" then "-" else tr.Ledger.t_kind);
+              metric_fmt tr.Ledger.t_metric tr.Ledger.t_baseline;
+              metric_fmt tr.Ledger.t_metric tr.Ledger.t_latest;
+              (if Float.is_nan tr.Ledger.t_ratio then "-" else T.ff ~dec:2 tr.Ledger.t_ratio);
+              (match tr.Ledger.t_verdict with
+              | None -> "- (" ^ tr.Ledger.t_note ^ ")"
+              | Some v ->
+                  Report.verdict_name v
+                  ^ if tr.Ledger.t_note = "" then "" else " (" ^ tr.Ledger.t_note ^ ")");
+              Ledger.sparkline tr.Ledger.t_series;
+            ];
+          event obs "history.trend"
+            [
+              ("id", J.String tr.Ledger.t_exp);
+              ("metric", J.String (Ledger.metric_name tr.Ledger.t_metric));
+              ("kind", J.String tr.Ledger.t_kind);
+              ( "verdict",
+                match tr.Ledger.t_verdict with
+                | None -> J.Null
+                | Some v -> J.String (Report.verdict_name v) );
+              ("baseline", J.Float tr.Ledger.t_baseline);
+              ("latest", J.Float tr.Ledger.t_latest);
+              ("ratio", J.Float tr.Ledger.t_ratio);
+              ("note", J.String tr.Ledger.t_note);
+            ])
+        trends;
+      say obs "%s" (T.render t);
+      let regs = Ledger.regressions trends in
+      let code = if regs = [] || soft then 0 else 1 in
+      event obs "history.verdict"
+        [
+          ("ledger", J.String ledger_path);
+          ("entries", J.Int (List.length entries));
+          ("window", J.Int window);
+          ( "regressions",
+            J.List
+              (List.map
+                 (fun (tr : Ledger.trend) ->
+                   J.String
+                     (tr.Ledger.t_exp ^ "/"
+                     ^ Ledger.metric_name tr.Ledger.t_metric
+                     ^ if tr.Ledger.t_kind = "" then "" else "/" ^ tr.Ledger.t_kind))
+                 regs) );
+          ("soft", J.Bool soft);
+          ("exit_code", J.Int code);
+        ];
+      if regs <> [] then begin
+        Printf.eprintf "%d trend regression%s: %s\n" (List.length regs)
+          (if List.length regs = 1 then "" else "s")
+          (String.concat ", "
+             (List.map
+                (fun (tr : Ledger.trend) ->
+                  Printf.sprintf "%s (%s%s)" tr.Ledger.t_exp
+                    (Ledger.metric_name tr.Ledger.t_metric)
+                    (if tr.Ledger.t_kind = "" then "" else " " ^ tr.Ledger.t_kind))
+                regs));
+        if soft then Printf.eprintf "(--soft: reporting only, not failing)\n"
+      end
+      else
+        say obs "no trend regressions over the last %d entr%s\n"
+          (min window (List.length entries))
+          (if min window (List.length entries) = 1 then "y" else "ies");
+      code
 
 (* ---- prof ---- *)
 
@@ -794,11 +1058,11 @@ let print_hottest ~alloc ~top =
     (if alloc then "allocation" else "time");
   T.print t
 
-let cmd_prof out top alloc rest inner_group =
+let cmd_prof out folded top alloc rest inner_group =
   match rest with
   | [] ->
       Printf.eprintf
-        "usage: wx prof [--out FILE] [--top K] [--alloc] -- <subcommand> [args]\n\
+        "usage: wx prof [--out FILE] [--folded FILE] [--top K] [--alloc] -- <subcommand> [args]\n\
          (the '--' keeps the inner command's own flags out of prof's)\n";
       2
   | _ ->
@@ -814,9 +1078,95 @@ let cmd_prof out top alloc rest inner_group =
       let argv = Array.of_list ("wx" :: rest) in
       let code = Cmdliner.Cmd.eval' ~argv inner_group in
       Obs.Trace_export.write out;
-      print_hottest ~alloc ~top;
-      Printf.printf "\nwrote %s (load in chrome://tracing or ui.perfetto.dev)\n" out;
+      let folded_note =
+        match folded with
+        | None -> ""
+        | Some fpath -> (
+            match Obs.Prof.rows_of_json (Obs.Trace_export.to_json ()) with
+            | Error m ->
+                Printf.eprintf "prof: --folded skipped: %s\n" m;
+                ""
+            | Ok rows ->
+                Out_channel.with_open_text fpath (fun oc ->
+                    Out_channel.output_string oc (Obs.Prof.folded rows));
+                Printf.sprintf " and %s (collapsed stacks; feed to flamegraph.pl or speedscope)"
+                  fpath)
+      in
+      (* A failed inner command still gets its artifacts (the partial trace
+         often shows where it died) but not the span table — the spans of an
+         aborted run rank noise — and prof's exit status is the inner one,
+         so `wx prof -- cmd` gates exactly like `wx cmd` in scripts. *)
+      if code = 0 then begin
+        print_hottest ~alloc ~top;
+        Printf.printf "\nwrote %s (load in chrome://tracing or ui.perfetto.dev)%s\n" out
+          folded_note
+      end
+      else
+        Printf.eprintf
+          "prof: inner command failed (exit %d); wrote %s%s; hottest-span table suppressed\n"
+          code out folded_note;
       code
+
+(* Differential profile over two trace files: where did the self time go
+   between OLD and NEW? Exit codes mirror bench diff: 0 clean (or --soft),
+   1 a span regressed beyond both thresholds, 2 not a readable trace. *)
+let cmd_prof_diff tolerance min_delta_ms top soft old_path new_path =
+  let min_delta_us = 1e3 *. min_delta_ms in
+  match (Obs.Prof.load old_path, Obs.Prof.load new_path) with
+  | Error m, _ | _, Error m ->
+      Printf.eprintf "prof diff: malformed trace: %s\n" m;
+      2
+  | Ok old_rows, Ok new_rows ->
+      let deltas =
+        Obs.Prof.diff_profiles ~old_:(Obs.Prof.profile old_rows)
+          ~new_:(Obs.Prof.profile new_rows)
+      in
+      let regressed = Obs.Prof.pdelta_regressed ~tolerance ~min_delta_us in
+      let t =
+        T.create
+          [
+            "span"; "calls (old)"; "calls (new)"; "self old (ms)"; "self new (ms)";
+            "Δself (ms)"; "Δself minor (w)"; "verdict";
+          ]
+      in
+      List.iteri
+        (fun i (d : Obs.Prof.pdelta) ->
+          if i < top then
+            T.add_row t
+              [
+                d.Obs.Prof.p_name;
+                T.fi d.Obs.Prof.p_calls_old;
+                T.fi d.Obs.Prof.p_calls_new;
+                T.ff ~dec:3 (1e-3 *. d.Obs.Prof.p_old_self_us);
+                T.ff ~dec:3 (1e-3 *. d.Obs.Prof.p_new_self_us);
+                T.ff ~dec:3 (1e-3 *. d.Obs.Prof.p_delta_self_us);
+                T.ff ~dec:0 d.Obs.Prof.p_delta_self_minor;
+                (if regressed d then "regression"
+                 else if d.Obs.Prof.p_delta_self_us < 0.0 then "improvement"
+                 else "within-noise");
+              ])
+        deltas;
+      Printf.printf "-- self-time deltas, regressions first (top %d of %d) --\n"
+        (min top (List.length deltas))
+        (List.length deltas);
+      T.print t;
+      let regs = List.filter regressed deltas in
+      if regs = [] then begin
+        Printf.printf
+          "no span regressions (self-time tolerance %.0f%%, absolute floor %.1fms)\n"
+          (100.0 *. tolerance) min_delta_ms;
+        0
+      end
+      else begin
+        Printf.eprintf "%d span%s regressed on self time: %s\n" (List.length regs)
+          (if List.length regs = 1 then "" else "s")
+          (String.concat ", " (List.map (fun (d : Obs.Prof.pdelta) -> d.Obs.Prof.p_name) regs));
+        if soft then begin
+          Printf.eprintf "(--soft: reporting only, not failing)\n";
+          0
+        end
+        else 1
+      end
 
 (* ---- cmdliner wiring ---- *)
 
@@ -1002,11 +1352,111 @@ let bench_util_cmd =
              fractions, idle tail); exit 2 on a malformed report")
     (with_obs "bench.util" Term.(const (fun p obs -> cmd_bench_util obs p) $ path))
 
+(* ---- bench history wiring ---- *)
+
+let ledger_arg =
+  Arg.(value & opt string default_ledger
+       & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Ledger file (wx-ledger/1 NDJSON, one entry per recorded commit).")
+
+let metric_conv =
+  let parse = function
+    | "wall" -> Ok Ledger.Wall
+    | "alloc" -> Ok Ledger.Alloc
+    | "rate" -> Ok Ledger.Rate
+    | s -> Error (`Msg (Printf.sprintf "unknown metric %S (expected wall, alloc or rate)" s))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Ledger.metric_name m))
+
+let bench_history_append_cmd =
+  let report = Arg.(required & pos 0 (some string) None & info [] ~docv:"REPORT.json") in
+  Cmd.v
+    (Cmd.info "append"
+       ~doc:"Digest one wx-bench report into the ledger (replacing any existing entry for the \
+             same commit); exit 2 on a malformed report or ledger")
+    (with_obs "bench.history.append"
+       Term.(const (fun ledger report obs -> cmd_history_append obs ledger report)
+             $ ledger_arg $ report))
+
+let bench_history_show_cmd =
+  let metric =
+    Arg.(value & opt metric_conv Ledger.Wall
+         & info [ "metric"; "m" ] ~docv:"METRIC"
+             ~doc:"Series to render: $(b,wall) (median seconds), $(b,alloc) (minor words) or \
+                   $(b,rate) (units/sec per work kind).")
+  in
+  let exp =
+    Arg.(value & opt (some string) None
+         & info [ "e"; "experiment" ] ~docv:"ID" ~doc:"Show a single experiment.")
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Render the ledger: entries oldest-first, then one value series + sparkline per \
+             experiment for the chosen metric; exit 2 on a malformed ledger")
+    (with_obs "bench.history.show"
+       Term.(const (fun metric exp ledger obs -> cmd_history_show obs metric exp ledger)
+             $ metric $ exp $ ledger_arg))
+
+let bench_history_gate_cmd =
+  let tolerance =
+    Arg.(value & opt float Obs.Report.default_tolerance
+         & info [ "tolerance"; "t" ] ~docv:"FRAC"
+             ~doc:"Relative wall-trend change needed to call a regression (default 0.25).")
+  in
+  let min_wall =
+    Arg.(value & opt float Obs.Report.default_min_wall_s
+         & info [ "min-wall" ] ~docv:"SECONDS"
+             ~doc:"Wall and rate trends where every sample sits under this floor never fire.")
+  in
+  let alloc_tolerance =
+    Arg.(value & opt float Obs.Report.default_alloc_tolerance
+         & info [ "alloc-tolerance" ] ~docv:"FRAC"
+             ~doc:"Relative minor-words drift against the window median that fails the gate \
+                   (default 0.01).")
+  in
+  let rate_tolerance =
+    Arg.(value & opt float Obs.Report.default_rate_tolerance
+         & info [ "rate-tolerance" ] ~docv:"FRAC"
+             ~doc:"Relative units/sec drop against the window median that fails the gate \
+                   (default 0.25).")
+  in
+  let window =
+    Arg.(value & opt int Ledger.default_window
+         & info [ "window"; "w" ] ~docv:"K"
+             ~doc:"Entries considered: the newest is the candidate, the preceding K-1 the \
+                   baseline window (default 8).")
+  in
+  let soft =
+    Arg.(value & flag
+         & info [ "soft" ]
+             ~doc:"Report trend regressions but exit 0 (CI soft gate); a malformed ledger \
+                   still exits 2.")
+  in
+  Cmd.v
+    (Cmd.info "gate"
+       ~doc:"Judge the newest ledger entry against the preceding window (noise-aware wall and \
+             rate trends, deterministic alloc drift); exit 1 on a trend regression, 2 on a \
+             malformed ledger")
+    (with_obs "bench.history.gate"
+       Term.(const (fun tolerance min_wall alloc_tolerance rate_tolerance window soft ledger
+                        obs ->
+                 cmd_history_gate obs tolerance min_wall alloc_tolerance rate_tolerance window
+                   soft ledger)
+             $ tolerance $ min_wall $ alloc_tolerance $ rate_tolerance $ window $ soft
+             $ ledger_arg))
+
+let bench_history_cmd =
+  Cmd.group
+    (Cmd.info "history"
+       ~doc:"Perf-trajectory ledger: append report digests, render series, gate trends")
+    [ bench_history_append_cmd; bench_history_show_cmd; bench_history_gate_cmd ]
+
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench"
-       ~doc:"Performance-trajectory tools: record baselines, diff reports, utilization")
-    [ bench_record_cmd; bench_diff_cmd; bench_util_cmd ]
+       ~doc:"Performance-trajectory tools: record baselines, diff reports, utilization, \
+             longitudinal history")
+    [ bench_record_cmd; bench_diff_cmd; bench_util_cmd; bench_history_cmd ]
 
 let base_cmds =
   [
@@ -1014,10 +1464,45 @@ let base_cmds =
     schedule_cmd; verify_paper_cmd; dot_cmd;
   ]
 
+let prof_diff_cmd =
+  let tolerance =
+    Arg.(value & opt float Obs.Prof.default_self_tolerance
+         & info [ "tolerance"; "t" ] ~docv:"FRAC"
+             ~doc:"Relative self-time growth needed to call a span regression (default 0.25).")
+  in
+  let min_delta =
+    Arg.(value & opt float 1.0
+         & info [ "min-self" ] ~docv:"MS"
+             ~doc:"Absolute self-time growth floor in milliseconds (default 1.0); spans \
+                   gaining less never fire, however large the ratio.")
+  in
+  let top =
+    Arg.(value & opt int 20 & info [ "top"; "k" ] ~docv:"K" ~doc:"Rows in the delta table.")
+  in
+  let soft =
+    Arg.(value & flag
+         & info [ "soft" ]
+             ~doc:"Report span regressions but exit 0; a malformed trace still exits 2.")
+  in
+  let old_path = Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.trace") in
+  let new_path = Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.trace") in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Differential profile of two Chrome-trace files (wx prof --out): per-span \
+             self-time and self-allocation deltas, regressions first; exit 1 when a span \
+             regressed beyond both thresholds, 2 on a malformed trace")
+    Term.(const cmd_prof_diff $ tolerance $ min_delta $ top $ soft $ old_path $ new_path)
+
 let prof_cmd =
   let out =
     Arg.(value & opt string "wx-trace.json"
          & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Chrome trace-event destination.")
+  in
+  let folded =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Also write collapsed stacks (one $(b,frame;frame;leaf self_us) line per \
+                   stack) for flamegraph.pl or speedscope.")
   in
   let top =
     Arg.(value & opt int 12
@@ -1036,11 +1521,18 @@ let prof_cmd =
                    $(b,wx prof -- expansion hypercube 16 --jobs 4).")
   in
   let inner_group = Cmd.group (Cmd.info "wx" ~doc:"(under wx prof)") base_cmds in
-  Cmd.v
+  (* A group with a default term: `wx prof diff A B` dispatches to the
+     subcommand, while the documented `wx prof -- <cmd>` form still reaches
+     the default (the `--` keeps the inner command name from being taken
+     for a prof subcommand). *)
+  Cmd.group
+    ~default:
+      Term.(const (fun out folded top alloc rest -> cmd_prof out folded top alloc rest inner_group)
+            $ out $ folded $ top $ alloc $ rest)
     (Cmd.info "prof"
-       ~doc:"Run a wx subcommand under Chrome tracing; write the trace and the hottest spans")
-    Term.(const (fun out top alloc rest -> cmd_prof out top alloc rest inner_group)
-          $ out $ top $ alloc $ rest)
+       ~doc:"Run a wx subcommand under Chrome tracing (write the trace, collapsed stacks and \
+             the hottest spans), or diff two traces")
+    [ prof_diff_cmd ]
 
 let () =
   let doc = "wireless-expanders command-line tool" in

@@ -79,6 +79,8 @@ module Obs = struct
   module Span = Wx_obs.Span
   module Sink = Wx_obs.Sink
   module Report = Wx_obs.Report
+  module Ledger = Wx_obs.Ledger
+  module Prof = Wx_obs.Prof
   module Trace_export = Wx_obs.Trace_export
 end
 

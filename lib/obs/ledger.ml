@@ -1,0 +1,436 @@
+(* Perf-trajectory ledger ("wx-ledger/1") and its trend gate.
+
+   `wx bench diff` answers "did THIS change regress against ONE committed
+   baseline" — a pairwise question. Nothing so far answers the
+   longitudinal one: has e2 been getting 3% slower per PR for the last
+   two months? Each PR's diff stays inside its noise tolerance while the
+   sum walks out of it. The ledger is the instrument for that: an
+   append-only NDJSON file (committed at bench/ledger.ndjson) where each
+   line is a compact digest of one wx-bench report — commit, dirty flag,
+   timestamp, run provenance, and per experiment the median wall, the
+   deterministic minor-word count, and the derived units/sec per work
+   kind. Digests, not reports: a report is tens of KB of samples, checks
+   and metrics snapshots; the ledger keeps only what a trend can be
+   computed from, so committing one line per PR stays cheap forever.
+
+   Dedup is by commit: re-appending a digest whose (non-"unknown") commit
+   already appears replaces the old entry and moves it to the end — the
+   newest measurement of a commit wins, and iterating locally on a dirty
+   tree does not grow the file. "unknown" commits (outside a checkout)
+   always append; there is nothing to key them on.
+
+   The trend gate reuses the diff's noise posture per metric, with the
+   newest entry as the candidate and the preceding window as the
+   baseline sample set:
+   - wall: regression iff latest/median(window) > 1 + tolerance AND the
+     latest value lies outside the window's range (latest > max) — the
+     diff's median-ratio + disjoint-range rule with the window playing
+     the old report's sample list; the 50ms floor applies unchanged.
+   - alloc: minor words are deterministic per seed/jobs, so the ratio
+     against the window median gates alone at 1% with no range test —
+     which is exactly what catches slow drift: per-PR steps under 1%
+     accumulate against the window median until the gate fires.
+   - rate: units/sec inherit wall noise through the denominator, so the
+     rule mirrors wall on the rate axis (regression iff the latest rate
+     falls below 1/(1+tolerance) of the window median AND under the
+     window minimum), skipped while walls sit under the floor. *)
+
+let schema = "wx-ledger/1"
+
+type exp_digest = {
+  x_id : string;
+  x_wall_s : float;  (* median wall of the report entry *)
+  x_minor_words : float;  (* nan when the report carried no alloc block *)
+  x_rates : (string * float) list;  (* units/sec per kind at median wall *)
+}
+
+type entry = {
+  l_commit : string;  (* hex, "+dirty" stripped; "unknown" outside a checkout *)
+  l_dirty : bool;
+  l_generated : string;
+  l_seed : int;
+  l_quick : bool;
+  l_jobs : int;
+  l_repeats : int;
+  l_exps : exp_digest list;
+}
+
+(* ---- digest ---- *)
+
+let split_dirty commit =
+  let suffix = "+dirty" in
+  let n = String.length commit and k = String.length suffix in
+  if n >= k && String.sub commit (n - k) k = suffix then (String.sub commit 0 (n - k), true)
+  else (commit, false)
+
+let digest (r : Report.t) =
+  let commit, dirty =
+    match List.assoc_opt "git_commit" r.Report.provenance with
+    | Some c -> split_dirty c
+    | None -> ("unknown", false)
+  in
+  let exps =
+    List.map
+      (fun (e : Report.entry) ->
+        {
+          x_id = e.Report.id;
+          x_wall_s = Report.median e.Report.wall_s;
+          x_minor_words =
+            (match e.Report.alloc with
+            | Some a -> float_of_int a.Memgc.minor_words
+            | None -> Float.nan);
+          (* NaN rates (zero/NaN median wall) would decode as null and be
+             useless to trend over; drop them at digest time. *)
+          x_rates = List.filter (fun (_, v) -> not (Float.is_nan v)) (Report.rates e);
+        })
+      r.Report.entries
+  in
+  {
+    l_commit = commit;
+    l_dirty = dirty;
+    l_generated = r.Report.generated;
+    l_seed = r.Report.seed;
+    l_quick = r.Report.quick;
+    l_jobs = r.Report.jobs;
+    l_repeats = r.Report.repeats;
+    l_exps = exps;
+  }
+
+(* ---- codec ---- *)
+
+(* Every line carries the schema marker: ledger files are append-only and
+   long-lived, so a future wx-ledger/2 must be detectable per line, not
+   per file. *)
+let exp_json x =
+  Json.Obj
+    ([ ("id", Json.String x.x_id); ("wall_s", Json.Float x.x_wall_s) ]
+    @ (if Float.is_nan x.x_minor_words then []
+       else [ ("minor_words", Json.Float x.x_minor_words) ])
+    @
+    match x.x_rates with
+    | [] -> []
+    | rs -> [ ("rate_per_s", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) rs)) ])
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("commit", Json.String e.l_commit);
+      ("dirty", Json.Bool e.l_dirty);
+      ("generated", Json.String e.l_generated);
+      ("seed", Json.Int e.l_seed);
+      ("quick", Json.Bool e.l_quick);
+      ("jobs", Json.Int e.l_jobs);
+      ("repeats", Json.Int e.l_repeats);
+      ("experiments", Json.List (List.map exp_json e.l_exps));
+    ]
+
+(* Decoding is defensive like Report's: a gate must distinguish "slower"
+   from "not a ledger", so malformed input becomes [Error] naming the
+   field, never an exception. *)
+
+let field name j = match Json.member name j with Some v -> Ok v | None -> Error ("missing " ^ name)
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let str_field name j =
+  let* v = field name j in
+  match Json.to_string_opt v with Some s -> Ok s | None -> Error (name ^ " is not a string")
+
+let int_field name j =
+  let* v = field name j in
+  match Json.to_int_opt v with Some i -> Ok i | None -> Error (name ^ " is not an int")
+
+let bool_field name j =
+  let* v = field name j in
+  match Json.to_bool_opt v with Some b -> Ok b | None -> Error (name ^ " is not a bool")
+
+let float_field name j =
+  let* v = field name j in
+  match Json.to_float_opt v with Some x -> Ok x | None -> Error (name ^ " is not a number")
+
+let exp_of_json j =
+  let* id = str_field "id" j in
+  let* wall_s = float_field "wall_s" j in
+  let* minor_words =
+    match Json.member "minor_words" j with
+    | None -> Ok Float.nan
+    | Some v -> (
+        match Json.to_float_opt v with
+        | Some x -> Ok x
+        | None -> Error "minor_words is not a number")
+  in
+  let* rates =
+    match Json.member "rate_per_s" j with
+    | None -> Ok []
+    | Some (Json.Obj kvs) ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, v) :: rest -> (
+              match Json.to_float_opt v with
+              | Some x -> conv ((k, x) :: acc) rest
+              | None -> Error (Printf.sprintf "rate_per_s.%s is not a number" k))
+        in
+        conv [] kvs
+    | Some _ -> Error "rate_per_s is not an object"
+  in
+  Ok { x_id = id; x_wall_s = wall_s; x_minor_words = minor_words; x_rates = rates }
+
+let entry_of_json j =
+  let* s = str_field "schema" j in
+  let* () =
+    if s = schema then Ok () else Error (Printf.sprintf "unsupported schema %S (want %s)" s schema)
+  in
+  let* commit = str_field "commit" j in
+  let* dirty = bool_field "dirty" j in
+  let* generated = str_field "generated" j in
+  let* seed = int_field "seed" j in
+  let* quick = bool_field "quick" j in
+  let* jobs = int_field "jobs" j in
+  let* repeats = int_field "repeats" j in
+  let* exps =
+    let* l = field "experiments" j in
+    match Json.to_list_opt l with
+    | None -> Error "experiments is not a list"
+    | Some xs ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | x :: rest -> (
+              match exp_of_json x with
+              | Ok e -> conv (e :: acc) rest
+              | Error m -> Error ("experiment digest: " ^ m))
+        in
+        conv [] xs
+  in
+  Ok
+    {
+      l_commit = commit;
+      l_dirty = dirty;
+      l_generated = generated;
+      l_seed = seed;
+      l_quick = quick;
+      l_jobs = jobs;
+      l_repeats = repeats;
+      l_exps = exps;
+    }
+
+(* ---- file IO ---- *)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | raw ->
+      let lines = String.split_on_char '\n' raw in
+      let rec go lineno acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+            if String.trim line = "" then go (lineno + 1) acc rest
+            else (
+              match Json.of_string line with
+              | exception Json.Parse_error m ->
+                  Error (Printf.sprintf "%s:%d: %s" path lineno m)
+              | j -> (
+                  match entry_of_json j with
+                  | Ok e -> go (lineno + 1) (e :: acc) rest
+                  | Error m -> Error (Printf.sprintf "%s:%d: %s" path lineno m)))
+      in
+      go 1 [] lines
+
+let save path entries =
+  let oc = open_out path in
+  List.iter
+    (fun e ->
+      output_string oc (Json.to_string (entry_to_json e));
+      output_char oc '\n')
+    entries;
+  close_out oc
+
+let append entries e =
+  let kept =
+    if e.l_commit = "unknown" then entries
+    else List.filter (fun x -> x.l_commit <> e.l_commit) entries
+  in
+  kept @ [ e ]
+
+(* ---- series extraction ---- *)
+
+type metric = Wall | Alloc | Rate
+
+let metric_name = function Wall -> "wall" | Alloc -> "alloc" | Rate -> "rate"
+
+let find_exp id e = List.find_opt (fun x -> x.x_id = id) e.l_exps
+
+(* Aligned with [entries]: NaN marks entries where the experiment (or the
+   requested datum) is absent, so sparklines keep the commit axis. *)
+let series metric ?(kind = "") ~id entries =
+  List.map
+    (fun e ->
+      match find_exp id e with
+      | None -> Float.nan
+      | Some x -> (
+          match metric with
+          | Wall -> x.x_wall_s
+          | Alloc -> x.x_minor_words
+          | Rate -> (
+              match List.assoc_opt kind x.x_rates with Some v -> v | None -> Float.nan)))
+    entries
+
+let exp_ids entries =
+  List.sort_uniq compare (List.concat_map (fun e -> List.map (fun x -> x.x_id) e.l_exps) entries)
+
+let rate_kinds ~id entries =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun e ->
+         match find_exp id e with None -> [] | Some x -> List.map fst x.x_rates)
+       entries)
+
+(* ---- sparklines ---- *)
+
+(* Eight-level block characters scaled to the series' own min..max; NaN
+   (missing) points render as '·'. A flat series renders mid-level so it
+   reads as "present and steady" rather than empty. *)
+let spark_levels = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline xs =
+  let known = List.filter (fun v -> not (Float.is_nan v)) xs in
+  match known with
+  | [] -> String.concat "" (List.map (fun _ -> "·") xs)
+  | _ ->
+      let lo = List.fold_left Float.min infinity known in
+      let hi = List.fold_left Float.max neg_infinity known in
+      String.concat ""
+        (List.map
+           (fun v ->
+             if Float.is_nan v then "·"
+             else if hi <= lo then spark_levels.(3)
+             else
+               let t = (v -. lo) /. (hi -. lo) in
+               spark_levels.(max 0 (min 7 (int_of_float (t *. 7.999)))))
+           xs)
+
+(* ---- trend gate ---- *)
+
+type trend = {
+  t_exp : string;
+  t_metric : metric;
+  t_kind : string;  (* work kind for Rate; "" otherwise *)
+  t_verdict : Report.verdict option;  (* None: not enough history to judge *)
+  t_latest : float;
+  t_baseline : float;  (* median of the prior window; nan when None *)
+  t_ratio : float;
+  t_note : string;
+  t_series : float list;  (* window-aligned, oldest..newest, NaN = missing *)
+}
+
+let default_window = 8
+
+let last_n n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let split_last xs =
+  match List.rev xs with [] -> None | last :: rev_prev -> Some (List.rev rev_prev, last)
+
+(* One metric judged: [prev] are the window's known values, [latest] the
+   candidate. [ranged] selects the wall posture (ratio AND outside the
+   window range) vs the deterministic alloc posture (ratio alone);
+   [lower_is_better] flips the axis for rates. *)
+let judge ~tolerance ~ranged ~lower_is_better ~prev ~latest =
+  let baseline = Report.median prev in
+  let ratio = latest /. baseline in
+  let lo = List.fold_left Float.min infinity prev in
+  let hi = List.fold_left Float.max neg_infinity prev in
+  let worse_ratio, better_ratio, worse_range, better_range =
+    if lower_is_better then
+      (ratio < 1.0 /. (1.0 +. tolerance), ratio > 1.0 +. tolerance, latest < lo, latest > hi)
+    else (ratio > 1.0 +. tolerance, ratio < 1.0 -. tolerance, latest > hi, latest < lo)
+  in
+  let verdict =
+    if worse_ratio && ((not ranged) || worse_range) then Report.Regression
+    else if better_ratio && ((not ranged) || better_range) then Report.Improvement
+    else Report.Within_noise
+  in
+  let note =
+    match verdict with
+    | Report.Regression ->
+        if lower_is_better then
+          Printf.sprintf "%.0f%% below the window median and under its range (min %.3g)"
+            (100.0 *. (1.0 -. ratio)) lo
+        else
+          Printf.sprintf "+%.0f%% over the window median%s" (100.0 *. (ratio -. 1.0))
+            (if ranged then Printf.sprintf " and over its range (max %.3g)" hi else "")
+    | Report.Improvement ->
+        if lower_is_better then Printf.sprintf "+%.0f%% over the window median" (100.0 *. (ratio -. 1.0))
+        else Printf.sprintf "-%.0f%% under the window median" (100.0 *. (1.0 -. ratio))
+    | _ -> ""
+  in
+  (verdict, baseline, ratio, note)
+
+let gate ?(tolerance = Report.default_tolerance) ?(min_wall_s = Report.default_min_wall_s)
+    ?(alloc_tolerance = Report.default_alloc_tolerance)
+    ?(rate_tolerance = Report.default_rate_tolerance) ?(window = default_window) entries =
+  let entries = last_n window entries in
+  match List.rev entries with
+  | [] -> []
+  | newest :: _ ->
+      let trend ~metric ~kind ~id =
+        let ser = series metric ~kind ~id entries in
+        let known = List.filter (fun v -> not (Float.is_nan v)) ser in
+        let base =
+          {
+            t_exp = id;
+            t_metric = metric;
+            t_kind = kind;
+            t_verdict = None;
+            t_latest = (match List.rev known with v :: _ -> v | [] -> Float.nan);
+            t_baseline = Float.nan;
+            t_ratio = Float.nan;
+            t_note = "insufficient history";
+            t_series = ser;
+          }
+        in
+        match split_last known with
+        | None | Some ([], _) -> base
+        | Some (prev, latest) ->
+            (* The wall floor applies to wall AND rate trends: under it,
+               timer resolution dominates both axes. *)
+            let walls = List.filter (fun v -> not (Float.is_nan v)) (series Wall ~id entries) in
+            let under_floor = List.for_all (fun w -> w < min_wall_s) walls in
+            if metric <> Alloc && under_floor then
+              {
+                base with
+                t_verdict = Some Report.Within_noise;
+                t_baseline = Report.median prev;
+                t_ratio = latest /. Report.median prev;
+                t_note = Printf.sprintf "all walls under %.0fms floor" (1e3 *. min_wall_s);
+              }
+            else
+              let tolerance, ranged, lower_is_better =
+                match metric with
+                | Wall -> (tolerance, true, false)
+                | Alloc -> (alloc_tolerance, false, false)
+                | Rate -> (rate_tolerance, true, true)
+              in
+              let verdict, baseline, ratio, note =
+                judge ~tolerance ~ranged ~lower_is_better ~prev ~latest
+              in
+              {
+                base with
+                t_verdict = Some verdict;
+                t_latest = latest;
+                t_baseline = baseline;
+                t_ratio = ratio;
+                t_note = note;
+              }
+      in
+      (* Only experiments alive in the newest entry are gated: a removed
+         experiment has no trajectory left to protect. *)
+      List.concat_map
+        (fun x ->
+          let id = x.x_id in
+          [ trend ~metric:Wall ~kind:"" ~id; trend ~metric:Alloc ~kind:"" ~id ]
+          @ List.map (fun k -> trend ~metric:Rate ~kind:k ~id) (rate_kinds ~id entries))
+        newest.l_exps
+
+let regressions trends =
+  List.filter (fun t -> t.t_verdict = Some Report.Regression) trends

@@ -1,0 +1,122 @@
+(** Perf-trajectory ledger ([wx-ledger/1]) and its trend gate.
+
+    [wx bench diff] is pairwise: one report against one committed
+    baseline. The ledger is longitudinal: an append-only NDJSON file
+    (committed at [bench/ledger.ndjson]) holding one compact digest per
+    recorded report — commit, dirty flag, timestamp, run provenance, and
+    per experiment the median wall time, the deterministic minor-word
+    count and the derived units/sec per {!Work} kind — so drift that
+    stays inside every single diff's tolerance is still visible (and
+    gateable) across PRs. {!gate} judges the newest entry against the
+    preceding window with the diff's own noise posture per metric: the
+    wall verdict needs a median-ratio breach {e and} the latest value
+    outside the window range (under the same 50ms floor), the alloc
+    verdict is a bare 1% ratio (minor words are deterministic), and the
+    rate verdict mirrors the wall rule on the units/sec axis. *)
+
+val schema : string
+(** ["wx-ledger/1"], carried on every NDJSON line. *)
+
+type exp_digest = {
+  x_id : string;
+  x_wall_s : float;  (** median wall of the report entry *)
+  x_minor_words : float;  (** NaN when the report carried no alloc block *)
+  x_rates : (string * float) list;  (** units/sec per kind at median wall *)
+}
+
+type entry = {
+  l_commit : string;
+      (** hex commit, ["+dirty"] stripped into {!field-l_dirty}; ["unknown"]
+          outside a checkout *)
+  l_dirty : bool;
+  l_generated : string;
+  l_seed : int;
+  l_quick : bool;
+  l_jobs : int;
+  l_repeats : int;
+  l_exps : exp_digest list;
+}
+
+val digest : Report.t -> entry
+(** Compress a full bench report into one ledger entry. NaN rates (zero
+    or undefined median wall) are dropped at digest time. *)
+
+val entry_to_json : entry -> Json.t
+val entry_of_json : Json.t -> (entry, string) result
+
+val load : string -> (entry list, string) result
+(** Read a ledger file, one entry per non-blank line, oldest first.
+    [Error] names the file, line and problem on IO, parse or schema
+    failures (never raises — the gate needs "malformed" as data). *)
+
+val save : string -> entry list -> unit
+(** Compact NDJSON, one line per entry, trailing newline. *)
+
+val append : entry list -> entry -> entry list
+(** Dedup-by-commit append: any existing entry with the same
+    (non-["unknown"]) commit is dropped and the new entry goes to the
+    end — the newest measurement of a commit wins, so re-recording at
+    one commit never grows the file. *)
+
+(** {2 Series and rendering} *)
+
+type metric = Wall | Alloc | Rate
+
+val metric_name : metric -> string
+
+val series : metric -> ?kind:string -> id:string -> entry list -> float list
+(** The metric's value per entry, aligned with [entries] (oldest first);
+    NaN marks entries where the experiment, alloc block or rate [kind]
+    is absent, so a sparkline keeps the commit axis. *)
+
+val exp_ids : entry list -> string list
+(** Every experiment id appearing anywhere in the ledger, sorted. *)
+
+val rate_kinds : id:string -> entry list -> string list
+(** Every work kind the experiment ever recorded a rate for, sorted. *)
+
+val sparkline : float list -> string
+(** Eight-level Unicode block rendering scaled to the series' own
+    min..max; NaN renders as ['·'], a flat series as mid-level blocks.
+    Deterministic for a fixed series. *)
+
+(** {2 Trend gate} *)
+
+type trend = {
+  t_exp : string;
+  t_metric : metric;
+  t_kind : string;  (** work kind for [Rate]; [""] otherwise *)
+  t_verdict : Report.verdict option;
+      (** [None] when the window holds fewer than two known points
+          ("insufficient history" — never a failure) *)
+  t_latest : float;
+  t_baseline : float;  (** median of the prior window; NaN when [None] *)
+  t_ratio : float;  (** latest / baseline *)
+  t_note : string;
+  t_series : float list;  (** window-aligned, oldest..newest, NaN = missing *)
+}
+
+val default_window : int
+(** 8 — entries considered by {!gate} (the newest is the candidate, the
+    rest the baseline window). *)
+
+val gate :
+  ?tolerance:float ->
+  ?min_wall_s:float ->
+  ?alloc_tolerance:float ->
+  ?rate_tolerance:float ->
+  ?window:int ->
+  entry list ->
+  trend list
+(** Trend verdicts over the last [window] entries, one row per
+    (experiment in the newest entry) × metric, plus one per recorded
+    rate kind. Wall: {!Report.Regression} iff latest/median(window)
+    exceeds [1 + tolerance] {e and} latest exceeds the window max (floor
+    [min_wall_s] applies as in the diff). Alloc: plain ratio against
+    [alloc_tolerance], no range test — deterministic counts make the
+    window median a drift detector. Rate: the wall rule mirrored on the
+    units/sec axis ([1 / (1 + rate_tolerance)], latest under the window
+    min), skipped while every wall in the window sits under the floor.
+    Defaults come from {!Report}. *)
+
+val regressions : trend list -> trend list

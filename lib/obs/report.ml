@@ -141,14 +141,15 @@ let util_json u =
     ]
 
 (* Units/sec per kind against the median wall sample — derived, for humans
-   reading the file; the diff recomputes rates per sample from [work]. *)
-let rate_json e =
+   reading the file and for the ledger's digest; the diff recomputes rates
+   per sample from [work]. *)
+let rates e =
   let m = median e.wall_s in
-  Json.Obj
-    (List.map
-       (fun (k, n) ->
-         (k, Json.Float (if m > 0.0 then float_of_int n /. m else Float.nan)))
-       e.work)
+  List.map
+    (fun (k, n) -> (k, if m > 0.0 then float_of_int n /. m else Float.nan))
+    e.work
+
+let rate_json e = Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (rates e))
 
 let entry_json e =
   Json.Obj

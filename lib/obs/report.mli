@@ -73,6 +73,11 @@ type t = {
 val median : float list -> float
 (** Sample median; NaN on the empty list. *)
 
+val rates : entry -> (string * float) list
+(** Units/sec per work kind against the median wall sample — what the
+    report's derived [rate_per_s] field and the ledger digest record;
+    NaN when the median wall is zero or undefined. *)
+
 val min_sample : float list -> float
 val max_sample : float list -> float
 

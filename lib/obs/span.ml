@@ -79,28 +79,41 @@ let with_ ~name f =
         let dur = Clock.now_ns () - t0 in
         span.dur_ns <- span.dur_ns + dur;
         span.calls <- span.calls + 1;
-        if mem then begin
-          let g1 = Memgc.read () in
-          span.minor_words <- span.minor_words + (g1.Memgc.minor_words - g0.Memgc.minor_words);
-          span.promoted_words <-
-            span.promoted_words + (g1.Memgc.promoted_words - g0.Memgc.promoted_words);
-          span.major_words <- span.major_words + (g1.Memgc.major_words - g0.Memgc.major_words);
-          span.gc_collections <-
-            span.gc_collections
-            + (g1.Memgc.minor_collections - g0.Memgc.minor_collections)
-            + (g1.Memgc.major_collections - g0.Memgc.major_collections);
-          (* One heap sample per closed span lines allocation up with the
-             worker timelines in the exported trace. *)
-          Trace_export.counter ~name:"gc.heap" ~t_ns:(t0 + dur)
-            [
-              ("minor_words", float_of_int g1.Memgc.minor_words);
-              ("major_words", float_of_int g1.Memgc.major_words);
-            ]
-        end;
+        let d_minor =
+          if not mem then 0
+          else begin
+            let g1 = Memgc.read () in
+            let d_minor = g1.Memgc.minor_words - g0.Memgc.minor_words in
+            span.minor_words <- span.minor_words + d_minor;
+            span.promoted_words <-
+              span.promoted_words + (g1.Memgc.promoted_words - g0.Memgc.promoted_words);
+            span.major_words <- span.major_words + (g1.Memgc.major_words - g0.Memgc.major_words);
+            span.gc_collections <-
+              span.gc_collections
+              + (g1.Memgc.minor_collections - g0.Memgc.minor_collections)
+              + (g1.Memgc.major_collections - g0.Memgc.major_collections);
+            (* One heap sample per closed span lines allocation up with the
+               worker timelines in the exported trace. *)
+            Trace_export.counter ~name:"gc.heap" ~t_ns:(t0 + dur)
+              [
+                ("minor_words", float_of_int g1.Memgc.minor_words);
+                ("major_words", float_of_int g1.Memgc.major_words);
+              ];
+            d_minor
+          end
+        in
         if met then span.work_units <- span.work_units + (Work.grand_total () - w0);
         (* Spans are main-domain only (see DESIGN.md §6), so they all land
-           on the caller's track, where the pool's chunk slices nest. *)
-        Trace_export.slice ~tid:0 ~name ~t0_ns:t0 ~dur_ns:dur ();
+           on the caller's track, where the pool's chunk slices nest. The
+           minor-words arg feeds Prof's per-span alloc attribution; the
+           branch (rather than passing ~args:[] unconditionally) keeps the
+           trace-off call allocation-free — even wrapping the optional
+           argument would cost words that the bench alloc gate counts
+           against a committed baseline. *)
+        (if mem && Trace_export.is_enabled () then
+           Trace_export.slice ~tid:0 ~name ~t0_ns:t0 ~dur_ns:dur
+             ~args:[ ("minor_words", Json.Int d_minor) ] ()
+         else Trace_export.slice ~tid:0 ~name ~t0_ns:t0 ~dur_ns:dur ());
         match !stack with s :: rest when s == span -> stack := rest | _ -> ())
       f
   end

@@ -56,3 +56,26 @@ if [ "$stale" -ne 0 ]; then
 fi
 
 echo "baseline is at least as new as every watched path"
+
+# The perf-trajectory ledger rides along with the baseline: a re-recorded
+# baseline should be digested into bench/ledger.ndjson in the same change
+# (wx bench history append bench/baseline.json), and the ledger codec
+# lives in lib/obs/ledger.ml. A stale ledger only degrades the trend
+# gate's history, it does not invalidate the pairwise gates — so this is
+# a warning, not a failure.
+ledger=bench/ledger.ndjson
+if [ -f "$ledger" ]; then
+  ledger_ct=$(git log -1 --format=%ct -- "$ledger")
+  if [ -n "$ledger_ct" ]; then
+    for path in "$baseline" lib/obs/ledger.ml; do
+      ct=$(git log -1 --format=%ct -- "$path")
+      [ -z "$ct" ] && continue
+      if [ "$ct" -gt "$ledger_ct" ]; then
+        echo "warning: $ledger predates the last change to $path;" \
+             "refresh with: dune exec bin/wx.exe -- bench history append $baseline" >&2
+      fi
+    done
+  fi
+else
+  echo "warning: $ledger missing; seed it with: dune exec bin/wx.exe -- bench history append $baseline" >&2
+fi

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end CLI checks for the perf-trajectory tooling: exit-status
+# contracts that the unit suite cannot see because they live in wx's
+# cmdliner wiring — prof propagating the inner command's failure, the
+# history append/show/gate loop on a real report, prof diff / --folded on
+# real traces. Run by dune (see test/dune): $1 = wx.exe, $2 = a committed
+# wx-bench report.
+set -u
+
+WX=$1
+REPORT=$2
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fails=0
+check() { # check DESC EXPECTED_RC ACTUAL_RC
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1 (expected exit $2, got $3)" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: $1"
+  fi
+}
+
+# ---- prof exit-status propagation (the wx prof exit bug) ----
+"$WX" prof --out "$tmp/ok.trace" -- core 64 >"$tmp/ok.out" 2>&1
+check "prof propagates inner success" 0 $?
+grep -q "hottest spans" "$tmp/ok.out"
+check "successful prof prints the span table" 0 $?
+
+"$WX" prof --out "$tmp/bad.trace" -- core 63 >"$tmp/bad.out" 2>"$tmp/bad.err"
+check "prof propagates inner failure (63 is not a power of two)" 1 $?
+grep -q "hottest spans" "$tmp/bad.out" "$tmp/bad.err"
+check "failed prof suppresses the span table" 1 $?
+test -s "$tmp/bad.trace"
+check "failed prof still writes the trace" 0 $?
+
+"$WX" prof >/dev/null 2>&1
+check "prof with no inner command is a usage error" 2 $?
+
+# ---- folded export ----
+"$WX" prof --out "$tmp/a.trace" --folded "$tmp/a.folded" -- core 64 >/dev/null 2>&1
+check "prof --folded" 0 $?
+# Every folded line is "frame(;frame)* <integer>", rooted at a track name.
+awk '!/^(main|worker-[0-9]+)(;[^ ]+)* [0-9]+$/ { exit 1 }' "$tmp/a.folded"
+check "folded lines are well-formed collapsed stacks" 0 $?
+
+# ---- prof diff ----
+"$WX" prof --out "$tmp/b.trace" -- core 256 >/dev/null 2>&1
+"$WX" prof diff "$tmp/a.trace" "$tmp/a.trace" >/dev/null 2>&1
+check "prof diff of a trace against itself is clean" 0 $?
+"$WX" prof diff --soft --min-self 0 --tolerance 0 "$tmp/a.trace" "$tmp/b.trace" >/dev/null 2>&1
+check "prof diff --soft never fails on regressions" 0 $?
+"$WX" prof diff "$tmp/a.trace" /dev/null >/dev/null 2>&1
+check "prof diff on a non-trace exits 2" 2 $?
+
+# ---- bench history ----
+L="$tmp/ledger.ndjson"
+"$WX" bench history append "$REPORT" --ledger "$L" >/dev/null 2>&1
+check "history append creates the ledger" 0 $?
+"$WX" bench history append "$REPORT" --ledger "$L" >/dev/null 2>&1
+check "history re-append dedups" 0 $?
+test "$(wc -l <"$L")" -eq 1
+check "one commit, one ledger line" 0 $?
+
+"$WX" bench history show --ledger "$L" >/dev/null 2>&1
+check "history show" 0 $?
+"$WX" bench history show --metric rate -e e1 --ledger "$L" >/dev/null 2>&1
+check "history show --metric rate -e" 0 $?
+"$WX" bench history gate --ledger "$L" >/dev/null 2>&1
+check "history gate on a one-entry ledger is clean" 0 $?
+"$WX" bench history gate --ledger "$tmp/absent.ndjson" >/dev/null 2>&1
+check "history gate on a missing ledger exits 2" 2 $?
+echo "not json" >>"$L"
+"$WX" bench history gate --ledger "$L" >/dev/null 2>&1
+check "history gate on a corrupt ledger exits 2" 2 $?
+
+# --json keeps stdout pure NDJSON with a machine-readable verdict.
+head -n 1 "$L" >"$L.clean"
+"$WX" bench history gate --json --ledger "$L.clean" >"$tmp/gate.ndjson" 2>/dev/null
+check "history gate --json" 0 $?
+grep -q '"event":"history.verdict"' "$tmp/gate.ndjson" ||
+  grep -q 'history.verdict' "$tmp/gate.ndjson"
+check "gate --json emits history.verdict" 0 $?
+
+"$WX" bench diff --json --soft "$REPORT" "$REPORT" >"$tmp/diff.ndjson" 2>/dev/null
+check "bench diff --json --soft" 0 $?
+grep -q 'bench.verdict' "$tmp/diff.ndjson"
+check "diff --json emits bench.verdict" 0 $?
+
+if [ "$fails" -gt 0 ]; then
+  echo "$fails CLI check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI checks passed"

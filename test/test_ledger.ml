@@ -1,0 +1,393 @@
+(* The longitudinal half of the performance-trajectory layer: the
+   wx-ledger/1 digest and codec round-trip, dedup-by-commit append, file
+   round-trips with malformed-line reporting, trend-gate verdicts on
+   synthetic histories (wall / alloc / rate postures, floor, insufficient
+   history), sparklines, and the Prof trace analysis — containment
+   nesting, folded stacks, differential profiles. *)
+
+module Json = Wx_obs.Json
+module Report = Wx_obs.Report
+module Memgc = Wx_obs.Memgc
+module Ledger = Wx_obs.Ledger
+module Prof = Wx_obs.Prof
+open Common
+
+(* ---- synthetic ledgers ---- *)
+
+let exp_digest ?(rates = []) ?(minor = Float.nan) id wall =
+  { Ledger.x_id = id; x_wall_s = wall; x_minor_words = minor; x_rates = rates }
+
+let entry ?(commit = "c0") ?(dirty = false) exps =
+  {
+    Ledger.l_commit = commit;
+    l_dirty = dirty;
+    l_generated = "20260808T000000Z";
+    l_seed = 20180218;
+    l_quick = true;
+    l_jobs = 2;
+    l_repeats = 3;
+    l_exps = exps;
+  }
+
+(* A history where experiment [id]'s wall walks through [walls], one entry
+   (commit c0, c1, ...) per value; minor words and one rate kind ride
+   along when given. *)
+let history ?minors ?rates id walls =
+  List.mapi
+    (fun i w ->
+      let minor = match minors with Some ms -> List.nth ms i | None -> Float.nan in
+      let rates =
+        match rates with Some rs -> [ ("units", List.nth rs i) ] | None -> []
+      in
+      entry ~commit:(Printf.sprintf "c%d" i) [ exp_digest ~rates ~minor id w ])
+    walls
+
+let find_trend trends ~metric ?(kind = "") id =
+  match
+    List.find_opt
+      (fun (t : Ledger.trend) ->
+        t.Ledger.t_exp = id && t.Ledger.t_metric = metric && t.Ledger.t_kind = kind)
+      trends
+  with
+  | Some t -> t
+  | None -> Alcotest.failf "no %s trend for %s" (Ledger.metric_name metric) id
+
+let check_verdict msg expected (t : Ledger.trend) =
+  Alcotest.(check string)
+    msg
+    (match expected with None -> "none" | Some v -> Report.verdict_name v)
+    (match t.Ledger.t_verdict with None -> "none" | Some v -> Report.verdict_name v)
+
+(* ---- digest ---- *)
+
+let test_digest () =
+  let r =
+    Report.make
+      ~provenance:[ ("git_commit", "abcd1234+dirty"); ("hostname", "h") ]
+      ~seed:7 ~quick:false ~jobs:4 ~repeats:5
+      [
+        {
+          Report.id = "e1";
+          title = "t";
+          claim = "c";
+          wall_s = [ 2.0; 1.0; 3.0 ];
+          alloc = Some { Memgc.zero with Memgc.minor_words = 1234 };
+          work = [ ("steps", 100) ];
+          util = None;
+          holds = 1;
+          total = 1;
+          checks = Json.Null;
+          metrics = Json.Null;
+        };
+      ]
+  in
+  let e = Ledger.digest r in
+  Alcotest.(check string) "dirty suffix stripped" "abcd1234" e.Ledger.l_commit;
+  check_true "dirty flag set" e.Ledger.l_dirty;
+  check_int "seed" 7 e.Ledger.l_seed;
+  check_int "jobs" 4 e.Ledger.l_jobs;
+  (match e.Ledger.l_exps with
+  | [ x ] ->
+      check_float "median wall digested" 2.0 x.Ledger.x_wall_s;
+      check_float "minor words" 1234.0 x.Ledger.x_minor_words;
+      check_float "rate = units / median wall" 50.0 (List.assoc "steps" x.Ledger.x_rates)
+  | _ -> Alcotest.fail "one experiment digest expected");
+  (* No provenance commit -> "unknown", not an error. *)
+  let r2 = Report.make ~provenance:[] ~seed:1 ~quick:true ~jobs:1 ~repeats:1 [] in
+  Alcotest.(check string) "no commit -> unknown" "unknown" (Ledger.digest r2).Ledger.l_commit
+
+(* ---- codec ---- *)
+
+let test_round_trip () =
+  let e =
+    entry ~commit:"feedface" ~dirty:true
+      [
+        exp_digest ~rates:[ ("a", 10.5); ("b", 2e6) ] ~minor:42.0 "e1" 0.25;
+        exp_digest "e2" 1.5 (* no alloc block, no rates *);
+      ]
+  in
+  match Ledger.entry_of_json (Ledger.entry_to_json e) with
+  | Error m -> Alcotest.failf "round trip: %s" m
+  | Ok e' ->
+      Alcotest.(check string) "commit" e.Ledger.l_commit e'.Ledger.l_commit;
+      check_true "dirty" e'.Ledger.l_dirty;
+      check_int "exps" 2 (List.length e'.Ledger.l_exps);
+      let x1 = List.hd e'.Ledger.l_exps and x2 = List.nth e'.Ledger.l_exps 1 in
+      check_float "wall" 0.25 x1.Ledger.x_wall_s;
+      check_float "minor" 42.0 x1.Ledger.x_minor_words;
+      check_float "rate b" 2e6 (List.assoc "b" x1.Ledger.x_rates);
+      check_true "missing minor decodes NaN" (Float.is_nan x2.Ledger.x_minor_words);
+      check_true "missing rates decode []" (x2.Ledger.x_rates = [])
+
+let test_codec_rejects () =
+  let reject msg j =
+    match Ledger.entry_of_json j with
+    | Ok _ -> Alcotest.failf "%s: accepted" msg
+    | Error _ -> ()
+  in
+  reject "wrong schema"
+    (Json.Obj [ ("schema", Json.String "wx-ledger/999"); ("commit", Json.String "c") ]);
+  reject "no schema" (Json.Obj [ ("commit", Json.String "c") ]);
+  reject "commit not a string"
+    (match Ledger.entry_to_json (entry []) with
+    | Json.Obj kvs ->
+        Json.Obj (List.map (fun (k, v) -> if k = "commit" then (k, Json.Int 3) else (k, v)) kvs)
+    | _ -> Json.Null)
+
+(* ---- append / file IO ---- *)
+
+let test_append_dedup () =
+  let l0 = Ledger.append [] (entry ~commit:"aaa" []) in
+  let l1 = Ledger.append l0 (entry ~commit:"bbb" []) in
+  check_int "two commits, two entries" 2 (List.length l1);
+  let l2 = Ledger.append l1 (entry ~commit:"aaa" ~dirty:true []) in
+  check_int "re-append replaces, not grows" 2 (List.length l2);
+  (match List.rev l2 with
+  | newest :: _ ->
+      Alcotest.(check string) "replaced entry moves to the end" "aaa" newest.Ledger.l_commit;
+      check_true "newest measurement wins" newest.Ledger.l_dirty
+  | [] -> Alcotest.fail "empty");
+  (* "unknown" commits have no identity to dedup on: always append. *)
+  let l3 = Ledger.append (Ledger.append l2 (entry ~commit:"unknown" [])) (entry ~commit:"unknown" []) in
+  check_int "unknown always appends" 4 (List.length l3)
+
+let test_file_round_trip () =
+  let path = Filename.temp_file "wx-ledger" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let entries =
+        [ entry ~commit:"aaa" [ exp_digest "e1" 1.0 ]; entry ~commit:"bbb" [ exp_digest "e1" 2.0 ] ]
+      in
+      Ledger.save path entries;
+      (match Ledger.load path with
+      | Error m -> Alcotest.failf "load: %s" m
+      | Ok back ->
+          check_int "entries back" 2 (List.length back);
+          Alcotest.(check string) "order preserved" "bbb" (List.nth back 1).Ledger.l_commit);
+      (* A malformed line is an error naming the file and line, and blank
+         lines are skipped. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "\nnot json\n";
+      close_out oc;
+      match Ledger.load path with
+      | Ok _ -> Alcotest.fail "malformed line accepted"
+      | Error m ->
+          check_true "error names the line" (String.length m > 0 && String.contains m ':'))
+
+(* ---- trend gate ---- *)
+
+let test_gate_wall () =
+  (* Steady ~1.0s then a 1.5s candidate: ratio 1.5 > 1.25 and above the
+     window max -> regression. *)
+  let regressed = history "e1" [ 1.0; 1.02; 0.98; 1.01; 1.5 ] in
+  let t = find_trend (Ledger.gate regressed) ~metric:Ledger.Wall "e1" in
+  check_verdict "wall spike regresses" (Some Report.Regression) t;
+  check_float ~eps:1e-6 "baseline is window median" 1.005 t.Ledger.t_baseline;
+  (* Same ratio but inside the window's range (a previous sample was just
+     as slow): noisy history, not a trend. *)
+  let noisy = history "e1" [ 1.0; 1.6; 0.98; 1.01; 1.5 ] in
+  check_verdict "spike inside window range is noise" (Some Report.Within_noise)
+    (find_trend (Ledger.gate noisy) ~metric:Ledger.Wall "e1");
+  (* Improvement is the mirror image. *)
+  let improved = history "e1" [ 1.0; 1.02; 0.98; 1.01; 0.5 ] in
+  check_verdict "wall drop improves" (Some Report.Improvement)
+    (find_trend (Ledger.gate improved) ~metric:Ledger.Wall "e1");
+  (* Under the 50ms floor nothing fires, whatever the ratio. *)
+  let tiny = history "e1" [ 0.001; 0.001; 0.010 ] in
+  let t = find_trend (Ledger.gate tiny) ~metric:Ledger.Wall "e1" in
+  check_verdict "under floor is noise" (Some Report.Within_noise) t;
+  check_true "note names the floor" (t.Ledger.t_note <> "")
+
+let test_gate_alloc () =
+  (* Deterministic counts: a bare 2% step over the window median fires
+     with no range test — this is the drift detector. *)
+  let minors = [ 1000.0; 1000.0; 1000.0; 1025.0 ] in
+  let l = history ~minors "e1" [ 1.0; 1.0; 1.0; 1.0 ] in
+  check_verdict "2.5% alloc drift regresses" (Some Report.Regression)
+    (find_trend (Ledger.gate l) ~metric:Ledger.Alloc "e1");
+  let flat = history ~minors:[ 1000.0; 1000.0; 1005.0 ] "e1" [ 1.0; 1.0; 1.0 ] in
+  check_verdict "0.5% stays within tolerance" (Some Report.Within_noise)
+    (find_trend (Ledger.gate flat) ~metric:Ledger.Alloc "e1");
+  (* The wall floor must NOT silence the alloc trend: counts are exact at
+     any speed. *)
+  let tiny = history ~minors:[ 1000.0; 1000.0; 1100.0 ] "e1" [ 0.001; 0.001; 0.001 ] in
+  check_verdict "alloc gates under the wall floor" (Some Report.Regression)
+    (find_trend (Ledger.gate tiny) ~metric:Ledger.Alloc "e1")
+
+let test_gate_rate () =
+  (* Rates mirror the wall rule with the axis flipped: a drop below
+     1/(1+tol) of the window median AND under the window min regresses. *)
+  let rates = [ 100.0; 98.0; 102.0; 60.0 ] in
+  let l = history ~rates "e1" [ 1.0; 1.0; 1.0; 1.0 ] in
+  check_verdict "rate collapse regresses" (Some Report.Regression)
+    (find_trend (Ledger.gate l) ~metric:Ledger.Rate ~kind:"units" "e1");
+  let up = history ~rates:[ 100.0; 98.0; 102.0; 150.0 ] "e1" [ 1.0; 1.0; 1.0; 1.0 ] in
+  check_verdict "rate jump improves" (Some Report.Improvement)
+    (find_trend (Ledger.gate up) ~metric:Ledger.Rate ~kind:"units" "e1");
+  let tiny = history ~rates:[ 100.0; 100.0; 10.0 ] "e1" [ 0.001; 0.001; 0.001 ] in
+  check_verdict "rate silent under wall floor" (Some Report.Within_noise)
+    (find_trend (Ledger.gate tiny) ~metric:Ledger.Rate ~kind:"units" "e1")
+
+let test_gate_insufficient_and_window () =
+  (* One entry: nothing to compare against; the verdict is None, never a
+     failure. *)
+  let l = history "e1" [ 1.0 ] in
+  let t = find_trend (Ledger.gate l) ~metric:Ledger.Wall "e1" in
+  check_verdict "single entry -> no verdict" None t;
+  check_true "note says so" (t.Ledger.t_note = "insufficient history");
+  check_true "no regressions from it" (Ledger.regressions (Ledger.gate l) = []);
+  (* The window truncates: an ancient slow sample outside the window must
+     not absorb a fresh regression. With window 3 only [1.0; 1.01; 1.5]
+     are seen and the candidate is out of range. *)
+  let l = history "e1" [ 9.0; 1.0; 1.01; 1.5 ] in
+  check_verdict "window truncates history" (Some Report.Regression)
+    (find_trend (Ledger.gate ~window:3 l) ~metric:Ledger.Wall "e1");
+  check_verdict "full history absorbs it" (Some Report.Within_noise)
+    (find_trend (Ledger.gate ~window:8 l) ~metric:Ledger.Wall "e1");
+  (* Experiments missing from the newest entry are not gated. *)
+  let l = [ entry ~commit:"c0" [ exp_digest "gone" 1.0 ]; entry ~commit:"c1" [ exp_digest "e1" 1.0 ] ] in
+  check_true "removed experiment not gated"
+    (List.for_all (fun (t : Ledger.trend) -> t.Ledger.t_exp = "e1") (Ledger.gate l))
+
+let test_sparkline () =
+  Alcotest.(check string) "scales to own range" "▁▄█" (Ledger.sparkline [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check string) "NaN renders as dot" "▁·█" (Ledger.sparkline [ 1.0; Float.nan; 3.0 ]);
+  Alcotest.(check string) "flat series mid-level" "▄▄" (Ledger.sparkline [ 5.0; 5.0 ]);
+  Alcotest.(check string) "all-NaN keeps the axis" "··" (Ledger.sparkline [ Float.nan; Float.nan ])
+
+(* ---- Prof: trace analysis ---- *)
+
+(* A tiny synthetic catapult document:
+     main track (tid 0):  outer [0, 100us] containing inner [10, 40us]
+     worker track (tid 1): chunk [0, 30us]
+   Self times: outer 60us, inner 40us, chunk 30us. *)
+let trace_doc ?(outer_dur = 100.0) ?(inner_dur = 40.0) () =
+  let ev ?(args = []) name tid ts dur =
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("ph", Json.String "X");
+         ("ts", Json.Float ts);
+         ("dur", Json.Float dur);
+         ("pid", Json.Int 1);
+         ("tid", Json.Int tid);
+       ]
+      @ match args with [] -> [] | a -> [ ("args", Json.Obj a) ])
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.String "thread_name"); ("ph", Json.String "M");
+                ("pid", Json.Int 1); ("tid", Json.Int 0);
+              ];
+            ev "outer" 0 0.0 outer_dur ~args:[ ("minor_words", Json.Int 1000) ];
+            ev "inner" 0 10.0 inner_dur ~args:[ ("minor_words", Json.Int 400) ];
+            ev "chunk" 1 0.0 30.0;
+          ] );
+    ]
+
+let profile_of doc =
+  match Prof.rows_of_json doc with
+  | Error m -> Alcotest.failf "rows_of_json: %s" m
+  | Ok rows -> Prof.profile rows
+
+let find_agg ps name =
+  match List.find_opt (fun (a : Prof.agg) -> a.Prof.a_name = name) ps with
+  | Some a -> a
+  | None -> Alcotest.failf "no aggregate for %s" name
+
+let test_prof_profile () =
+  let ps = profile_of (trace_doc ()) in
+  let outer = find_agg ps "outer" and inner = find_agg ps "inner" in
+  check_float "outer total" 100.0 outer.Prof.a_total_us;
+  check_float "outer self excludes inner" 60.0 outer.Prof.a_self_us;
+  check_float "outer self minor excludes inner" 600.0 outer.Prof.a_self_minor_words;
+  check_float "inner self is its own dur" 40.0 inner.Prof.a_self_us;
+  check_int "calls counted" 1 inner.Prof.a_calls;
+  (* Metadata events are skipped, not mistaken for slices. *)
+  check_int "three slices aggregated" 3 (List.length ps)
+
+let test_prof_folded () =
+  match Prof.rows_of_json (trace_doc ()) with
+  | Error m -> Alcotest.failf "rows: %s" m
+  | Ok rows ->
+      let f = Prof.folded rows in
+      let lines = String.split_on_char '\n' (String.trim f) in
+      check_int "one line per distinct stack" 3 (List.length lines);
+      check_true "ends with newline" (String.length f > 0 && f.[String.length f - 1] = '\n');
+      check_true "nested stack present" (List.mem "main;outer;inner 40" lines);
+      check_true "self, not total, at the root" (List.mem "main;outer 60" lines);
+      check_true "worker track rooted by name" (List.mem "worker-1;chunk 30" lines);
+      (* Every line is "frames value" with an integer value. *)
+      List.iter
+        (fun l ->
+          match String.rindex_opt l ' ' with
+          | None -> Alcotest.failf "no value in %S" l
+          | Some i -> (
+              match int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1)) with
+              | Some _ -> ()
+              | None -> Alcotest.failf "non-integer value in %S" l))
+        lines;
+      check_true "empty trace folds to empty" (Prof.folded [] = "")
+
+let test_prof_diff () =
+  let old_ = profile_of (trace_doc ()) in
+  let new_ = profile_of (trace_doc ~outer_dur:100000.0 ~inner_dur:90000.0 ()) in
+  let ds = Prof.diff_profiles ~old_ ~new_ in
+  (match ds with
+  | first :: _ ->
+      Alcotest.(check string) "worst regression leads" "inner" first.Prof.p_name;
+      check_float "delta is new - old" (90000.0 -. 40.0) first.Prof.p_delta_self_us;
+      check_true "flagged" (Prof.pdelta_regressed first)
+  | [] -> Alcotest.fail "empty diff");
+  let chunk = List.find (fun (d : Prof.pdelta) -> d.Prof.p_name = "chunk") ds in
+  check_true "unchanged span not flagged" (not (Prof.pdelta_regressed chunk));
+  (* Self-diff: every delta is 0 and nothing regresses. *)
+  let self = Prof.diff_profiles ~old_ ~new_:old_ in
+  check_true "self diff clean"
+    (List.for_all (fun (d : Prof.pdelta) -> d.Prof.p_delta_self_us = 0.0) self);
+  (* Old-only / new-only spans survive with the absent side at 0. *)
+  let ds =
+    Prof.diff_profiles ~old_ ~new_:(List.filter (fun a -> a.Prof.a_name <> "chunk") old_)
+  in
+  let gone = List.find (fun (d : Prof.pdelta) -> d.Prof.p_name = "chunk") ds in
+  check_int "removed span keeps old calls" 1 gone.Prof.p_calls_old;
+  check_int "removed span has no new calls" 0 gone.Prof.p_calls_new
+
+let test_prof_rejects () =
+  (match Prof.rows_of_json (Json.Obj [ ("foo", Json.Int 1) ]) with
+  | Ok _ -> Alcotest.fail "accepted non-trace"
+  | Error _ -> ());
+  match
+    Prof.rows_of_json
+      (Json.Obj
+         [
+           ( "traceEvents",
+             Json.List [ Json.Obj [ ("name", Json.String "x"); ("ph", Json.String "X") ] ] );
+         ])
+  with
+  | Ok _ -> Alcotest.fail "accepted X event without ts/dur"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "report digest" `Quick test_digest;
+    Alcotest.test_case "wx-ledger/1 round trip" `Quick test_round_trip;
+    Alcotest.test_case "malformed entries rejected" `Quick test_codec_rejects;
+    Alcotest.test_case "append dedups by commit" `Quick test_append_dedup;
+    Alcotest.test_case "NDJSON file round trip" `Quick test_file_round_trip;
+    Alcotest.test_case "wall trend verdicts" `Quick test_gate_wall;
+    Alcotest.test_case "alloc trend verdicts" `Quick test_gate_alloc;
+    Alcotest.test_case "rate trend verdicts" `Quick test_gate_rate;
+    Alcotest.test_case "insufficient history / window" `Quick test_gate_insufficient_and_window;
+    Alcotest.test_case "sparkline rendering" `Quick test_sparkline;
+    Alcotest.test_case "prof: containment profile" `Quick test_prof_profile;
+    Alcotest.test_case "prof: folded stacks" `Quick test_prof_folded;
+    Alcotest.test_case "prof: differential profile" `Quick test_prof_diff;
+    Alcotest.test_case "prof: malformed traces rejected" `Quick test_prof_rejects;
+  ]

@@ -28,6 +28,7 @@ let () =
       ("obs", Test_obs.suite);
       ("memgc", Test_memgc.suite);
       ("report", Test_report.suite);
+      ("ledger", Test_ledger.suite);
       ("par", Test_par.suite);
       ("prune", Test_prune.suite);
     ]
