@@ -34,12 +34,17 @@
      wx prof diff OLD.trace NEW.trace          differential profile: per-span
                                                self-time/alloc deltas,
                                                regressions first; exit 0/1/2
+     wx top ADDR                               attach dashboard for a running
+                                               --expose endpoint (live rates,
+                                               pool busy/idle, coverage/ETA)
 
    Every measurement subcommand takes --json (machine-readable NDJSON
    events on stdout, human text on stderr), --metrics (collect the Wx_obs
-   registry and report it at exit; also enabled by WX_METRICS=1) and
+   registry and report it at exit; also enabled by WX_METRICS=1),
    --jobs N (worker domains for the parallel expansion measures; WX_JOBS
-   sets the default).
+   sets the default) and --expose PORT (serve the live registry over
+   localhost HTTP — Prometheus text on /metrics, JSON on /json; WX_EXPOSE
+   sets the default; kill -USR1 dumps a one-shot snapshot either way).
 
    Families are the names from Constructions.Families (cycle, grid, torus,
    hypercube, random-4-regular, margulis, ...), plus "cplus" and "chain". *)
@@ -90,8 +95,14 @@ let say obs fmt =
 
 let event obs name fields = if obs.json then Obs.Sink.event name fields
 
+(* --expose/WX_EXPOSE needs the registry on so there is something to
+   scrape, but an operator attaching to a run did not ask for the exit
+   report; remember when exposition alone enabled the registry so
+   [obs_finish] stays quiet about it. *)
+let expose_enabled_metrics = ref false
+
 let obs_finish obs =
-  if obs.metrics || Obs.Metrics.is_enabled () then begin
+  if obs.metrics || (Obs.Metrics.is_enabled () && not !expose_enabled_metrics) then begin
     if obs.json then begin
       Obs.Sink.event "metrics" [ ("snapshot", Obs.Metrics.snapshot ()) ];
       if Obs.Span.root_spans () <> [] then Obs.Sink.event "spans" [ ("roots", Obs.Span.to_json ()) ]
@@ -114,12 +125,55 @@ let exit_cleanly_on_signals () =
       with Invalid_argument _ | Sys_error _ -> ())
     [ Sys.sigint; Sys.sigterm ]
 
-(* Shared wrapper: set the parallelism level, enable instruments, run the
-   command under a root span, then flush the requested reports. *)
-let run_cmd name json metrics jobs f =
+(* Resolve the exposition port: the --expose flag wins, else WX_EXPOSE.
+   A non-numeric WX_EXPOSE warns rather than silently disabling — the
+   operator who exported it wants to know the attach point never opened. *)
+let expose_port flag =
+  match flag with
+  | Some p -> Some p
+  | None -> (
+      match Sys.getenv_opt "WX_EXPOSE" with
+      | None | Some "" -> None
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some p when p >= 0 -> Some p
+          | _ ->
+              Printf.eprintf "warning: WX_EXPOSE=%S is not a port number; exposition disabled\n%!"
+                s;
+              None))
+
+(* Shared wrapper: set the parallelism level, enable instruments, start the
+   exposition endpoint when asked, run the command under a root span, then
+   flush the requested reports. *)
+let run_cmd name json metrics jobs expose f =
   (match jobs with Some n -> Par.Pool.set_default_jobs n | None -> ());
   let obs = { json; metrics } in
   if json || metrics then Obs.Metrics.enable ();
+  (* Attach-without-the-flag escape hatch: `kill -USR1 <pid>` dumps a
+     one-shot snapshot whether or not exposition is on. *)
+  Obs.Expose.install_sigusr1_dump ();
+  let expose_srv =
+    match expose_port expose with
+    | None -> None
+    | Some port -> (
+        if not (Obs.Metrics.is_enabled ()) then begin
+          expose_enabled_metrics := true;
+          Obs.Metrics.enable ()
+        end;
+        match Obs.Expose.start ~port () with
+        | Ok srv ->
+            Printf.eprintf "[expose] serving http://127.0.0.1:%d/metrics (and /json)\n%!"
+              (Obs.Expose.port srv);
+            (* A bound port must not outlive an interrupted run: stop on
+               every exit path, including the signal one below (the handler
+               turns SIGINT/SIGTERM into [exit], which runs at_exit). *)
+            at_exit (fun () -> Obs.Expose.stop srv);
+            Some srv
+        | Error msg ->
+            Printf.eprintf "warning: --expose: cannot bind %s; continuing without exposition\n%!"
+              msg;
+            None)
+  in
   if json then begin
     (* Progress heartbeats write free-form lines to stderr; under --json
        stderr carries the human rendering of the run, so suppress them even
@@ -128,8 +182,10 @@ let run_cmd name json metrics jobs f =
     Obs.Sink.install (Obs.Sink.make ~fmt:Obs.Sink.Ndjson stdout);
     exit_cleanly_on_signals ()
   end;
+  (match expose_srv with Some _ when not json -> exit_cleanly_on_signals () | _ -> ());
   let code = Obs.Span.with_ ~name:("wx." ^ name) (fun () -> f obs) in
   obs_finish obs;
+  (match expose_srv with Some srv -> Obs.Expose.stop srv | None -> ());
   code
 
 (* ---- info ---- *)
@@ -1168,6 +1224,154 @@ let cmd_prof_diff tolerance min_delta_ms top soft old_path new_path =
         else 1
       end
 
+(* ---- top (attach dashboard) ---- *)
+
+(* `wx top ADDR` polls an exposition endpoint's /json page and renders a
+   live dashboard: per-kind work rates with sparkline history, pool
+   busy/idle attribution, and the progress gauges the heartbeat publishes.
+   Rates are computed client-side from successive polls (same delta
+   arithmetic the server uses for /metrics), so `wx top` never perturbs the
+   server-side scrape window another monitor may be using. *)
+
+let parse_addr addr =
+  match String.rindex_opt addr ':' with
+  | Some i ->
+      let host = String.sub addr 0 i in
+      let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+      ((if host = "" then "127.0.0.1" else host), int_of_string_opt port)
+  | None -> ("127.0.0.1", int_of_string_opt addr)
+
+let top_num = function
+  | Some (J.Int n) -> float_of_int n
+  | Some (J.Float v) -> v
+  | _ -> Float.nan
+
+let top_rate r = if Float.is_finite r && r >= 0.0 then Printf.sprintf "%.3g/s" r else "-"
+
+let top_eta s =
+  if not (Float.is_finite s) || s < 0.0 then "-"
+  else if s < 90.0 then Printf.sprintf "%.1fs" s
+  else if s < 5400.0 then Printf.sprintf "%.1fm" (s /. 60.0)
+  else Printf.sprintf "%.1fh" (s /. 3600.0)
+
+(* One rendered frame. [history] accumulates per-kind rate series across
+   polls (capped, oldest dropped) for the sparkline column; [prev] carries
+   the previous poll's (timestamp, work totals) for the rate deltas. *)
+let top_frame ~host ~port ~history ~prev j now =
+  let buf = Buffer.create 1024 in
+  let uptime = top_num (J.member "uptime_s" j) in
+  let build = J.member "build" j in
+  let commit =
+    match Option.bind build (fun b -> Option.bind (J.member "commit" b) J.to_string_opt) with
+    | Some c -> "  commit " ^ String.sub c 0 (min 10 (String.length c))
+    | None -> ""
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "wx top — %s:%d  up %s%s\n" host port (top_eta uptime) commit);
+  let work =
+    match J.member "work" j with
+    | Some (J.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) -> match v with J.Int n -> Some (k, n) | _ -> None)
+          kvs
+    | _ -> []
+  in
+  let rates = Obs.Expose.scrape_rates ~prev:!prev ~now_ns:now ~work in
+  prev := Some (now, work);
+  List.iter
+    (fun (kind, r) ->
+      let h = Option.value ~default:[] (Hashtbl.find_opt history kind) @ [ r ] in
+      let h = if List.length h > 32 then List.tl h else h in
+      Hashtbl.replace history kind h)
+    rates;
+  if work <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "\n  %-24s %12s %10s  %s\n" "work kind" "total" "rate" "history");
+    List.iter
+      (fun (kind, total) ->
+        let r = match List.assoc_opt kind rates with Some r -> r | None -> Float.nan in
+        let h = Option.value ~default:[] (Hashtbl.find_opt history kind) in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-24s %12d %10s  %s\n" kind total (top_rate r)
+             (Ledger.sparkline h)))
+      work
+  end;
+  let gauges =
+    match Option.bind (J.member "metrics" j) (J.member "gauges") with
+    | Some (J.Obj kvs) -> kvs
+    | _ -> []
+  in
+  let g name = top_num (List.assoc_opt name gauges) in
+  let busy = g "pool.util.busy_pct" in
+  if Float.is_finite busy then begin
+    let slot_prefix = "pool.util.slot_busy_pct." in
+    let plen = String.length slot_prefix in
+    let slots =
+      List.sort compare
+        (List.filter_map
+           (fun (k, v) ->
+             if String.length k > plen && String.sub k 0 plen = slot_prefix then
+               Option.map
+                 (fun i -> (i, top_num (Some v)))
+                 (int_of_string_opt (String.sub k plen (String.length k - plen)))
+             else None)
+           gauges)
+    in
+    Buffer.add_string buf (Printf.sprintf "\n  pool busy %5.1f%%" busy);
+    if slots <> [] then
+      Buffer.add_string buf
+        ("  per-slot "
+        ^ String.concat " "
+            (List.map (fun (i, v) -> Printf.sprintf "%d:%.0f%%" i v) slots));
+    Buffer.add_char buf '\n'
+  end;
+  let cov = g "progress.coverage_pct" in
+  let prate = g "progress.units_per_s" in
+  if Float.is_finite cov || Float.is_finite prate then
+    Buffer.add_string buf
+      (Printf.sprintf "  progress %s  %s  eta %s\n"
+         (if Float.is_finite cov then Printf.sprintf "%5.1f%%" cov else "-")
+         (top_rate prate)
+         (top_eta (g "progress.eta_s")));
+  Buffer.contents buf
+
+let cmd_top addr interval_ms frames once =
+  match parse_addr addr with
+  | _, None ->
+      Printf.eprintf "top: cannot parse %S (expected PORT or HOST:PORT)\n" addr;
+      2
+  | host, Some port ->
+      let frames = if once then 1 else frames in
+      let interval_s = Float.max 0.05 (float_of_int interval_ms /. 1000.0) in
+      let tty = (try Unix.isatty Unix.stdout with Unix.Unix_error _ -> false) in
+      let history : (string, float list) Hashtbl.t = Hashtbl.create 8 in
+      let prev = ref None in
+      exit_cleanly_on_signals ();
+      let rec loop i =
+        match Obs.Expose.http_get ~host ~port ~path:"/json" with
+        | Error msg ->
+            Printf.eprintf "top: %s:%d: %s\n" host port msg;
+            1
+        | Ok body -> (
+            match J.of_string_opt body with
+            | None ->
+                Printf.eprintf "top: malformed JSON from %s:%d\n" host port;
+                1
+            | Some j ->
+                let frame = top_frame ~host ~port ~history ~prev j (Obs.Clock.now_ns ()) in
+                (* On a TTY in follow mode, repaint in place; piped (or
+                   --once), append plain frames. *)
+                if tty && frames <> 1 then print_string "\x1b[H\x1b[2J";
+                print_string frame;
+                flush stdout;
+                if frames > 0 && i + 1 >= frames then 0
+                else begin
+                  Unix.sleepf interval_s;
+                  loop (i + 1)
+                end)
+      in
+      loop 0
+
 (* ---- cmdliner wiring ---- *)
 
 open Cmdliner
@@ -1195,13 +1399,22 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let expose_arg =
+  let doc =
+    "Serve the live metrics registry over localhost HTTP on $(docv) (0 picks an ephemeral \
+     port; $(b,WX_EXPOSE)=PORT does the same). GET /metrics returns Prometheus text \
+     exposition, /json a snapshot; attach with $(b,wx top PORT). Never perturbs computed \
+     values, witnesses, or the allocation gate."
+  in
+  Arg.(value & opt (some int) None & info [ "expose" ] ~docv:"PORT" ~doc)
+
 (* Lift a command body (a term producing [obs -> int]) into one that carries
    the observability and parallelism flags and runs under the shared
    wrapper. *)
 let with_obs cmd_name term =
   let open Term in
-  const (fun json metrics jobs f -> run_cmd cmd_name json metrics jobs f)
-  $ json_arg $ metrics_arg $ jobs_arg $ term
+  const (fun json metrics jobs expose f -> run_cmd cmd_name json metrics jobs expose f)
+  $ json_arg $ metrics_arg $ jobs_arg $ expose_arg $ term
 
 let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Graph statistics for a generated instance")
@@ -1458,6 +1671,29 @@ let bench_cmd =
              longitudinal history")
     [ bench_record_cmd; bench_diff_cmd; bench_util_cmd; bench_history_cmd ]
 
+let top_cmd =
+  let addr =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ADDR" ~doc:"Endpoint to attach to: PORT or HOST:PORT.")
+  in
+  let interval =
+    Arg.(value & opt int 1000
+         & info [ "interval-ms"; "i" ] ~docv:"MS" ~doc:"Poll interval (default 1000).")
+  in
+  let frames =
+    Arg.(value & opt int 0
+         & info [ "frames" ] ~docv:"K" ~doc:"Stop after K frames (default: until interrupted).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Render a single frame and exit (shorthand for --frames 1).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Attach to a running --expose endpoint: live work rates with sparkline history, \
+             pool busy/idle attribution, coverage/ETA")
+    Term.(const cmd_top $ addr $ interval $ frames $ once)
+
 let base_cmds =
   [
     info_cmd; expansion_cmd; spokesmen_cmd; broadcast_cmd; core_cmd; arboricity_cmd;
@@ -1536,4 +1772,4 @@ let prof_cmd =
 
 let () =
   let doc = "wireless-expanders command-line tool" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "wx" ~doc) (base_cmds @ [ bench_cmd; prof_cmd ])))
+  exit (Cmd.eval' (Cmd.group (Cmd.info "wx" ~doc) (base_cmds @ [ top_cmd; bench_cmd; prof_cmd ])))

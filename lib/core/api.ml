@@ -82,6 +82,7 @@ module Obs = struct
   module Ledger = Wx_obs.Ledger
   module Prof = Wx_obs.Prof
   module Trace_export = Wx_obs.Trace_export
+  module Expose = Wx_obs.Expose
 end
 
 module Par = struct

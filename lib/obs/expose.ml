@@ -1,0 +1,419 @@
+(* Pull-based exposition server: the live Metrics/Work registry over
+   localhost HTTP/1.0, in two formats.
+
+   Architecture: one dedicated server domain blocks in select() on the
+   listening socket and a self-pipe; [stop] writes the pipe, so shutdown
+   never depends on waking an accept() by closing its fd under it (the
+   at_exit hook on wx's signal-exit path calls [stop] too, which is why it
+   must be race-free and idempotent). Requests are handled one at a time on
+   the server domain — scraping is a per-second affair, and serialized
+   handling keeps the scrape-delta rate state single-writer without locks.
+
+   Perturbation-free contract: serving reads counters and gauges through
+   atomic loads and merges histogram shards under the hardened
+   Metrics.merged (see metrics.ml); it never observes, never touches
+   another domain's DLS, and every allocation a scrape causes happens on
+   the exposition domain — invisible to Memgc.read (own words + pool
+   worker credits), so the bench alloc gate is bit-identical with the
+   server on or off.
+
+   Format notes: Prometheus text exposition 0.0.4. Registry names are
+   sanitized ('.' and anything outside [A-Za-z0-9_] become '_') and
+   prefixed "wx_" unless already so prefixed; histograms and timers render
+   as summaries (quantile samples + _sum/_count) with _min/_max gauges on
+   the side; per-kind units/sec derive from the Work deltas between
+   successive /metrics scrapes, so two interleaved scrapers will see each
+   other's windows (documented — run one scraper, or use /json and derive
+   rates client-side as `wx top` does). *)
+
+type scrape_prev = int * (string * int) list (* now_ns at scrape, Work.totals *)
+
+type t = {
+  sock : Unix.file_descr;
+  t_port : int;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  started_ns : int;
+  stopped : bool Atomic.t;
+  mutable prev : scrape_prev option; (* server-domain only *)
+  mutable dom : unit Domain.t option;
+}
+
+let port t = t.t_port
+let uptime_s t = Clock.ns_to_s (Clock.now_ns () - t.started_ns)
+
+(* Registry instruments of the exposition surface itself. The scrape
+   counter is the canonical "monotone between scrapes" probe: it moves even
+   when the workload is idle, so `test/cli_test.sh` and the CI smoke can
+   assert monotonicity without racing the experiment. The exposed
+   [wx_expose_scrapes] sample is rendered from [scrape_total], not the
+   registry counter: a workload that calls [Metrics.reset] mid-run (bench
+   record does, once per recording) would zero the registry copy and make
+   the probe non-monotone across the reset. *)
+let scrapes_c = Metrics.counter "expose.scrapes"
+let scrape_total : int Atomic.t = Atomic.make 0
+let uptime_g = Metrics.gauge "wx.uptime_seconds"
+let build_info_g = Metrics.gauge "wx.build_info"
+
+(* Captured once per process, on first render: capture_provenance shells
+   out to git, which must not run at library-init time. *)
+let build_info = lazy (Report.capture_provenance ())
+
+(* ("abc+dirty" -> ("abc", true)); commit/dirty are separate labels. *)
+let commit_and_dirty () =
+  let prov = Lazy.force build_info in
+  let commit = match List.assoc_opt "git_commit" prov with Some c -> c | None -> "unknown" in
+  match String.index_opt commit '+' with
+  | Some i -> (String.sub commit 0 i, true)
+  | None -> (commit, false)
+
+(* ---- Prometheus text rendering ---- *)
+
+let prom_name name =
+  let s =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+  in
+  if String.length s >= 3 && String.sub s 0 3 = "wx_" then s else "wx_" ^ s
+
+let prom_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.10g" v
+
+let obj_fields = function Json.Obj fields -> fields | _ -> []
+let num_of = function Json.Int n -> float_of_int n | Json.Float v -> v | _ -> Float.nan
+
+let add_typed buf name kind =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+let add_sample buf name value = Buffer.add_string buf (name ^ " " ^ value ^ "\n")
+
+(* One summary block per histogram/timer snapshot object: quantile samples
+   from the p50/p90/p99 estimates, _sum/_count, and _min/_max side gauges.
+   total_ms (timers only) is derivable from _sum and skipped. *)
+let add_summary buf name fields =
+  let get k = match List.assoc_opt k fields with Some v -> num_of v | None -> Float.nan in
+  add_typed buf name "summary";
+  List.iter
+    (fun (q, key) ->
+      add_sample buf (Printf.sprintf "%s{quantile=\"%s\"}" name q) (prom_float (get key)))
+    [ ("0.5", "p50"); ("0.9", "p90"); ("0.99", "p99") ];
+  add_sample buf (name ^ "_sum") (prom_float (get "sum"));
+  add_sample buf (name ^ "_count") (prom_float (get "count"));
+  add_typed buf (name ^ "_min") "gauge";
+  add_sample buf (name ^ "_min") (prom_float (get "min"));
+  add_typed buf (name ^ "_max") "gauge";
+  add_sample buf (name ^ "_max") (prom_float (get "max"))
+
+(* Gauges the exposition surface synthesizes itself (build info with its
+   labels, uptime): published into the registry first so the JSON snapshot
+   carries the same series, then skipped by the generic gauge loop below to
+   keep each Prometheus metric family single-sourced. *)
+let synthesized = [ "wx.build_info"; "wx.uptime_seconds" ]
+
+let publish_process_gauges ~uptime_s =
+  Metrics.set build_info_g 1.0;
+  Metrics.set uptime_g uptime_s
+
+let prometheus_page ?(rates = []) ~uptime_s () =
+  publish_process_gauges ~uptime_s;
+  let snap = Metrics.snapshot () in
+  let section name = Option.fold ~none:[] ~some:obj_fields (Json.member name snap) in
+  let buf = Buffer.create 4096 in
+  (* Build info: constant 1 with the provenance as labels — the idiomatic
+     Prometheus shape for joining version metadata onto other series. *)
+  let commit, dirty = commit_and_dirty () in
+  let labels =
+    (("commit", commit) :: ("dirty", string_of_bool dirty)
+    :: List.filter (fun (k, _) -> k <> "git_commit") (Lazy.force build_info))
+  in
+  add_typed buf "wx_build_info" "gauge";
+  add_sample buf
+    (Printf.sprintf "wx_build_info{%s}"
+       (String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_label_value v)) labels)))
+    "1";
+  add_typed buf "wx_uptime_seconds" "gauge";
+  add_sample buf "wx_uptime_seconds" (prom_float uptime_s);
+  add_typed buf "wx_expose_scrapes" "counter";
+  add_sample buf "wx_expose_scrapes" (string_of_int (Atomic.get scrape_total));
+  List.iter
+    (fun (k, v) ->
+      if k <> "expose.scrapes" then begin
+        let name = prom_name k in
+        add_typed buf name "counter";
+        add_sample buf name (prom_float (num_of v))
+      end)
+    (section "counters");
+  List.iter
+    (fun (k, v) ->
+      if not (List.mem k synthesized) then begin
+        let name = prom_name k in
+        add_typed buf name "gauge";
+        add_sample buf name (prom_float (num_of v))
+      end)
+    (section "gauges");
+  List.iter (fun (k, v) -> add_summary buf (prom_name k) (obj_fields v)) (section "histograms");
+  List.iter (fun (k, v) -> add_summary buf (prom_name k) (obj_fields v)) (section "timers");
+  if rates <> [] then begin
+    add_typed buf "wx_work_units_per_second" "gauge";
+    List.iter
+      (fun (kind, r) ->
+        add_sample buf
+          (Printf.sprintf "wx_work_units_per_second{kind=\"%s\"}" (prom_label_value kind))
+          (prom_float r))
+      rates
+  end;
+  Buffer.contents buf
+
+(* ---- JSON rendering ---- *)
+
+let json_page ~uptime_s () =
+  publish_process_gauges ~uptime_s;
+  let commit, dirty = commit_and_dirty () in
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.String "wx-expose/1");
+         ("uptime_s", Json.Float uptime_s);
+         ( "build",
+           Json.Obj
+             (("commit", Json.String commit) :: ("dirty", Json.Bool dirty)
+             :: List.filter_map
+                  (fun (k, v) -> if k = "git_commit" then None else Some (k, Json.String v))
+                  (Lazy.force build_info)) );
+         ("work", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) (Work.totals ())));
+         ("metrics", Metrics.snapshot ());
+       ])
+
+(* ---- scrape-delta rates ---- *)
+
+let scrape_rates ~prev ~now_ns ~work =
+  match prev with
+  | None -> []
+  | Some (t0, before) ->
+      let dt = Clock.ns_to_s (now_ns - t0) in
+      if dt <= 0.0 then []
+      else
+        List.map
+          (fun (kind, n1) ->
+            let n0 = match List.assoc_opt kind before with Some n -> n | None -> 0 in
+            (* A Metrics.reset between scrapes makes the delta negative;
+               0/s is the honest rendering of "the window straddled a
+               reset", not a negative rate. *)
+            (kind, Float.max 0.0 (float_of_int (n1 - n0) /. dt)))
+          work
+
+(* ---- HTTP plumbing ---- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write fd b !off (n - !off) in
+    if w <= 0 then raise Exit;
+    off := !off + w
+  done
+
+let respond conn ~status ~ctype body =
+  write_all conn
+    (Printf.sprintf "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       status ctype (String.length body) body)
+
+let route t path =
+  match path with
+  | "/metrics" ->
+      Atomic.incr scrape_total;
+      Metrics.incr scrapes_c;
+      let now_ns = Clock.now_ns () in
+      let work = Work.totals () in
+      let rates = scrape_rates ~prev:t.prev ~now_ns ~work in
+      t.prev <- Some (now_ns, work);
+      Some
+        ( "text/plain; version=0.0.4; charset=utf-8",
+          prometheus_page ~rates ~uptime_s:(uptime_s t) () )
+  | "/" | "/json" | "/metrics.json" ->
+      Atomic.incr scrape_total;
+      Metrics.incr scrapes_c;
+      Some ("application/json", json_page ~uptime_s:(uptime_s t) () ^ "\n")
+  | _ -> None
+
+let handle t conn =
+  Unix.setsockopt_float conn Unix.SO_RCVTIMEO 2.0;
+  Unix.setsockopt_float conn Unix.SO_SNDTIMEO 2.0;
+  let buf = Bytes.create 2048 in
+  let n = try Unix.read conn buf 0 (Bytes.length buf) with Unix.Unix_error _ -> 0 in
+  if n > 0 then begin
+    let req = Bytes.sub_string buf 0 n in
+    let first_line = List.hd (String.split_on_char '\r' req) in
+    match String.split_on_char ' ' first_line with
+    | "GET" :: path :: _ -> (
+        match route t path with
+        | Some (ctype, body) -> respond conn ~status:"200 OK" ~ctype body
+        | None -> respond conn ~status:"404 Not Found" ~ctype:"text/plain" "not found\n")
+    | _ -> respond conn ~status:"400 Bad Request" ~ctype:"text/plain" "bad request\n"
+  end
+
+let rec serve t =
+  match Unix.select [ t.sock; t.stop_r ] [] [] (-1.0) with
+  | ready, _, _ ->
+      if List.mem t.stop_r ready then () (* stop() wrote the pipe: drain out *)
+      else begin
+        (match Unix.accept t.sock with
+        | conn, _ ->
+            (* One bad client must never take the server down; close is
+               best-effort too (the peer may already have reset). *)
+            (try handle t conn with _ -> ());
+            (try Unix.close conn with Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error _ -> ());
+        serve t
+      end
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> serve t
+  | exception Unix.Unix_error _ -> ()
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) -> raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
+
+let start ?(host = "127.0.0.1") ~port () =
+  match
+    let addr = resolve_host host in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt sock Unix.SO_REUSEADDR true;
+       Unix.bind sock (Unix.ADDR_INET (addr, port));
+       Unix.listen sock 16
+     with e ->
+       (try Unix.close sock with Unix.Unix_error _ -> ());
+       raise e);
+    let actual =
+      match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+    in
+    let stop_r, stop_w = Unix.pipe () in
+    let t =
+      {
+        sock;
+        t_port = actual;
+        stop_r;
+        stop_w;
+        started_ns = Clock.now_ns ();
+        stopped = Atomic.make false;
+        prev = None;
+        dom = None;
+      }
+    in
+    t.dom <- Some (Domain.spawn (fun () -> serve t));
+    t
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e))
+
+let stop t =
+  (* exchange, not get+set: the normal shutdown path and the at_exit hook
+     installed for the signal-exit path can both call this. *)
+  if not (Atomic.exchange t.stopped true) then begin
+    (try ignore (Unix.write t.stop_w (Bytes.make 1 'q') 0 1) with Unix.Unix_error _ -> ());
+    (match t.dom with Some d -> ( try Domain.join d with _ -> ()) | None -> ());
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ t.sock; t.stop_r; t.stop_w ]
+  end
+
+(* ---- client ---- *)
+
+let http_get ~host ~port ~path =
+  match
+    let addr = resolve_host host in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.setsockopt_float sock Unix.SO_RCVTIMEO 5.0;
+        Unix.setsockopt_float sock Unix.SO_SNDTIMEO 5.0;
+        Unix.connect sock (Unix.ADDR_INET (addr, port));
+        write_all sock
+          (Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n" path host);
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+          end
+        in
+        drain ();
+        Buffer.contents buf)
+  with
+  | resp -> (
+      (* Split headers from body at the first blank line; demand a 200. *)
+      let sep = "\r\n\r\n" in
+      let split_at i = String.sub resp (i + String.length sep) (String.length resp - i - String.length sep) in
+      let rec find i =
+        if i + String.length sep > String.length resp then None
+        else if String.sub resp i (String.length sep) = sep then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> Error "malformed HTTP response (no header terminator)"
+      | Some i -> (
+          match String.split_on_char ' ' (List.hd (String.split_on_char '\r' resp)) with
+          | _ :: "200" :: _ -> Ok (split_at i)
+          | _ :: code :: _ -> Error (Printf.sprintf "HTTP %s" code)
+          | _ -> Error "malformed HTTP status line"))
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e))
+  | exception Exit -> Error "connection closed mid-write"
+
+(* ---- on-signal introspection ---- *)
+
+let sigusr1_installed = ref false
+
+let install_sigusr1_dump () =
+  if not !sigusr1_installed then begin
+    sigusr1_installed := true;
+    try
+      Sys.set_signal Sys.sigusr1
+        (Sys.Signal_handle
+           (fun _ ->
+             let fields =
+               [
+                 ("ts_epoch_s", Json.Float (Clock.epoch_s ()));
+                 ("work", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) (Work.totals ())));
+                 ("snapshot", Metrics.snapshot ());
+               ]
+             in
+             if Sink.active () then begin
+               Sink.event "metrics.sigusr1" fields;
+               (* The sink batches; a signal-triggered dump must land now —
+                  the operator is watching the stream. *)
+               Sink.flush_installed ()
+             end
+             else
+               prerr_endline
+                 (Json.to_string
+                    (Json.Obj (("event", Json.String "metrics.sigusr1") :: fields)))))
+    with Invalid_argument _ | Sys_error _ -> ()
+  end

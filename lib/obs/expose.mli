@@ -1,0 +1,87 @@
+(** Live ops surface: pull-based, in-process exposition of the {!Metrics} /
+    {!Work} registry over localhost HTTP/1.0 (stdlib [Unix] only).
+
+    Every other layer of the observability stack is post-hoc — reports,
+    traces and ledgers exist only after the process exits. [Expose] serves
+    the {e live} registry so an operator can attach to a long broadcast or
+    expansion run without killing it:
+
+    - [GET /metrics] — Prometheus text exposition (version 0.0.4):
+      registry counters and gauges, histogram/timer quantile summaries,
+      a labeled [wx_build_info] gauge, [wx_uptime_seconds], and per-kind
+      [wx_work_units_per_second] gauges derived from the {!Work} deltas
+      between successive scrapes of this endpoint.
+    - [GET /json] (also [/] and [/metrics.json]) — a JSON snapshot reusing
+      the {!Json} codec: schema ["wx-expose/1"], uptime, build provenance,
+      work totals and the full {!Metrics.snapshot}.
+
+    The server runs on its own dedicated domain, so scrapes never block
+    pool workers or the main computation; {!Metrics.snapshot} is hardened
+    to merge DLS histogram shards while the pool is hot (see the
+    concurrent-read contract in {!Metrics}). Serving reads the registry
+    through atomic loads only — exposition never perturbs computed values,
+    witnesses, or the deterministic minor-word counts the bench alloc gate
+    compares (server-side allocation happens on the exposition domain,
+    which never credits {!Memgc}'s foreign accumulator). *)
+
+type t
+
+val start : ?host:string -> port:int -> unit -> (t, string) result
+(** Bind [host] (default ["127.0.0.1"]) : [port] ([0] picks an ephemeral
+    port — see {!port}), spawn the server domain, and start serving.
+    [Error msg] on bind/listen failure (port in use, privileged port, no
+    such interface) — the caller decides whether that is fatal; [wx]
+    prints a warning and keeps computing. Does not enable the registry:
+    callers that want live numbers should also call {!Metrics.enable}. *)
+
+val port : t -> int
+(** The actually-bound port (meaningful when [start] was given port 0). *)
+
+val stop : t -> unit
+(** Wake the server domain, join it, and close the listening socket.
+    Idempotent — safe to call both from the normal shutdown path and from
+    an [at_exit] hook on the signal-exit path. *)
+
+val uptime_s : t -> float
+(** Seconds since [start] returned this server. *)
+
+(** {2 Renderers}
+
+    Pure page builders over the live registry, exported so tests can check
+    well-formedness and text/JSON agreement without a socket. Both publish
+    the [wx.uptime_seconds] and [wx.build_info] gauges into the default
+    registry before snapshotting, so the two surfaces stay in sync. *)
+
+val prometheus_page : ?rates:(string * float) list -> uptime_s:float -> unit -> string
+(** Prometheus text exposition of the current registry. [rates] adds one
+    [wx_work_units_per_second{kind="..."}] gauge sample per entry (the
+    server passes scrape-delta rates; tests pass synthetic ones). *)
+
+val json_page : uptime_s:float -> unit -> string
+(** Compact one-line JSON snapshot (schema ["wx-expose/1"]). *)
+
+val scrape_rates :
+  prev:(int * (string * int) list) option ->
+  now_ns:int ->
+  work:(string * int) list ->
+  (string * float) list
+(** Per-kind units/sec between two {!Work.totals} readings [prev]
+    (timestamp, totals) and [now_ns]/[work]; [[]] when [prev] is [None]
+    (first scrape) or the interval is empty. Deltas gone negative (a
+    {!Metrics.reset} landed between scrapes) clamp to [0.]. *)
+
+(** {2 Client} *)
+
+val http_get : host:string -> port:int -> path:string -> (string, string) result
+(** Minimal HTTP/1.0 GET returning the response body on a 200, used by
+    [wx top] and the test suite (5s socket timeouts; never raises). *)
+
+(** {2 On-signal introspection} *)
+
+val install_sigusr1_dump : unit -> unit
+(** Install (once per process) a SIGUSR1 handler that dumps a one-shot
+    ["metrics.sigusr1"] event — epoch timestamp, {!Work.totals} and the
+    full {!Metrics.snapshot} — to the installed NDJSON {!Sink} (flushed
+    immediately), or to stderr as one NDJSON line when no sink is
+    installed. Gives processes started without [--expose] a way to be
+    inspected: [kill -USR1 <pid>]. No-op on platforms without SIGUSR1. *)

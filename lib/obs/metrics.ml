@@ -172,8 +172,22 @@ let counter_value c = Atomic.get c.count
 
 (* ---- reading ---- *)
 
-(* Merged view of a histogram's per-domain shards. Taken after parallel
-   sections have joined, so the single-writer shard fields are stable. *)
+(* Merged view of a histogram's per-domain shards.
+
+   Historically this was only taken after parallel sections had joined, so
+   the single-writer shard fields were stable. The exposition server
+   (Expose) now merges while the pool is hot, from a domain that owns no
+   shard, so the merge must tolerate concurrent writers. Every shard field
+   is word-sized (no tearing under the OCaml memory model), but the fields
+   of one in-flight observation land in order buckets -> count -> sum ->
+   min/max, so a racing reader can see a bucket increment whose min/max has
+   not been published yet. Two consequences, both handled below: the view's
+   count is derived from the merged buckets (keeping quantile ranks
+   consistent with the mass they walk), and when min/max have visibly not
+   caught up with the buckets they are re-derived from the occupied bucket
+   range rather than leaking an infinity into quantile clamping. A racing
+   view may be a few observations stale; it is never internally
+   inconsistent. *)
 type hview = {
   v_buckets : int array;
   v_count : int;
@@ -186,23 +200,33 @@ let merged h =
   Mutex.lock h.h_lock;
   let shards = !(h.h_shards) in
   Mutex.unlock h.h_lock;
-  let v =
-    { v_buckets = Array.make hist_buckets 0; v_count = 0; v_sum = 0.0; v_min = infinity;
-      v_max = neg_infinity }
-  in
-  List.fold_left
-    (fun acc s ->
+  let buckets = Array.make hist_buckets 0 in
+  let sum = ref 0.0 and mn = ref infinity and mx = ref neg_infinity in
+  List.iter
+    (fun s ->
       for i = 0 to hist_buckets - 1 do
-        acc.v_buckets.(i) <- acc.v_buckets.(i) + s.buckets.(i)
+        buckets.(i) <- buckets.(i) + s.buckets.(i)
       done;
-      {
-        acc with
-        v_count = acc.v_count + s.s_count;
-        v_sum = acc.v_sum +. s.s_sum;
-        v_min = Float.min acc.v_min s.s_min;
-        v_max = Float.max acc.v_max s.s_max;
-      })
-    v shards
+      sum := !sum +. s.s_sum;
+      if s.s_min < !mn then mn := s.s_min;
+      if s.s_max > !mx then mx := s.s_max)
+    shards;
+  let count = Array.fold_left ( + ) 0 buckets in
+  (* A hot-concurrent merge can catch buckets ahead of min/max (or a reset
+     behind them): fall back to the occupied bucket range so the clamp in
+     [quantile_of_view] never sees an infinity with nonzero mass. *)
+  if count > 0 && not (!mn <= !mx && Float.is_finite !mn && Float.is_finite !mx) then begin
+    let lo = ref 0 and hi = ref 0 in
+    for i = hist_buckets - 1 downto 0 do
+      if buckets.(i) > 0 then lo := i
+    done;
+    for i = 0 to hist_buckets - 1 do
+      if buckets.(i) > 0 then hi := i
+    done;
+    mn := (if !lo = 0 then 0.0 else Float.pow 2.0 (float_of_int !lo));
+    mx := Float.pow 2.0 (float_of_int (!hi + 1))
+  end;
+  { v_buckets = buckets; v_count = count; v_sum = !sum; v_min = !mn; v_max = !mx }
 
 let quantile_of_view v q =
   if v.v_count = 0 then Float.nan

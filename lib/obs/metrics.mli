@@ -9,9 +9,17 @@
     Domain-safe: counters and gauges are atomics (concurrent {!incr}/{!add}
     from Wx_par worker domains never lose updates), and each histogram keeps
     a lock-free per-domain shard, merged when read ({!snapshot},
-    {!quantile}, {!render}). Read and {!reset} after parallel sections have
-    joined; a snapshot raced against live workers is memory-safe but may
-    miss in-flight observations. *)
+    {!quantile}, {!render}).
+
+    Concurrent-read contract (the [Expose] exposition domain scrapes while
+    the pool is hot): a snapshot raced against live workers is memory-safe
+    and internally consistent — histogram counts are derived from the merged
+    bucket mass the quantile walk sees, and min/max that have visibly not
+    caught up with an in-flight observation are re-derived from the occupied
+    bucket range — but it may trail the writers by a few observations.
+    Exact totals still require reading after parallel sections have
+    joined, which is when the bench runner takes its per-experiment
+    snapshots. *)
 
 val enable : unit -> unit
 val disable : unit -> unit

@@ -77,22 +77,57 @@ let fmt_eta s =
   else if s < 5400.0 then Printf.sprintf "%.1fm" (s /. 60.0)
   else Printf.sprintf "%.1fh" (s /. 3600.0)
 
-let line t ~now ~done_ =
+(* The heartbeat's state, also published to the registry so the stderr
+   line and `wx top` render from one source. ETA is NaN — not inf — until
+   the rate is positive: "no estimate yet" is a missing value, and both
+   fmt_eta and the Prometheus renderer have honest spellings for it ("-",
+   "NaN"), where inf would leak into arithmetic downstream. *)
+type stats = { pct : float; rate : float; eta : float; elapsed : float }
+
+let stats t ~now ~done_ =
   let elapsed = Clock.ns_to_s (now - t.t0_ns) in
-  let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else Float.nan in
+  let rate =
+    if elapsed > 0.0 && done_ > 0 then float_of_int done_ /. elapsed else Float.nan
+  in
+  let pct =
+    if t.total > 0 then 100.0 *. float_of_int done_ /. float_of_int t.total
+    else Float.nan
+  in
+  let eta =
+    if t.total > 0 && rate > 0.0 then float_of_int (t.total - done_) /. rate
+    else Float.nan
+  in
+  { pct; rate; eta; elapsed }
+
+let coverage_g = Metrics.gauge "progress.coverage_pct"
+let done_g = Metrics.gauge "progress.done_units"
+let total_g = Metrics.gauge "progress.total_units"
+let rate_g = Metrics.gauge "progress.units_per_s"
+let eta_g = Metrics.gauge "progress.eta_s"
+
+let publish t ~done_ st =
+  Metrics.set done_g (float_of_int done_);
+  Metrics.set total_g (float_of_int t.total);
+  Metrics.set coverage_g st.pct;
+  Metrics.set rate_g st.rate;
+  Metrics.set eta_g st.eta
+
+let line t st ~done_ =
   if t.total > 0 then
-    let pct = 100.0 *. float_of_int done_ /. float_of_int t.total in
-    let eta =
-      if rate > 0.0 then float_of_int (t.total - done_) /. rate else Float.infinity
-    in
-    Printf.sprintf "[progress] %s %5.1f%% %d/%d %s %s eta %s" t.label pct done_ t.total
-      t.units (fmt_rate rate) (fmt_eta eta)
+    Printf.sprintf "[progress] %s %5.1f%% %d/%d %s %s eta %s" t.label st.pct done_
+      t.total t.units (fmt_rate st.rate) (fmt_eta st.eta)
   else
-    Printf.sprintf "[progress] %s %d %s %s %.1fs" t.label done_ t.units (fmt_rate rate)
-      elapsed
+    Printf.sprintf "[progress] %s %d %s %s %.1fs" t.label done_ t.units
+      (fmt_rate st.rate) st.elapsed
 
 let print t ~now ~done_ =
-  let s = line t ~now ~done_ in
+  let st = stats t ~now ~done_ in
+  (* Gauge publication rides the interval-elected print path, never the
+     per-tick hot path: at most one domain per interval, and only when the
+     heartbeat is enabled — the bench harness keeps WX_PROGRESS off, so
+     the alloc gate never sees these sets. *)
+  publish t ~done_ st;
+  let s = line t st ~done_ in
   Mutex.lock t.lock;
   t.printed <- true;
   (* TTY: rewrite one line in place (clear to EOL covers shrinking text).

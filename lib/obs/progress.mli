@@ -12,7 +12,13 @@
     single bool load: no clock read, no atomic op, no allocation.
 
     Domain-safe: {!tick} may be called concurrently from pool workers;
-    one domain per interval is elected to print. *)
+    one domain per interval is elected to print.
+
+    Each printed heartbeat also publishes its state to the {!Metrics}
+    registry as gauges ([progress.coverage_pct], [progress.done_units],
+    [progress.total_units], [progress.units_per_s], [progress.eta_s]), so
+    the [Expose] endpoint and `wx top` render from the same source. ETA is
+    NaN until the observed rate is positive — never [inf]. *)
 
 val enable : unit -> unit
 val disable : unit -> unit

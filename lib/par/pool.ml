@@ -51,6 +51,14 @@ let util_busy_frac_h = Metrics.histogram "pool.util.busy_frac_pct"
 let util_slot_chunks_h = Metrics.histogram "pool.util.slot_chunks"
 let util_idle_tail_t = Metrics.timer "pool.util.idle_tail"
 
+(* Live utilization gauges: cumulative busy percent of pool capacity, plus
+   one gauge per worker slot, so the /metrics endpoint and `wx top` can
+   show busy/idle attribution mid-run instead of waiting for the bench
+   report. Slot gauges are registered lazily as the accumulator grows
+   (registration is idempotent and this is the once-per-run cold path). *)
+let util_busy_pct_g = Metrics.gauge "pool.util.busy_pct"
+let util_slot_gauges : Metrics.gauge array ref = ref [||]
+
 (* ---- cross-run utilization accounting ----
 
    The bench runner wants a per-experiment utilization summary, and one
@@ -137,6 +145,22 @@ let util_record ~seq ~jobs ~run_span ~busy ~spans ~chunks ~idle_tail =
   util_busy := !util_busy + Array.fold_left ( + ) 0 (Array.sub busy 0 jobs);
   util_idle_tail := !util_idle_tail + idle_tail;
   if idle_tail > !util_max_idle_tail then util_max_idle_tail := idle_tail;
+  if Array.length !util_slot_gauges < Array.length !util_slots then begin
+    let old = !util_slot_gauges in
+    util_slot_gauges :=
+      Array.init (Array.length !util_slots) (fun i ->
+          if i < Array.length old then old.(i)
+          else Metrics.gauge (Printf.sprintf "pool.util.slot_busy_pct.%d" i))
+  end;
+  Array.iteri
+    (fun i a ->
+      if a.a_span > 0 then
+        Metrics.set !util_slot_gauges.(i)
+          (100.0 *. float_of_int a.a_busy /. float_of_int a.a_span))
+    !util_slots;
+  if !util_capacity > 0 then
+    Metrics.set util_busy_pct_g
+      (100.0 *. float_of_int !util_busy /. float_of_int !util_capacity);
   Mutex.unlock util_lock
 
 let recommended_jobs () = max 1 (min max_domains (Domain.recommended_domain_count ()))

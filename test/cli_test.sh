@@ -88,6 +88,78 @@ check "bench diff --json --soft" 0 $?
 grep -q 'bench.verdict' "$tmp/diff.ndjson"
 check "diff --json emits bench.verdict" 0 $?
 
+# ---- live exposition (--expose) ----
+# A handicapped single-experiment bench stays alive long enough to scrape
+# twice; bash's /dev/tcp keeps this curl-free.
+scrape() { # scrape PORT PATH -> response (headers + body) on stdout
+  exec 3<>"/dev/tcp/127.0.0.1/$1" 2>/dev/null || return 1
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$2" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+strip_headers() { sed '1,/^\r\{0,1\}$/d' "$1"; }
+
+EPORT=$((21000 + RANDOM % 20000))
+WX_BENCH_HANDICAP_MS=1200 "$WX" bench record --quick -e e1 --repeats 3 --jobs 2 \
+  --out "$tmp/exposed.json" --force --expose "$EPORT" \
+  >"$tmp/expose.out" 2>"$tmp/expose.err" &
+EPID=$!
+
+up=1
+for _ in $(seq 1 50); do
+  if scrape "$EPORT" /metrics >"$tmp/scrape1.raw" 2>/dev/null && [ -s "$tmp/scrape1.raw" ]; then
+    up=0
+    break
+  fi
+  sleep 0.1
+done
+check "expose endpoint comes up" 0 $up
+
+if [ "$up" -eq 0 ]; then
+  strip_headers "$tmp/scrape1.raw" >"$tmp/scrape1.txt"
+  # Prometheus text exposition 0.0.4: every line is a comment, blank, or
+  # "name{labels} value" with a float / NaN / +-Inf value.
+  awk '!(/^#/ || /^$/ || /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$/) { bad = 1; exit 1 } END { exit bad }' "$tmp/scrape1.txt"
+  check "first scrape is well-formed exposition text" 0 $?
+
+  sleep 0.7
+  scrape "$EPORT" /metrics >"$tmp/scrape2.raw" 2>/dev/null
+  check "second scrape" 0 $?
+  strip_headers "$tmp/scrape2.raw" >"$tmp/scrape2.txt"
+
+  s1=$(awk '$1 == "wx_expose_scrapes" { print $2 }' "$tmp/scrape1.txt")
+  s2=$(awk '$1 == "wx_expose_scrapes" { print $2 }' "$tmp/scrape2.txt")
+  [ -n "$s1" ] && [ -n "$s2" ] && [ "${s2%.*}" -gt "${s1%.*}" ]
+  check "scrape counter is monotone between scrapes" 0 $?
+
+  # A scrape that lands before the run has scored anything simply has no
+  # work counter yet; absent reads as zero.
+  w1=$(awk '$1 == "wx_work_sets_scored" { print $2 }' "$tmp/scrape1.txt")
+  w2=$(awk '$1 == "wx_work_sets_scored" { print $2 }' "$tmp/scrape2.txt")
+  w1=${w1:-0}
+  [ -n "$w2" ] && [ "${w2%.*}" -ge "${w1%.*}" ]
+  check "work counters are monotone between scrapes" 0 $?
+
+  grep -q '^wx_build_info{' "$tmp/scrape1.txt"
+  check "build info gauge is exposed" 0 $?
+
+  "$WX" top --once "$EPORT" >"$tmp/top.out" 2>&1
+  check "wx top --once renders a frame" 0 $?
+  grep -q "wx top" "$tmp/top.out"
+  check "top frame carries the header" 0 $?
+
+  # A second process asking for the same port must warn and keep going.
+  "$WX" info cycle 16 --expose "$EPORT" >/dev/null 2>"$tmp/bind.err"
+  check "port collision does not fail the run" 0 $?
+  grep -q "cannot bind" "$tmp/bind.err"
+  check "port collision warns on stderr" 0 $?
+fi
+
+wait "$EPID"
+check "exposed bench run completes cleanly" 0 $?
+grep -q "\[expose\] serving" "$tmp/expose.err"
+check "exposed run announces its endpoint" 0 $?
+
 if [ "$fails" -gt 0 ]; then
   echo "$fails CLI check(s) failed" >&2
   exit 1

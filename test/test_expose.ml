@@ -1,0 +1,385 @@
+(* The live ops surface: Prometheus text well-formedness, JSON/text
+   agreement, the HTTP round trip on an ephemeral port, scraping while the
+   pool is hot (the concurrent-snapshot contract), scrape-delta rates, and
+   the SIGUSR1 one-shot dump. *)
+
+module Expose = Wx_obs.Expose
+module Metrics = Wx_obs.Metrics
+module Json = Wx_obs.Json
+module Sink = Wx_obs.Sink
+module Progress = Wx_obs.Progress
+module Pool = Wx_par.Pool
+open Common
+
+let with_metrics f =
+  Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.reset ();
+      Metrics.disable ())
+    f
+
+(* ---- Prometheus text grammar ----
+
+   One line is either a comment/TYPE line, blank, or
+   [name{labels} value]: name in [a-zA-Z_:][a-zA-Z0-9_:]*, optional
+   {..} label block, then one float literal (NaN and signed Inf allowed).
+   This is the same shape the CI smoke step asserts with awk. *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = ':'
+
+let valid_name s =
+  String.length s > 0
+  && (not (s.[0] >= '0' && s.[0] <= '9'))
+  && String.for_all is_name_char s
+
+let valid_value s =
+  s = "NaN" || s = "+Inf" || s = "-Inf" || Option.is_some (float_of_string_opt s)
+
+let split_sample line =
+  (* name{...} value | name value *)
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some _ -> (
+      let name_end =
+        match String.index_opt line '{' with
+        | Some i -> i
+        | None -> String.index line ' '
+      in
+      let name = String.sub line 0 name_end in
+      match String.rindex_opt line ' ' with
+      | None -> None
+      | Some sp ->
+          let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+          (* A label block, if present, must close right before the value. *)
+          let labels_ok =
+            match String.index_opt line '{' with
+            | None -> sp = name_end
+            | Some i -> i < sp && line.[sp - 1] = '}'
+          in
+          if labels_ok then Some (name, value) else None)
+
+let check_prometheus_grammar page =
+  List.iter
+    (fun line ->
+      if line <> "" && not (String.length line >= 1 && line.[0] = '#') then
+        match split_sample line with
+        | None -> Alcotest.failf "unparseable exposition line: %S" line
+        | Some (name, value) ->
+            if not (valid_name name) then Alcotest.failf "bad metric name in %S" line;
+            if not (valid_value value) then Alcotest.failf "bad sample value in %S" line)
+    (String.split_on_char '\n' page)
+
+let test_prometheus_well_formed () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test.expose.count" in
+      let g = Metrics.gauge "test.expose.gap" in
+      let h = Metrics.histogram "test.expose.sizes" in
+      Metrics.add c 7;
+      Metrics.set g Float.nan;
+      List.iter (Metrics.observe h) [ 1.0; 2.0; 400.0 ];
+      let page = Expose.prometheus_page ~rates:[ ("sets_scored", 123.5) ] ~uptime_s:1.5 () in
+      check_prometheus_grammar page;
+      let lines = String.split_on_char '\n' page in
+      let has needle = List.exists (fun l -> l = needle) lines in
+      check_true "counter sample" (has "wx_test_expose_count 7");
+      check_true "NaN gauge renders as NaN literal" (has "wx_test_expose_gap NaN");
+      check_true "summary count" (has "wx_test_expose_sizes_count 3");
+      check_true "rate sample" (has "wx_work_units_per_second{kind=\"sets_scored\"} 123.5");
+      check_true "uptime gauge" (has "wx_uptime_seconds 1.5");
+      check_true "build info labeled"
+        (List.exists
+           (fun l ->
+             String.length l > 14
+             && String.sub l 0 14 = "wx_build_info{"
+             && String.sub l (String.length l - 2) 2 = " 1")
+           lines);
+      (* Every metric family is declared exactly once. *)
+      let types =
+        List.filter_map
+          (fun l ->
+            if String.length l > 7 && String.sub l 0 7 = "# TYPE " then Some l else None)
+          lines
+      in
+      check_int "no duplicate TYPE declarations"
+        (List.length types)
+        (List.length (List.sort_uniq compare types)))
+
+(* The text and JSON surfaces render the same registry: every counter and
+   gauge in the snapshot must appear in the text page with the same value
+   (modulo name sanitization). *)
+let test_json_text_agreement () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test.expose.agree" in
+      let g = Metrics.gauge "test.expose.level" in
+      Metrics.add c 42;
+      Metrics.set g 2.5;
+      let text = Expose.prometheus_page ~uptime_s:0.5 () in
+      let json = Json.of_string (Expose.json_page ~uptime_s:0.5 ()) in
+      check_true "schema"
+        (Option.bind (Json.member "schema" json) Json.to_string_opt = Some "wx-expose/1");
+      let metrics = Option.get (Json.member "metrics" json) in
+      let lines = String.split_on_char '\n' text in
+      let sanitize name =
+        let s =
+          String.map (fun ch -> if is_name_char ch && ch <> ':' then ch else '_') name
+        in
+        if String.length s >= 3 && String.sub s 0 3 = "wx_" then s else "wx_" ^ s
+      in
+      let text_value name =
+        List.find_map
+          (fun l ->
+            match split_sample l with
+            | Some (n, v) when n = name -> Some v
+            | _ -> None)
+          lines
+      in
+      let check_section section expected_of_json =
+        match Json.member section metrics with
+        | Some (Json.Obj kvs) ->
+            List.iter
+              (fun (k, v) ->
+                match expected_of_json v with
+                | None -> ()
+                | Some expected -> (
+                    match text_value (sanitize k) with
+                    | None -> Alcotest.failf "%s %s missing from text page" section k
+                    | Some got ->
+                        check_float
+                          (Printf.sprintf "%s %s agrees" section k)
+                          expected
+                          (float_of_string got)))
+              kvs
+        | _ -> Alcotest.failf "snapshot lacks %s" section
+      in
+      check_section "counters" (fun v -> Json.to_float_opt v);
+      check_section "gauges" (fun v ->
+          (* NaN gauges agree by definition (both render a missing-value
+             spelling); synthesized families are emitted with labels. *)
+          match Json.to_float_opt v with
+          | Some f when Float.is_finite f -> Some f
+          | _ -> None))
+
+let test_scrape_rates () =
+  let t0 = 0 and t1 = 2_000_000_000 in
+  check_true "first scrape has no rates"
+    (Expose.scrape_rates ~prev:None ~now_ns:t1 ~work:[ ("sets", 100) ] = []);
+  let rates =
+    Expose.scrape_rates
+      ~prev:(Some (t0, [ ("sets", 100); ("gray", 40) ]))
+      ~now_ns:t1
+      ~work:[ ("sets", 300); ("gray", 10); ("fresh", 50) ]
+  in
+  check_float "positive delta over 2s" 100.0 (List.assoc "sets" rates);
+  check_float "negative delta (reset) clamps to zero" 0.0 (List.assoc "gray" rates);
+  check_float "kind absent from prev counts from zero" 25.0 (List.assoc "fresh" rates);
+  check_true "empty interval yields nothing"
+    (Expose.scrape_rates ~prev:(Some (t1, [])) ~now_ns:t1 ~work:[ ("sets", 1) ] = [])
+
+let test_http_roundtrip () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test.expose.http" in
+      Metrics.add c 3;
+      match Expose.start ~port:0 () with
+      | Error msg -> Alcotest.failf "start: %s" msg
+      | Ok srv ->
+          Fun.protect ~finally:(fun () -> Expose.stop srv)
+            (fun () ->
+              let port = Expose.port srv in
+              check_true "ephemeral port assigned" (port > 0);
+              (match Expose.http_get ~host:"127.0.0.1" ~port ~path:"/metrics" with
+              | Error msg -> Alcotest.failf "GET /metrics: %s" msg
+              | Ok body ->
+                  check_prometheus_grammar body;
+                  check_true "instrument visible over HTTP"
+                    (List.mem "wx_test_expose_http 3" (String.split_on_char '\n' body)));
+              (match Expose.http_get ~host:"127.0.0.1" ~port ~path:"/json" with
+              | Error msg -> Alcotest.failf "GET /json: %s" msg
+              | Ok body -> (
+                  match Json.of_string_opt (String.trim body) with
+                  | None -> Alcotest.failf "malformed JSON body: %s" body
+                  | Some j ->
+                      check_true "schema over HTTP"
+                        (Option.bind (Json.member "schema" j) Json.to_string_opt
+                        = Some "wx-expose/1")));
+              (* The scrape counter is monotone across scrapes. *)
+              let scrapes () =
+                match Expose.http_get ~host:"127.0.0.1" ~port ~path:"/json" with
+                | Error msg -> Alcotest.failf "GET /json: %s" msg
+                | Ok body ->
+                    Option.get
+                      (Json.to_int_opt
+                         (Option.get
+                            (Json.member "expose.scrapes"
+                               (Option.get
+                                  (Json.member "counters"
+                                     (Option.get
+                                        (Json.member "metrics"
+                                           (Json.of_string (String.trim body)))))))))
+              in
+              let s1 = scrapes () in
+              let s2 = scrapes () in
+              check_true "scrape counter monotone" (s2 > s1);
+              check_true "unknown path is a clean 404"
+                (match Expose.http_get ~host:"127.0.0.1" ~port ~path:"/nope" with
+                | Error _ -> true
+                | Ok _ -> false));
+          (* Idempotent stop: the Fun.protect above already stopped it. *)
+          Expose.stop srv;
+          check_true "connection refused after stop"
+            (match
+               Expose.http_get ~host:"127.0.0.1" ~port:(Expose.port srv) ~path:"/metrics"
+             with
+            | Error _ -> true
+            | Ok _ -> false))
+
+(* Scrapes racing live pool workers: a dedicated domain hammers the
+   renderers while a 4-job parallel_reduce observes histograms. Every page
+   must stay well-formed (the hardened Metrics.merged contract) and the
+   reduction's value must be exactly the sequential one — exposition never
+   perturbs results. *)
+let test_concurrent_scrape_during_pool_run () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.expose.hot" in
+      let stop = Atomic.make false in
+      let pages = Atomic.make 0 in
+      let scraper =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              let page = Expose.prometheus_page ~uptime_s:0.1 () in
+              check_prometheus_grammar page;
+              ignore (Json.of_string (Expose.json_page ~uptime_s:0.1 ()));
+              Atomic.incr pages
+            done)
+      in
+      let n = 20_000 in
+      let got =
+        Pool.parallel_reduce ~jobs:4 ~chunk:64 ~n ~init:0
+          ~map:(fun i ->
+            Metrics.observe h (float_of_int ((i mod 11) + 1));
+            i)
+          ~combine:( + ) ()
+      in
+      Atomic.set stop true;
+      Domain.join scraper;
+      check_int "reduction unperturbed by scraping" (n * (n - 1) / 2) got;
+      check_true "scraper made progress" (Atomic.get pages > 0);
+      (* Quiescent now: the merged histogram holds every observation. *)
+      let page = Expose.prometheus_page ~uptime_s:0.2 () in
+      check_true "final count exact"
+        (List.mem
+           (Printf.sprintf "wx_test_expose_hot_count %d" n)
+           (String.split_on_char '\n' page)))
+
+(* Pool runs under an enabled registry publish live utilization gauges. *)
+let test_pool_util_gauges () =
+  with_metrics (fun () ->
+      Pool.reset_util ();
+      ignore
+        (Pool.parallel_reduce ~jobs:2 ~chunk:32 ~n:4096 ~init:0 ~map:Fun.id ~combine:( + ) ());
+      let gauges =
+        match Json.member "gauges" (Metrics.snapshot ()) with
+        | Some (Json.Obj kvs) -> kvs
+        | _ -> []
+      in
+      check_true "cumulative busy gauge" (List.mem_assoc "pool.util.busy_pct" gauges);
+      check_true "slot 0 gauge" (List.mem_assoc "pool.util.slot_busy_pct.0" gauges);
+      check_true "slot 1 gauge" (List.mem_assoc "pool.util.slot_busy_pct.1" gauges))
+
+(* The heartbeat publishes its state as gauges on the printing path, and
+   the ETA guard yields NaN — never inf — while the rate is zero. *)
+let test_progress_gauges () =
+  with_metrics (fun () ->
+      Progress.enable ();
+      Fun.protect ~finally:Progress.disable
+        (fun () ->
+          let t = Progress.start ~units:"sets" ~label:"test" ~total:1000 () in
+          (* Cross the 1s print interval so the elected tick publishes. *)
+          Unix.sleepf 1.05;
+          Progress.tick t 0;
+          let g name =
+            Option.bind
+              (Json.member "gauges" (Metrics.snapshot ()))
+              (Json.member name)
+            |> Fun.flip Option.bind Json.to_float_opt
+          in
+          (match g "progress.eta_s" with
+          | Some eta -> check_true "zero-rate ETA is NaN, not inf" (Float.is_nan eta)
+          | None -> Alcotest.fail "progress.eta_s gauge missing");
+          (match g "progress.units_per_s" with
+          | Some r -> check_true "zero-done rate is NaN" (Float.is_nan r)
+          | None -> Alcotest.fail "progress.units_per_s gauge missing");
+          Unix.sleepf 1.05;
+          Progress.tick t 400;
+          (match g "progress.coverage_pct" with
+          | Some pct -> check_float "coverage" 40.0 pct
+          | None -> Alcotest.fail "progress.coverage_pct gauge missing");
+          (match g "progress.eta_s" with
+          | Some eta -> check_true "positive rate gives a finite ETA" (Float.is_finite eta)
+          | None -> Alcotest.fail "progress.eta_s gauge missing");
+          Progress.finish t))
+
+let test_sigusr1_dump () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test.expose.sig" in
+      Metrics.add c 5;
+      Expose.install_sigusr1_dump ();
+      let path = Filename.temp_file "wx_expose_sig" ".ndjson" in
+      Fun.protect ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out path in
+          Sink.install (Sink.make oc);
+          Fun.protect
+            ~finally:(fun () ->
+              Sink.uninstall ();
+              close_out oc)
+            (fun () ->
+              Unix.kill (Unix.getpid ()) Sys.sigusr1;
+              (* Signal handlers run at the next safepoint; allocate a
+                 little to reach one, then give the sink a beat. *)
+              ignore (Sys.opaque_identity (Array.make 64 0));
+              Unix.sleepf 0.05);
+          let ic = open_in path in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> close_in ic);
+          let dump =
+            List.find_map
+              (fun l ->
+                match Json.of_string_opt l with
+                | Some j
+                  when Option.bind (Json.member "event" j) Json.to_string_opt
+                       = Some "metrics.sigusr1" ->
+                    Some j
+                | _ -> None)
+              !lines
+          in
+          match dump with
+          | None -> Alcotest.fail "no metrics.sigusr1 event reached the sink"
+          | Some j ->
+              let counters =
+                Option.bind (Json.member "snapshot" j) (Json.member "counters")
+              in
+              check_true "snapshot captures the registry"
+                (Option.bind counters (Json.member "test.expose.sig")
+                 |> Option.map Json.to_int_opt
+                = Some (Some 5))))
+
+let suite =
+  [
+    Alcotest.test_case "prometheus page is well-formed" `Quick test_prometheus_well_formed;
+    Alcotest.test_case "json and text surfaces agree" `Quick test_json_text_agreement;
+    Alcotest.test_case "scrape-delta rates" `Quick test_scrape_rates;
+    Alcotest.test_case "http round trip on an ephemeral port" `Quick test_http_roundtrip;
+    Alcotest.test_case "scraping races a hot pool safely" `Slow
+      test_concurrent_scrape_during_pool_run;
+    Alcotest.test_case "pool runs publish live utilization gauges" `Quick
+      test_pool_util_gauges;
+    Alcotest.test_case "progress gauges and the NaN ETA guard" `Slow test_progress_gauges;
+    Alcotest.test_case "SIGUSR1 dumps a one-shot snapshot" `Quick test_sigusr1_dump;
+  ]

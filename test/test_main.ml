@@ -31,4 +31,5 @@ let () =
       ("ledger", Test_ledger.suite);
       ("par", Test_par.suite);
       ("prune", Test_prune.suite);
+      ("expose", Test_expose.suite);
     ]
