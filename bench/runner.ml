@@ -30,6 +30,7 @@ let experiments : experiment list =
     E12_arboricity.experiment;
     Ablations.experiment;
     Kernel_bench.experiment;
+    Simscale.experiment;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) experiments

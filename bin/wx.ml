@@ -64,6 +64,14 @@ let make_graph family size seed =
           ~s:16
       in
       ch.Constructions.Broadcast_chain.graph
+  (* Sparse random families for the CSR engine's scale runs: both build in
+     O(n + m), so million-node instances need no O(n²) coin-flip loop. *)
+  | "gnm" ->
+      let n = max 2 size in
+      Gen.gnm (Util.Rng.create seed) n (min (4 * n) (n * (n - 1) / 2))
+  | "cm-regular" ->
+      let n = max 16 size in
+      Gen.random_regular_config (Util.Rng.create seed) n 8
   | name ->
       let f = Constructions.Families.find name in
       f.Constructions.Families.make (Util.Rng.create seed) size
@@ -72,7 +80,7 @@ let make_graph family size seed =
    check the name would burn RNG state and real work for large sizes. *)
 let family_names =
   List.map (fun f -> f.Constructions.Families.name) Constructions.Families.all
-  @ [ "cplus"; "chain" ]
+  @ [ "cplus"; "chain"; "gnm"; "cm-regular" ]
 
 let family_conv =
   let parse s =
@@ -335,11 +343,41 @@ let protocol_of_name = function
       Printf.eprintf "unknown protocol %S (flood | decay | spokesmen | uniform-<p>)\n" s;
       exit 1
 
-let cmd_broadcast obs family size seed protocol seeds =
+(* The CSR engine reimplements the randomized protocols over flat state
+   (identical draw order, so identical outcomes); spokesmen-cast is
+   schedule-driven and has no CSR port. *)
+let csr_protocol_of_name = function
+  | "flood" -> Radio.Sim_csr.flood
+  | "decay" -> Radio.Sim_csr.decay
+  | s when String.length s > 8 && String.sub s 0 8 = "uniform-" ->
+      Radio.Sim_csr.uniform (float_of_string (String.sub s 8 (String.length s - 8)))
+  | "spokesmen" ->
+      Printf.eprintf "protocol \"spokesmen\" is not available under --engine csr\n";
+      exit 1
+  | s ->
+      Printf.eprintf "unknown protocol %S (flood | decay | uniform-<p>)\n" s;
+      exit 1
+
+let cmd_broadcast obs family size seed protocol seeds engine =
   let g = make_graph family size seed in
-  let p = protocol_of_name protocol in
-  say obs "broadcast on %s (n = %d) with %s, %d seeds\n" family (Graph.n g)
-    p.Radio.Protocol.name seeds;
+  let run_one, proto_name =
+    match engine with
+    | "legacy" ->
+        let p = protocol_of_name protocol in
+        ( (fun sd -> Radio.Sim.run ~max_rounds:100_000 g ~source:0 p (Util.Rng.create sd)),
+          p.Radio.Protocol.name )
+    | "csr" ->
+        let p = csr_protocol_of_name protocol in
+        let csr = Csr.of_graph g in
+        ( (fun sd ->
+            Radio.Sim_csr.run ~max_rounds:100_000 csr ~source:0 p (Util.Rng.create sd)),
+          p.Radio.Sim_csr.name )
+    | s ->
+        Printf.eprintf "unknown engine %S (legacy | csr)\n" s;
+        exit 1
+  in
+  say obs "broadcast on %s (n = %d) with %s [%s engine], %d seeds\n" family (Graph.n g)
+    proto_name engine seeds;
   let seed_list = List.init seeds (fun i -> seed + 100 + i) in
   (* Run each seed explicitly so the NDJSON stream can carry a run boundary
      around the simulator's own per-round "radio.round" events. *)
@@ -347,8 +385,8 @@ let cmd_broadcast obs family size seed protocol seeds =
     List.map
       (fun sd ->
         event obs "broadcast.start"
-          [ ("seed", J.Int sd); ("protocol", J.String p.Radio.Protocol.name) ];
-        let o = Radio.Sim.run ~max_rounds:100_000 g ~source:0 p (Util.Rng.create sd) in
+          [ ("seed", J.Int sd); ("protocol", J.String proto_name); ("engine", J.String engine) ];
+        let o = run_one sd in
         event obs "broadcast.run"
           [
             ("seed", J.Int sd);
@@ -1384,6 +1422,14 @@ let solver_arg = Arg.(value & opt string "all" & info [ "solver" ] ~docv:"SOLVER
 let protocol_arg = Arg.(value & opt string "decay" & info [ "protocol" ] ~docv:"PROTOCOL")
 let seeds_arg = Arg.(value & opt int 10 & info [ "seeds" ] ~docv:"K")
 
+let engine_arg =
+  let doc =
+    "Simulation engine: $(b,legacy) (boxed adjacency, transmitter scatter) or $(b,csr) \
+     (flat CSR adjacency, receiver gather sharded across domains). Outcomes are \
+     bit-identical; csr is the scale engine for million-node instances."
+  in
+  Arg.(value & opt string "legacy" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let json_arg =
   let doc = "Emit machine-readable NDJSON events on stdout; human text moves to stderr." in
   Arg.(value & flag & info [ "json" ] ~doc)
@@ -1437,9 +1483,9 @@ let spokesmen_cmd =
 let broadcast_cmd =
   Cmd.v (Cmd.info "broadcast" ~doc:"Simulate radio broadcast (Monte-Carlo)")
     (with_obs "broadcast"
-       Term.(const (fun family size seed protocol seeds obs ->
-                 cmd_broadcast obs family size seed protocol seeds)
-             $ family_arg $ size_arg $ seed_arg $ protocol_arg $ seeds_arg))
+       Term.(const (fun family size seed protocol seeds engine obs ->
+                 cmd_broadcast obs family size seed protocol seeds engine)
+             $ family_arg $ size_arg $ seed_arg $ protocol_arg $ seeds_arg $ engine_arg))
 
 let core_cmd =
   Cmd.v (Cmd.info "core" ~doc:"Core-graph property report (Lemma 4.4)")

@@ -6,6 +6,7 @@ module Util = struct
   module Floatx = Wx_util.Floatx
   module Combi = Wx_util.Combi
   module Pq = Wx_util.Pq
+  module Intvec = Wx_util.Intvec
 end
 
 module Graph = Wx_graph.Graph
@@ -18,6 +19,7 @@ module Densest = Wx_graph.Densest
 module Graph_io = Wx_graph.Graph_io
 module Connectivity = Wx_graph.Connectivity
 module Gen = Wx_graph.Gen
+module Csr = Wx_graph.Csr
 
 module Spectral = struct
   module Vec = Wx_spectral.Vec
@@ -67,6 +69,7 @@ module Radio = struct
   module Schedule = Wx_radio.Schedule
   module Trace = Wx_radio.Trace
   module Sim = Wx_radio.Sim
+  module Sim_csr = Wx_radio.Sim_csr
 end
 
 module Obs = struct

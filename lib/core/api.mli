@@ -16,6 +16,7 @@ module Util : sig
   module Floatx = Wx_util.Floatx
   module Combi = Wx_util.Combi
   module Pq = Wx_util.Pq
+  module Intvec = Wx_util.Intvec
 end
 
 module Graph = Wx_graph.Graph
@@ -28,6 +29,7 @@ module Densest = Wx_graph.Densest
 module Graph_io = Wx_graph.Graph_io
 module Connectivity = Wx_graph.Connectivity
 module Gen = Wx_graph.Gen
+module Csr = Wx_graph.Csr
 
 module Spectral : sig
   module Vec = Wx_spectral.Vec
@@ -77,6 +79,7 @@ module Radio : sig
   module Schedule = Wx_radio.Schedule
   module Trace = Wx_radio.Trace
   module Sim = Wx_radio.Sim
+  module Sim_csr = Wx_radio.Sim_csr
 end
 
 module Obs : sig

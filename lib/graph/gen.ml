@@ -85,6 +85,49 @@ let gnp rng n p =
   done;
   Graph.of_edges n !es
 
+let gnm rng n m =
+  if n < 2 && m > 0 then invalid_arg "Gen.gnm: no edges fit on < 2 vertices";
+  if m < 0 then invalid_arg "Gen.gnm: negative m";
+  (* Max simple-edge count without n*(n-1) overflow for huge n: for
+     n >= 2^31 every m that fits in memory is fine anyway. *)
+  if n < 1 lsl 31 && m > n * (n - 1) / 2 then
+    invalid_arg "Gen.gnm: m exceeds the simple-graph maximum";
+  (* Rejection-sample m distinct edges: O(m) expected draws for the sparse
+     regime this exists for (m = O(n)), vs gnp's O(n²) coin flips. Keys
+     pack as min·n + max, which stays within native int for n ≤ 2^31. *)
+  let seen = Hashtbl.create (2 * m) in
+  let es = ref [] in
+  let have = ref 0 in
+  while !have < m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let key = if u < v then (u * n) + v else (v * n) + u in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        es := (u, v) :: !es;
+        incr have
+      end
+    end
+  done;
+  Graph.of_edges n !es
+
+let random_regular_config rng n d =
+  if d >= n || d < 1 then invalid_arg "Gen.random_regular_config: need 1 <= d < n";
+  if n * d mod 2 <> 0 then invalid_arg "Gen.random_regular_config: n*d must be even";
+  (* Configuration model with simplification: pair the n·d half-edge stubs
+     uniformly and simply DROP self-loops (duplicates collapse inside
+     of_edges). Degrees come out ≤ d with the deficit vanishing for sparse
+     d — the standard near-regular generator when exact regularity is not
+     worth the repair loop at n = 10^6+. *)
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  Rng.shuffle rng stubs;
+  let es = ref [] in
+  for i = 0 to (n * d / 2) - 1 do
+    let u = stubs.(2 * i) and v = stubs.((2 * i) + 1) in
+    if u <> v then es := (u, v) :: !es
+  done;
+  Graph.of_edges n !es
+
 let random_regular rng n d =
   if d >= n || d < 1 then invalid_arg "Gen.random_regular: need 1 <= d < n";
   if n * d mod 2 <> 0 then invalid_arg "Gen.random_regular: n*d must be even";

@@ -31,7 +31,23 @@ val binary_tree : int -> Graph.t
     [2^(depth+1) - 1] vertices; heap indexing (root 0, children 2i+1/2i+2). *)
 
 val gnp : Wx_util.Rng.t -> int -> float -> Graph.t
-(** Erdős–Rényi [G(n, p)]. *)
+(** Erdős–Rényi [G(n, p)]. O(n²) coin flips — use {!gnm} for sparse
+    graphs at large [n]. *)
+
+val gnm : Wx_util.Rng.t -> int -> int -> Graph.t
+(** [gnm rng n m]: uniform simple graph with exactly [m] distinct edges,
+    by rejection sampling — O(m) expected draws in the sparse regime, so
+    million-node instances build without [gnp]'s O(n²) loop. Requires
+    [0 <= m <= n(n-1)/2]. *)
+
+val random_regular_config : Wx_util.Rng.t -> int -> int -> Graph.t
+(** [random_regular_config rng n d]: configuration model {e with
+    simplification} — stubs are paired uniformly, self-loops dropped,
+    duplicate edges collapsed. Degrees are ≤ [d] (near-regular; the
+    expected deficit is O(d²) edges total), in exchange for O(n·d) build
+    time with no repair loop — the scale generator for [Sim_csr]
+    instances. Requires [n*d] even and [1 <= d < n]. See
+    {!random_regular} for the exactly-regular (repair-based) variant. *)
 
 val random_regular : Wx_util.Rng.t -> int -> int -> Graph.t
 (** [random_regular rng n d]: uniform-ish simple d-regular graph via the

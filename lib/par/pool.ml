@@ -485,5 +485,26 @@ let parallel_reduce_weighted ?jobs ?(oversubscribe = 8) ~n ~weight ~init ~map ~c
         [ ("n", Json.Int n); ("units", Json.Int nunits); ("jobs", Json.Int jobs) ]
   end
 
+let parallel_reduce_ranges ?jobs ?(range = 16384) ~n ~init ~map ~combine () =
+  if range < 1 then invalid_arg "Pool.parallel_reduce_ranges: range must be >= 1";
+  if n < 0 then invalid_arg "Pool.parallel_reduce_ranges: n must be >= 0";
+  if n = 0 then init
+  else begin
+    let ntasks = (n + range - 1) / range in
+    let jobs = min (resolve_jobs jobs) ntasks in
+    (* One task = one contiguous [lo, hi) slice, handed to [map] whole:
+       the round kernels want the slice bounds, not a per-index callback,
+       so the inner loop lives in the caller with zero closure calls per
+       index. Boundaries depend only on [n] and [range] — never on [jobs]
+       or scheduling — so with an associative [combine] the result is
+       bit-identical at any job count. *)
+    let task c =
+      let lo = c * range in
+      map ~lo ~hi:(min n (lo + range))
+    in
+    run_tasks ~jobs ~ntasks ~order:None ~task ~init ~combine
+      ~trace_args:[ ("n", Json.Int n); ("ranges", Json.Int ntasks); ("jobs", Json.Int jobs) ]
+  end
+
 let parallel_for ?jobs ?chunk ~n f =
   parallel_reduce ?jobs ?chunk ~n ~init:() ~map:f ~combine:(fun () () -> ()) ()

@@ -140,6 +140,24 @@ val parallel_reduce_weighted :
     return non-negative finite floats; it is called once per index before
     the run. *)
 
+val parallel_reduce_ranges :
+  ?jobs:int ->
+  ?range:int ->
+  n:int ->
+  init:'a ->
+  map:(lo:int -> hi:int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  unit ->
+  'a
+(** Range-sharded variant for flat-array kernels: the index space [0, n)
+    is cut into contiguous slices of [range] (default 16384) indices and
+    [map ~lo ~hi] reduces one whole slice [lo, hi) itself — no per-index
+    closure call, which is what a CSR round scan needs to stay
+    allocation-free. Slice boundaries depend only on [n] and [range]
+    (never on [jobs] or scheduling) and per-slice results are combined in
+    slice order, so with [combine] associative and [init] neutral the
+    result is bit-identical at any job count. *)
+
 val parallel_for : ?jobs:int -> ?chunk:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for ~n f] runs [f i] for [i] in [0, n) across the pool.
     Iterations must be independent; completion of all iterations

@@ -1,10 +1,20 @@
 module Bitset = Wx_util.Bitset
 module Graph = Wx_graph.Graph
+module Work = Wx_obs.Work
 
 type t = {
   graph : Graph.t;
   informed : Bitset.t;
   since : int array;
+  (* Scratch reused every round so the step loop allocates nothing: the
+     per-receiver hear count (saturating at 2 — "many" and "two" are
+     indistinguishable to the model) and the newly-informed set the step
+     returns. [scatter] is the prebuilt per-transmitter closure — building
+     it inside [step] would cost a closure per transmitter per round. The
+     bench alloc gate watches this loop. *)
+  heard : Bytes.t;
+  newly : Bitset.t;
+  scatter : int -> unit;
   mutable round : int;
   mutable collisions : int;
 }
@@ -15,7 +25,28 @@ let create g source =
   Bitset.add_inplace informed source;
   let since = Array.make (Graph.n g) (-1) in
   since.(source) <- 0;
-  { graph = g; informed; since; round = 0; collisions = 0 }
+  let heard = Bytes.make (Graph.n g) '\000' in
+  let bump w =
+    let c = Bytes.unsafe_get heard w in
+    if c < '\002' then Bytes.unsafe_set heard w (Char.unsafe_chr (Char.code c + 1))
+  in
+  {
+    graph = g;
+    informed;
+    since;
+    heard;
+    newly = Bitset.create (Graph.n g);
+    scatter = (fun v -> Graph.iter_neighbors g v bump);
+    round = 0;
+    collisions = 0;
+  }
+
+let inform t v =
+  if v < 0 || v >= Graph.n t.graph then invalid_arg "Network.inform: bad vertex";
+  if not (Bitset.mem t.informed v) then begin
+    Bitset.add_inplace t.informed v;
+    t.since.(v) <- t.round
+  end
 
 let graph t = t.graph
 let round t = t.round
@@ -30,24 +61,23 @@ let step t transmitters =
   if not (Bitset.subset transmitters t.informed) then
     invalid_arg "Network.step: transmitter without the message";
   let n = Graph.n t.graph in
-  let heard = Array.make n 0 in
-  Bitset.iter
-    (fun v ->
-      Graph.iter_neighbors t.graph v (fun w ->
-          if heard.(w) < 2 then heard.(w) <- heard.(w) + 1
-          else heard.(w) <- heard.(w) (* saturate *)))
-    transmitters;
+  let heard = t.heard in
+  Bytes.fill heard 0 n '\000';
+  Bitset.iter t.scatter transmitters;
   t.round <- t.round + 1;
-  let newly = Bitset.create n in
+  let newly = t.newly in
+  Bitset.clear_inplace newly;
   for w = 0 to n - 1 do
-    if heard.(w) >= 2 && not (Bitset.mem transmitters w) then t.collisions <- t.collisions + 1;
+    let h = Bytes.unsafe_get heard w in
+    if h >= '\002' && not (Bitset.mem transmitters w) then t.collisions <- t.collisions + 1;
     (* Reception: silent, exactly one transmitting neighbor. A transmitting
        processor hears nothing (it is busy transmitting). *)
-    if heard.(w) = 1 && (not (Bitset.mem transmitters w)) && not (Bitset.mem t.informed w)
+    if h = '\001' && (not (Bitset.mem transmitters w)) && not (Bitset.mem t.informed w)
     then begin
       Bitset.add_inplace newly w;
       t.since.(w) <- t.round
     end
   done;
   Bitset.union_inplace t.informed newly;
+  Work.add Work.vertex_scans n;
   newly

@@ -14,6 +14,11 @@ type t
 val create : Graph.t -> int -> t
 (** [create g source]: only [source] holds the message at round 0. *)
 
+val inform : t -> int -> unit
+(** Seed an extra source: mark the vertex informed as of the current
+    round (no-op if already informed). Multi-source broadcast, and the
+    bench's handle for measuring the fully-saturated steady state. *)
+
 val graph : t -> Graph.t
 val round : t -> int
 val informed : t -> Bitset.t
@@ -34,4 +39,9 @@ val collisions : t -> int
 val step : t -> Bitset.t -> Bitset.t
 (** [step t transmitters] advances one round and returns the newly informed
     set. Raises [Invalid_argument] if some transmitter is not informed
-    (a processor cannot transmit a message it does not hold). *)
+    (a processor cannot transmit a message it does not hold).
+
+    The returned bitset is the network's own scratch buffer, reused by the
+    next [step] — read or copy it before stepping again; do not mutate.
+    The round loop itself allocates nothing (the bench alloc gate relies
+    on this). *)

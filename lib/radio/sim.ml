@@ -31,12 +31,17 @@ type round_info = {
   collisions_this_round : int;
 }
 
-let default_limit g = (64 * Graph.n g) + 1024
+(* 64·n + 1024 with the multiply guarded: for n past ~max_int/64 (never
+   simulatable anyway — the graph alone would not fit) the limit pins to
+   max_int instead of wrapping negative and stopping the loop at round 0.
+   Shared with Sim_csr so both engines time out identically. *)
+let round_limit n = if n >= (max_int - 1024) / 64 then max_int else (64 * n) + 1024
+let default_limit g = round_limit (Graph.n g)
 
 let run_until ?max_rounds ?on_round g ~source protocol rng ~stop =
   let limit = match max_rounds with Some m -> m | None -> default_limit g in
   let net = Network.create g source in
-  let history = ref [] in
+  let history = Wx_util.Intvec.create () in
   let finished = ref (stop net) in
   Metrics.incr m_runs;
   (* Per-round bookkeeping costs a few cardinals; pay for it only when
@@ -46,7 +51,7 @@ let run_until ?max_rounds ?on_round g ~source protocol rng ~stop =
     let coll_before = Network.collisions net in
     let tx = protocol.Protocol.choose net rng in
     let newly = Network.step net tx in
-    history := Network.informed_count net :: !history;
+    Wx_util.Intvec.push history (Network.informed_count net);
     if observing () then begin
       let info =
         {
@@ -85,7 +90,7 @@ let run_until ?max_rounds ?on_round g ~source protocol rng ~stop =
       completed = !finished;
       informed_final = Network.informed_count net;
       collisions = Network.collisions net;
-      frontier_history = Array.of_list (List.rev !history);
+      frontier_history = Wx_util.Intvec.to_array history;
     } )
 
 let run ?max_rounds ?on_round g ~source protocol rng =

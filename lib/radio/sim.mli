@@ -26,6 +26,12 @@ type round_info = {
     the [radio.*] counters; when an NDJSON sink is installed each round is
     emitted as a ["radio.round"] event; [Trace] accumulates them. *)
 
+val round_limit : int -> int
+(** The default round budget for an [n]-vertex instance: [64·n + 1024],
+    computed overflow-safely (pins to [max_int] once [64·n] would wrap —
+    a documented cap, unreachable for any instance that fits in memory).
+    Shared by the legacy and CSR engines so both time out identically. *)
+
 val run_until :
   ?max_rounds:int ->
   ?on_round:(round_info -> unit) ->

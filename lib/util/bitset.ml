@@ -89,10 +89,17 @@ let equal a b =
   let rec go i = i < 0 || (a.words.(i) = b.words.(i) && go (i - 1)) in
   go (Array.length a.words - 1)
 
+(* Top-level so the recursion carries no closure: [subset] sits on the
+   radio step's per-round path, which the alloc gate certifies as
+   zero-allocation. *)
+let rec subset_from aw bw i =
+  i < 0
+  || Array.unsafe_get aw i land lnot (Array.unsafe_get bw i) = 0
+     && subset_from aw bw (i - 1)
+
 let subset a b =
   same_universe a b;
-  let rec go i = i < 0 || (a.words.(i) land lnot b.words.(i) = 0 && go (i - 1)) in
-  go (Array.length a.words - 1)
+  subset_from a.words b.words (Array.length a.words - 1)
 
 let disjoint a b =
   same_universe a b;

@@ -1,0 +1,29 @@
+(* Growable int buffer: amortized-O(1) push, O(len) snapshot. The
+   simulation loops append one frontier count per round; building that
+   history with Array.append would be O(rounds²), and a list reversal
+   allocates a cons per round — this keeps steady-state appends to an
+   occasional doubling. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  if capacity < 1 then invalid_arg "Intvec.create: capacity must be >= 1";
+  { data = Array.make capacity 0; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let grown = Array.make (2 * Array.length t.data) 0 in
+    Array.blit t.data 0 grown 0 t.len;
+    t.data <- grown
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Intvec.get: index out of bounds";
+  t.data.(i)
+
+let clear t = t.len <- 0
+let to_array t = Array.sub t.data 0 t.len

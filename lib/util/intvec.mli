@@ -1,0 +1,25 @@
+(** Growable int buffer with amortized-O(1) append.
+
+    The simulators append one frontier count per executed round; this
+    replaces the O(rounds²) [Array.append] pattern and the cons-per-round
+    list without changing the snapshot the caller sees. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Empty buffer; [capacity] (default 16, must be ≥ 1) pre-sizes the
+    backing array. *)
+
+val length : t -> int
+
+val push : t -> int -> unit
+(** Append one element; doubles the backing array when full. *)
+
+val get : t -> int -> int
+(** [get t i] for [0 <= i < length t]; raises [Invalid_argument] outside. *)
+
+val clear : t -> unit
+(** Reset the length to 0 without shrinking the backing array. *)
+
+val to_array : t -> int array
+(** Fresh array of the [length t] pushed elements, in push order. *)

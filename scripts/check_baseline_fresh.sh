@@ -28,6 +28,7 @@ watched=(lib/expansion lib/util/combi.ml lib/util/combi.mli
          lib/util/bitset.ml lib/util/bitset.mli
          lib/util/guard.ml lib/util/guard.mli bench/*.ml
          lib/par lib/obs/work.ml lib/obs/work.mli lib/radio/sim.ml
+         lib/graph/csr.ml lib/radio/sim_csr.ml lib/radio/network.ml
          lib/obs/expose.ml)
 
 if [ ! -f "$baseline" ]; then

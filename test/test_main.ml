@@ -17,6 +17,7 @@ let () =
       ("spokesmen", Test_spokesmen.suite);
       ("constructions", Test_constructions.suite);
       ("radio", Test_radio.suite);
+      ("sim-csr", Test_sim_csr.suite);
       ("theorems", Test_theorems.suite);
       ("flow", Test_flow.suite);
       ("solvers-ext", Test_solvers_ext.suite);
